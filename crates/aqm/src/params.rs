@@ -1,0 +1,93 @@
+//! Marking-threshold arithmetic from §2.1 of the paper.
+//!
+//! Equation 1: `K = λ × C × RTT` — the instantaneous queue-length threshold
+//! that keeps the bottleneck busy for a congestion-control algorithm whose
+//! window-reduction aggressiveness is `λ`.
+//!
+//! Equation 2: `T = K / C = λ × RTT` — the equivalent *sojourn time*
+//! threshold, independent of the drain rate, which is what makes
+//! sojourn-based marking compatible with packet schedulers.
+
+use ecnsharp_sim::{Duration, Rate};
+
+/// λ for regular ECN-enabled TCP, which halves its window on a mark.
+pub const LAMBDA_ECN_TCP: f64 = 1.0;
+
+/// λ for DCTCP in theory (Alizadeh et al., SIGMETRICS'11 give 0.17).
+pub const LAMBDA_DCTCP: f64 = 0.17;
+
+/// Equation 1: ideal instantaneous queue-length marking threshold in bytes.
+///
+/// ```
+/// use ecnsharp_aqm::params::queue_threshold;
+/// use ecnsharp_sim::{Rate, Duration};
+/// // λ=1, C=10 Gbps, RTT=200 us  =>  K = 250 KB (paper's RED-Tail setting)
+/// assert_eq!(queue_threshold(1.0, Rate::from_gbps(10), Duration::from_micros(200)), 250_000);
+/// ```
+pub fn queue_threshold(lambda: f64, capacity: Rate, rtt: Duration) -> u64 {
+    debug_assert!(lambda > 0.0);
+    (lambda * capacity.bdp(rtt) as f64).round() as u64
+}
+
+/// Equation 2: ideal sojourn-time marking threshold.
+///
+/// ```
+/// use ecnsharp_aqm::params::sojourn_threshold;
+/// use ecnsharp_sim::Duration;
+/// assert_eq!(sojourn_threshold(1.0, Duration::from_micros(200)), Duration::from_micros(200));
+/// assert_eq!(sojourn_threshold(0.5, Duration::from_micros(200)), Duration::from_micros(100));
+/// ```
+pub fn sojourn_threshold(lambda: f64, rtt: Duration) -> Duration {
+    debug_assert!(lambda > 0.0);
+    rtt.mul_f64(lambda)
+}
+
+/// Convert a queue-length threshold into the sojourn threshold it implies at
+/// a given drain rate (`T = K / C`).
+pub fn queue_to_sojourn(k_bytes: u64, capacity: Rate) -> Duration {
+    capacity.tx_time(k_bytes)
+}
+
+/// Convert a sojourn threshold into the queue length it implies at a given
+/// drain rate (`K = T × C`).
+pub fn sojourn_to_queue(t: Duration, capacity: Rate) -> u64 {
+    capacity.bytes_in(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_matches_paper_settings() {
+        let c = Rate::from_gbps(10);
+        // 90th-pct RTT 200 us with λ=1 => 250 KB (paper's DCTCP-RED-Tail).
+        assert_eq!(queue_threshold(1.0, c, Duration::from_micros(200)), 250_000);
+        // average RTT ~100 us => ~125 KB; the paper rounds its RED-AVG
+        // setting to 80 KB for the testbed; both are "low-percentile" choices.
+        assert_eq!(queue_threshold(1.0, c, Duration::from_micros(100)), 125_000);
+    }
+
+    #[test]
+    fn eq2_is_rate_free() {
+        let t = sojourn_threshold(LAMBDA_ECN_TCP, Duration::from_micros(210));
+        assert_eq!(t, Duration::from_micros(210));
+        let t = sojourn_threshold(LAMBDA_DCTCP, Duration::from_micros(100));
+        assert_eq!(t, Duration::from_micros(17));
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let c = Rate::from_gbps(10);
+        let k = 250_000u64;
+        let t = queue_to_sojourn(k, c);
+        assert_eq!(t, Duration::from_micros(200));
+        assert_eq!(sojourn_to_queue(t, c), k);
+    }
+
+    #[test]
+    fn lambda_constants() {
+        assert_eq!(LAMBDA_ECN_TCP, 1.0);
+        assert!((LAMBDA_DCTCP - 0.17).abs() < 1e-12);
+    }
+}

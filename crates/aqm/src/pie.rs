@@ -1,0 +1,212 @@
+//! PIE — Proportional Integral controller Enhanced (RFC 8033), simplified,
+//! in ECN-marking mode.
+//!
+//! PIE estimates the current queueing delay from the backlog and drain rate,
+//! then updates a marking probability with a PI controller:
+//!
+//! `p += alpha * (delay - target) + beta * (delay - delay_old)`
+//!
+//! The paper cites PIE (§6) as an Internet AQM that keeps delay near a
+//! constant target but lacks the aggressive instantaneous component needed
+//! for datacenter bursts; it is included as an extension comparator.
+
+use crate::{admit_mark_or_drop, Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState};
+use ecnsharp_sim::{Duration, Rng, SimTime};
+
+/// Configuration for the PIE controller.
+#[derive(Debug, Clone, Copy)]
+pub struct PieConfig {
+    /// Queueing-delay target.
+    pub target: Duration,
+    /// Probability update period.
+    pub t_update: Duration,
+    /// Proportional gain, applied to the delay error *normalized by the
+    /// target* so the controller works at datacenter (µs) scale — RFC 8033's
+    /// absolute-seconds gains are tuned for millisecond Internet delays.
+    pub alpha: f64,
+    /// Differential gain (same normalization).
+    pub beta: f64,
+}
+
+impl Default for PieConfig {
+    fn default() -> Self {
+        PieConfig {
+            // Datacenter-scaled defaults (Internet defaults are 15 ms/16 ms).
+            target: Duration::from_micros(85),
+            t_update: Duration::from_micros(200),
+            alpha: 0.125,
+            beta: 1.25,
+        }
+    }
+}
+
+/// PIE AQM in marking mode.
+pub struct Pie {
+    cfg: PieConfig,
+    prob: f64,
+    delay_old: f64,
+    last_update: Option<SimTime>,
+    rng: Rng,
+}
+
+impl Pie {
+    /// Create from config with a deterministic seed for the marking dice.
+    pub fn new(cfg: PieConfig, seed: u64) -> Self {
+        assert!(!cfg.t_update.is_zero(), "PIE update period must be positive");
+        Pie {
+            cfg,
+            prob: 0.0,
+            delay_old: 0.0,
+            last_update: None,
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current marking probability (for tests/monitoring).
+    pub fn prob(&self) -> f64 {
+        self.prob
+    }
+
+    /// Lazy periodic probability update, run from the packet path: PIE's
+    /// reference implementation uses a timer; updating on the first packet
+    /// past each period boundary is equivalent for non-idle queues.
+    fn maybe_update(&mut self, now: SimTime, q: &QueueState) {
+        let due = match self.last_update {
+            None => true,
+            Some(t) => now.saturating_since(t) >= self.cfg.t_update,
+        };
+        if !due {
+            return;
+        }
+        self.last_update = Some(now);
+        let delay = q.drain_rate.tx_time(q.backlog_bytes).as_secs_f64();
+        let target = self.cfg.target.as_secs_f64();
+
+        // RFC 8033 auto-tuning: scale gains down while the probability is
+        // small so the controller doesn't slam between 0 and 1.
+        let scale = if self.prob < 0.000_001 {
+            1.0 / 2048.0
+        } else if self.prob < 0.000_01 {
+            1.0 / 512.0
+        } else if self.prob < 0.000_1 {
+            1.0 / 128.0
+        } else if self.prob < 0.001 {
+            1.0 / 32.0
+        } else if self.prob < 0.01 {
+            1.0 / 8.0
+        } else if self.prob < 0.1 {
+            1.0 / 2.0
+        } else {
+            1.0
+        };
+
+        let err = (delay - target) / target;
+        let derr = (delay - self.delay_old) / target;
+        let mut p = self.prob + scale * (self.cfg.alpha * err + self.cfg.beta * derr);
+        // Exponential decay when the queue is idle.
+        if delay == 0.0 && self.delay_old == 0.0 {
+            p *= 0.98;
+        }
+        self.prob = p.clamp(0.0, 1.0);
+        self.delay_old = delay;
+    }
+}
+
+impl Aqm for Pie {
+    fn name(&self) -> &'static str {
+        "PIE"
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, q: &QueueState, pkt: &PacketView) -> EnqueueVerdict {
+        self.maybe_update(now, q);
+        // The RFC's safeguards: never signal when the queue is tiny.
+        if q.backlog_bytes < 2 * pkt.bytes {
+            return EnqueueVerdict::Admit;
+        }
+        if self.rng.chance(self.prob) {
+            admit_mark_or_drop(pkt.ect)
+        } else {
+            EnqueueVerdict::Admit
+        }
+    }
+
+    fn on_dequeue(&mut self, _now: SimTime, _q: &QueueState, _pkt: &PacketView) -> DequeueVerdict {
+        DequeueVerdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{pkt, q};
+
+    fn pie() -> Pie {
+        Pie::new(PieConfig::default(), 3)
+    }
+
+    #[test]
+    fn probability_grows_under_standing_queue() {
+        let mut p = pie();
+        // 500 KB at 10 Gbps = 400 us delay >> 85 us target.
+        for i in 0..2_000u64 {
+            p.on_enqueue(SimTime::from_micros(i * 10), &q(500_000), &pkt(0));
+        }
+        assert!(p.prob() > 0.01, "prob {}", p.prob());
+    }
+
+    #[test]
+    fn probability_decays_when_queue_empties() {
+        let mut p = pie();
+        for i in 0..2_000u64 {
+            p.on_enqueue(SimTime::from_micros(i * 10), &q(500_000), &pkt(0));
+        }
+        let high = p.prob();
+        for i in 2_000..6_000u64 {
+            p.on_enqueue(SimTime::from_micros(i * 10), &q(0), &pkt(0));
+        }
+        assert!(p.prob() < high, "prob should fall: {} -> {}", high, p.prob());
+    }
+
+    #[test]
+    fn small_queue_never_marked() {
+        let mut p = pie();
+        // Even with a forced high probability, a sub-2-MTU backlog is safe.
+        for i in 0..5_000u64 {
+            p.on_enqueue(SimTime::from_micros(i * 10), &q(800_000), &pkt(0));
+        }
+        let v = p.on_enqueue(SimTime::from_micros(60_000), &q(1_000), &pkt(0));
+        assert_eq!(v, EnqueueVerdict::Admit);
+    }
+
+    #[test]
+    fn marks_when_probability_high() {
+        let mut p = pie();
+        for i in 0..20_000u64 {
+            p.on_enqueue(SimTime::from_micros(i * 10), &q(2_000_000), &pkt(0));
+        }
+        let marked = (0..1_000)
+            .filter(|i| {
+                p.on_enqueue(
+                    SimTime::from_micros(300_000 + i * 10),
+                    &q(2_000_000),
+                    &pkt(0),
+                ) == EnqueueVerdict::AdmitMark
+            })
+            .count();
+        assert!(marked > 100, "marked {marked}/1000");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut p = Pie::new(PieConfig::default(), seed);
+            (0..3_000u64)
+                .filter(|i| {
+                    p.on_enqueue(SimTime::from_micros(i * 10), &q(400_000), &pkt(0))
+                        == EnqueueVerdict::AdmitMark
+                })
+                .count()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,242 @@
+//! Classic RED (Floyd & Jacobson 1993) operated as an ECN marker.
+//!
+//! Unlike [`crate::DctcpRed`], classic RED keeps an EWMA *average* queue
+//! length and marks probabilistically between `min_th` and `max_th` with a
+//! ramp up to `max_p`, using the standard `count`-based spreading so marks
+//! are roughly uniform in packet arrivals. This is the probabilistic marking
+//! style DCQCN requires (paper §3.5), included as the probabilistic
+//! comparator and extension point.
+
+use crate::{admit_mark_or_drop, Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState};
+use ecnsharp_sim::{Rng, SimTime};
+
+/// Configuration for classic RED.
+#[derive(Debug, Clone, Copy)]
+pub struct RedConfig {
+    /// Lower threshold on the average queue (bytes): below it, never mark.
+    pub min_th: u64,
+    /// Upper threshold (bytes): above it, always mark.
+    pub max_th: u64,
+    /// Marking probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue estimate.
+    pub weight: f64,
+    /// Mean packet size used for the idle-time decay (bytes).
+    pub mean_pkt: u64,
+}
+
+impl Default for RedConfig {
+    fn default() -> Self {
+        RedConfig {
+            min_th: 50_000,
+            max_th: 150_000,
+            max_p: 0.1,
+            weight: 0.002,
+            mean_pkt: 1_500,
+        }
+    }
+}
+
+/// Classic probabilistic RED in ECN-marking mode.
+pub struct Red {
+    cfg: RedConfig,
+    avg: f64,
+    /// Packets since the last mark (for uniformization).
+    count: i64,
+    /// When the queue went idle (for EWMA decay), if it is idle.
+    idle_since: Option<SimTime>,
+    rng: Rng,
+}
+
+impl Red {
+    /// Create from a config with a deterministic seed for the marking dice.
+    pub fn new(cfg: RedConfig, seed: u64) -> Self {
+        assert!(cfg.min_th < cfg.max_th, "RED needs min_th < max_th");
+        assert!(cfg.max_p > 0.0 && cfg.max_p <= 1.0);
+        assert!(cfg.weight > 0.0 && cfg.weight <= 1.0);
+        Red {
+            cfg,
+            avg: 0.0,
+            count: -1,
+            idle_since: Some(SimTime::ZERO),
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current average-queue estimate in bytes.
+    pub fn avg_queue(&self) -> f64 {
+        self.avg
+    }
+
+    fn update_avg(&mut self, now: SimTime, backlog: u64) {
+        if backlog == 0 && self.idle_since.is_none() {
+            self.idle_since = Some(now);
+        }
+        if let Some(idle_start) = self.idle_since {
+            // While idle the average decays as if `m` small packets had
+            // departed: avg *= (1-w)^m (Floyd & Jacobson §4).
+            let idle = now.saturating_since(idle_start);
+            let tx = self.cfg.drain_time_hint();
+            let m = (idle.as_secs_f64() / tx).floor();
+            if m > 0.0 {
+                self.avg *= (1.0 - self.cfg.weight).powf(m.min(1e6));
+            }
+            self.idle_since = None;
+        }
+        self.avg += self.cfg.weight * (backlog as f64 - self.avg);
+    }
+}
+
+impl RedConfig {
+    /// Seconds to transmit one mean packet at 10 Gbps — used only for the
+    /// idle decay granularity; RED is insensitive to its exact value.
+    fn drain_time_hint(&self) -> f64 {
+        (self.mean_pkt * 8) as f64 / 10e9
+    }
+}
+
+impl Aqm for Red {
+    fn name(&self) -> &'static str {
+        "RED"
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, q: &QueueState, pkt: &PacketView) -> EnqueueVerdict {
+        self.update_avg(now, q.backlog_bytes);
+        if q.backlog_bytes == 0 {
+            self.idle_since = Some(now);
+        } else {
+            self.idle_since = None;
+        }
+
+        let avg = self.avg;
+        if avg < self.cfg.min_th as f64 {
+            self.count = -1;
+            return EnqueueVerdict::Admit;
+        }
+        if avg >= self.cfg.max_th as f64 {
+            self.count = 0;
+            return admit_mark_or_drop(pkt.ect);
+        }
+        self.count += 1;
+        let pb = self.cfg.max_p * (avg - self.cfg.min_th as f64)
+            / (self.cfg.max_th - self.cfg.min_th) as f64;
+        let pa = (pb / (1.0 - (self.count as f64) * pb).max(1e-9)).clamp(0.0, 1.0);
+        if self.rng.chance(pa) {
+            self.count = 0;
+            admit_mark_or_drop(pkt.ect)
+        } else {
+            EnqueueVerdict::Admit
+        }
+    }
+
+    fn on_dequeue(&mut self, _now: SimTime, _q: &QueueState, _pkt: &PacketView) -> DequeueVerdict {
+        DequeueVerdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{pkt, q};
+
+    fn red() -> Red {
+        Red::new(RedConfig::default(), 1)
+    }
+
+    #[test]
+    fn no_marks_below_min_th() {
+        let mut r = red();
+        let mut marked = 0;
+        for i in 0..10_000u64 {
+            let v = r.on_enqueue(SimTime::from_micros(i), &q(10_000), &pkt(0));
+            if v != EnqueueVerdict::Admit {
+                marked += 1;
+            }
+        }
+        assert_eq!(marked, 0, "avg stays below min_th, no marks");
+    }
+
+    #[test]
+    fn always_marks_when_avg_above_max_th() {
+        let mut r = red();
+        // Saturate the average well above max_th.
+        for i in 0..20_000u64 {
+            r.on_enqueue(SimTime::from_micros(i), &q(1_000_000), &pkt(0));
+        }
+        assert!(r.avg_queue() > 150_000.0);
+        let v = r.on_enqueue(SimTime::from_micros(20_001), &q(1_000_000), &pkt(0));
+        assert_eq!(v, EnqueueVerdict::AdmitMark);
+    }
+
+    #[test]
+    fn marks_probabilistically_between_thresholds() {
+        let mut r = red();
+        // Drive avg to ~100 KB (midway): expect a marking fraction well
+        // between 0 and 1 over many packets.
+        for i in 0..50_000u64 {
+            r.on_enqueue(SimTime::from_micros(i), &q(100_000), &pkt(0));
+        }
+        let mut marked = 0;
+        let n = 20_000;
+        for i in 0..n {
+            let v = r.on_enqueue(SimTime::from_micros(50_000 + i), &q(100_000), &pkt(0));
+            if v == EnqueueVerdict::AdmitMark {
+                marked += 1;
+            }
+        }
+        let frac = marked as f64 / n as f64;
+        assert!(frac > 0.01 && frac < 0.5, "marking fraction {frac}");
+    }
+
+    #[test]
+    fn ewma_tracks_slowly() {
+        let mut r = red();
+        r.on_enqueue(SimTime::ZERO, &q(150_000), &pkt(0));
+        // One sample moves the average only by weight * q.
+        assert!(r.avg_queue() < 1_000.0);
+    }
+
+    #[test]
+    fn idle_decay_reduces_avg() {
+        let mut r = red();
+        for i in 0..20_000u64 {
+            r.on_enqueue(SimTime::from_micros(i), &q(200_000), &pkt(0));
+        }
+        let before = r.avg_queue();
+        // Queue empties; next arrival comes 10 ms later.
+        r.on_enqueue(SimTime::from_micros(20_000), &q(0), &pkt(0));
+        r.on_enqueue(SimTime::from_micros(30_000), &q(0), &pkt(0));
+        assert!(
+            r.avg_queue() < before * 0.2,
+            "avg {} should decay from {before}",
+            r.avg_queue()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_th < max_th")]
+    fn rejects_inverted_thresholds() {
+        let _ = Red::new(
+            RedConfig {
+                min_th: 10,
+                max_th: 10,
+                ..RedConfig::default()
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut r = Red::new(RedConfig::default(), seed);
+            (0..5_000u64)
+                .map(|i| {
+                    (r.on_enqueue(SimTime::from_micros(i), &q(120_000), &pkt(0))
+                        == EnqueueVerdict::AdmitMark) as u32
+                })
+                .sum::<u32>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,79 @@
+//! Per-packet decision cost of every AQM. The §4 claim is that ECN♯ runs
+//! at line rate on Tofino; the software analogue is that the decision path
+//! is O(1) — a few compares and register updates — for both the reference
+//! algorithm and the match-action pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ecnsharp_aqm::{Aqm, CoDel, DctcpRed, Pie, PieConfig, QueueState, Tcn};
+use ecnsharp_aqm::red::{Red, RedConfig};
+use ecnsharp_core::{EcnSharp, EcnSharpConfig};
+use ecnsharp_sim::{Duration, Rate, SimTime};
+use ecnsharp_tofino::{TofinoEcnSharp, WrapCmp};
+use std::hint::black_box;
+
+fn drive(aqm: &mut dyn Aqm, n: u64) -> u64 {
+    let q = QueueState {
+        backlog_bytes: 150_000,
+        backlog_pkts: 100,
+        capacity_bytes: 1_000_000,
+        drain_rate: Rate::from_gbps(10),
+    };
+    let mut marks = 0u64;
+    for k in 0..n {
+        // ~line-rate spacing, sojourn oscillating around the thresholds.
+        let now = SimTime::from_nanos(k * 1_230);
+        let sojourn_ns = 50_000 + (k % 7) * 45_000;
+        let pkt = ecnsharp_aqm::PacketView {
+            bytes: 1_538,
+            ect: true,
+            enqueued_at: now - Duration::from_nanos(sojourn_ns),
+        };
+        if aqm.on_enqueue(now, &q, &pkt) != ecnsharp_aqm::EnqueueVerdict::Admit {
+            marks += 1;
+        }
+        if aqm.on_dequeue(now, &q, &pkt) != ecnsharp_aqm::DequeueVerdict::Pass {
+            marks += 1;
+        }
+    }
+    marks
+}
+
+fn bench_aqm_decisions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aqm_per_packet");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    let cfg = EcnSharpConfig::paper_testbed();
+
+    g.bench_function("dctcp_red", |b| {
+        let mut a = DctcpRed::with_threshold(250_000);
+        b.iter(|| black_box(drive(&mut a, n)))
+    });
+    g.bench_function("red_classic", |b| {
+        let mut a = Red::new(RedConfig::default(), 7);
+        b.iter(|| black_box(drive(&mut a, n)))
+    });
+    g.bench_function("codel", |b| {
+        let mut a = CoDel::new(Duration::from_micros(85), Duration::from_micros(200));
+        b.iter(|| black_box(drive(&mut a, n)))
+    });
+    g.bench_function("tcn", |b| {
+        let mut a = Tcn::new(Duration::from_micros(200));
+        b.iter(|| black_box(drive(&mut a, n)))
+    });
+    g.bench_function("pie", |b| {
+        let mut a = Pie::new(PieConfig::default(), 7);
+        b.iter(|| black_box(drive(&mut a, n)))
+    });
+    g.bench_function("ecnsharp_reference", |b| {
+        let mut a = EcnSharp::new(cfg);
+        b.iter(|| black_box(drive(&mut a, n)))
+    });
+    g.bench_function("ecnsharp_tofino_pipeline", |b| {
+        let mut a = TofinoEcnSharp::new(cfg, 128, 0, WrapCmp::CorrectedLt);
+        b.iter(|| black_box(drive(&mut a, n)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aqm_decisions);
+criterion_main!(benches);

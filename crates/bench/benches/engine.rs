@@ -1,0 +1,85 @@
+//! Simulator-core throughput: how many events/packets per second the
+//! engine sustains. These set the wall-clock budget of the full-fidelity
+//! figure runs (millions of packets each).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ecnsharp_aqm::{DctcpRed, DropTail};
+use ecnsharp_net::topology::{dumbbell, Dumbbell};
+use ecnsharp_net::{FlowCmd, FlowId, PortConfig};
+use ecnsharp_sim::{Duration, EventQueue, Rate, Rng, SimTime};
+use ecnsharp_transport::{TcpConfig, TcpStack};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("push_pop_10k", |b| {
+        let mut rng = Rng::seed_from_u64(1);
+        let times: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 1_000_000)).collect();
+        b.iter_batched(
+            || times.clone(),
+            |times| {
+                let mut q = EventQueue::new();
+                for (i, t) in times.into_iter().enumerate() {
+                    q.schedule(SimTime::from_nanos(t), i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    sum += e;
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn transfer(d: &mut Dumbbell, bytes: u64) {
+    let (a, b) = (d.a, d.b);
+    d.net.schedule_flow(
+        d.net.now(),
+        FlowCmd {
+            flow: FlowId(d.net.records().len() as u64 + 1),
+            src: a,
+            dst: b,
+            size: bytes,
+            class: 0,
+            extra_delay: Duration::ZERO,
+        },
+    );
+    d.net.run_until_idle();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let mb = 10_000_000u64;
+    g.throughput(Throughput::Bytes(mb));
+    g.bench_function("dctcp_10mb_transfer", |b| {
+        b.iter_batched(
+            || {
+                dumbbell(
+                    1,
+                    Rate::from_gbps(40),
+                    Rate::from_gbps(10),
+                    Duration::from_micros(5),
+                    TcpStack::boxed(TcpConfig::dctcp()),
+                    TcpStack::boxed(TcpConfig::dctcp()),
+                    || PortConfig::fifo(4_000_000, Box::new(DropTail::new())),
+                    PortConfig::fifo(1_000_000, Box::new(DctcpRed::with_threshold(65_000))),
+                )
+            },
+            |mut d| {
+                transfer(&mut d, mb);
+                black_box(d.net.steps())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Scaled-down regenerations of every paper table/figure, so `cargo bench`
+//! exercises the complete reproduction matrix end-to-end. Full-fidelity
+//! runs live in the `ecnsharp-experiments` binaries (`--bin all`); these
+//! benches use `Scale::Quick` workloads to stay in the seconds range while
+//! still walking the identical code paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecnsharp_experiments::figures;
+use ecnsharp_experiments::Scale;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    // Keep CSV side effects out of the repo during benches.
+    std::env::set_var("ECNSHARP_RESULTS", std::env::temp_dir().join("ecnsharp_bench_results"));
+    let mut g = c.benchmark_group("figures_quick");
+    g.sample_size(10);
+
+    g.bench_function("table1", |b| b.iter(|| black_box(figures::table1(Scale::Quick))));
+    g.bench_function("fig2", |b| b.iter(|| black_box(figures::fig2(Scale::Quick))));
+    g.bench_function("fig3", |b| b.iter(|| black_box(figures::fig3(Scale::Quick))));
+    g.bench_function("fig5", |b| b.iter(|| black_box(figures::fig5())));
+    g.bench_function("fig6", |b| b.iter(|| black_box(figures::fig6(Scale::Quick))));
+    g.bench_function("fig7", |b| b.iter(|| black_box(figures::fig7(Scale::Quick))));
+    g.bench_function("fig8", |b| b.iter(|| black_box(figures::fig8(Scale::Quick))));
+    g.bench_function("fig9", |b| b.iter(|| black_box(figures::fig9(Scale::Quick))));
+    g.bench_function("fig10", |b| b.iter(|| black_box(figures::fig10(Scale::Quick))));
+    g.bench_function("fig11", |b| b.iter(|| black_box(figures::fig11(Scale::Quick))));
+    g.bench_function("fig12", |b| b.iter(|| black_box(figures::fig12(Scale::Quick))));
+    g.bench_function("fig13", |b| b.iter(|| black_box(figures::fig13(Scale::Quick))));
+    g.bench_function("tofino_report", |b| b.iter(|| black_box(figures::tofino_report())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

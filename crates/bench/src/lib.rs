@@ -1,0 +1,14 @@
+//! # ecnsharp-bench
+//!
+//! Criterion benchmark crate. The actual benchmarks live in `benches/`:
+//!
+//! - `engine` — event-queue and end-to-end packet-forwarding throughput of
+//!   the simulator core;
+//! - `aqm_cost` — per-packet decision cost of every AQM, including the
+//!   Tofino match-action pipeline (the §4 line-rate claim: the decision
+//!   path is a handful of register accesses and one table lookup);
+//! - `figures` — scaled-down regenerations of every paper table/figure so
+//!   `cargo bench` exercises the complete reproduction matrix.
+//!
+//! This lib target exists to document the crate; it intentionally exports
+//! nothing.

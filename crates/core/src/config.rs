@@ -1,0 +1,166 @@
+//! ECN♯ configuration and the §3.4 rule-of-thumb.
+//!
+//! ECN♯ has three parameters (Table 2):
+//!
+//! | parameter      | role                                             |
+//! |----------------|--------------------------------------------------|
+//! | `ins_target`   | instantaneous sojourn-time marking threshold      |
+//! | `pst_target`   | persistent-queueing sojourn target                |
+//! | `pst_interval` | observation window before declaring persistence   |
+//!
+//! The rule-of-thumb (§3.4):
+//! - `ins_target = λ × RTT_highpct` (Eq. 2 with a high-percentile RTT) so
+//!   instantaneous marking never throttles the largest-RTT flows;
+//! - `pst_interval ≈ RTT_highpct` — TCP needs one (worst-case) RTT to react
+//!   to a mark, so shorter windows misclassify reaction lag as persistence;
+//! - `pst_target ≥ λ × RTT_avg` — small enough to drain standing queues,
+//!   conservative enough to tolerate MTU/offload-induced oscillation.
+
+use ecnsharp_sim::Duration;
+
+/// The three ECN♯ parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcnSharpConfig {
+    /// Instantaneous marking threshold on sojourn time.
+    pub ins_target: Duration,
+    /// Sojourn target used by the persistent-queue detector.
+    pub pst_target: Duration,
+    /// Observation window for declaring persistent queueing; also the base
+    /// spacing of conservative marks.
+    pub pst_interval: Duration,
+}
+
+impl EcnSharpConfig {
+    /// Construct an explicit configuration.
+    ///
+    /// # Panics
+    /// If `pst_interval` is zero (the detector would declare persistence
+    /// instantly) or `pst_target > ins_target` (persistent marking would be
+    /// *more* aggressive than instantaneous marking, inverting the design).
+    pub fn new(ins_target: Duration, pst_target: Duration, pst_interval: Duration) -> Self {
+        assert!(!pst_interval.is_zero(), "pst_interval must be positive");
+        assert!(
+            pst_target <= ins_target,
+            "pst_target ({pst_target}) must not exceed ins_target ({ins_target})"
+        );
+        EcnSharpConfig {
+            ins_target,
+            pst_target,
+            pst_interval,
+        }
+    }
+
+    /// §3.4 rule-of-thumb from RTT statistics: `λ`, the average base RTT and
+    /// a high-percentile base RTT.
+    ///
+    /// ```
+    /// use ecnsharp_core::EcnSharpConfig;
+    /// use ecnsharp_sim::Duration;
+    /// // The paper's testbed setting: RTTs 70–210 us, p90 ≈ 200 us,
+    /// // average ≈ 85 us with λ=1 ⇒ ins 200 us, pst_target 85 us,
+    /// // pst_interval 200 us.
+    /// let c = EcnSharpConfig::rule_of_thumb(
+    ///     1.0, Duration::from_micros(85), Duration::from_micros(200));
+    /// assert_eq!(c.ins_target,   Duration::from_micros(200));
+    /// assert_eq!(c.pst_target,   Duration::from_micros(85));
+    /// assert_eq!(c.pst_interval, Duration::from_micros(200));
+    /// ```
+    pub fn rule_of_thumb(lambda: f64, rtt_avg: Duration, rtt_high_pct: Duration) -> Self {
+        let ins = rtt_high_pct.mul_f64(lambda);
+        let pst = rtt_avg.mul_f64(lambda).min(ins);
+        EcnSharpConfig::new(ins, pst, rtt_high_pct)
+    }
+
+    /// The paper's testbed configuration (§5.2): ins 200 µs, pst_interval
+    /// 200 µs, pst_target 85 µs.
+    pub fn paper_testbed() -> Self {
+        EcnSharpConfig::new(
+            Duration::from_micros(200),
+            Duration::from_micros(85),
+            Duration::from_micros(200),
+        )
+    }
+
+    /// Replace `pst_interval` (parameter-sensitivity sweeps, Fig. 12a).
+    pub fn with_pst_interval(mut self, v: Duration) -> Self {
+        assert!(!v.is_zero());
+        self.pst_interval = v;
+        self
+    }
+
+    /// Replace `pst_target` (parameter-sensitivity sweeps, Fig. 12b).
+    pub fn with_pst_target(mut self, v: Duration) -> Self {
+        assert!(v <= self.ins_target);
+        self.pst_target = v;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_of_thumb_matches_paper_testbed() {
+        let c = EcnSharpConfig::rule_of_thumb(
+            1.0,
+            Duration::from_micros(85),
+            Duration::from_micros(200),
+        );
+        assert_eq!(c, EcnSharpConfig::paper_testbed());
+    }
+
+    #[test]
+    fn rule_of_thumb_with_dctcp_lambda() {
+        let c = EcnSharpConfig::rule_of_thumb(
+            0.17,
+            Duration::from_micros(100),
+            Duration::from_micros(200),
+        );
+        assert_eq!(c.ins_target, Duration::from_micros(34));
+        assert_eq!(c.pst_target, Duration::from_micros(17));
+        assert_eq!(c.pst_interval, Duration::from_micros(200));
+    }
+
+    #[test]
+    fn pst_target_clamped_to_ins_target() {
+        // Degenerate stats (avg > high percentile) must still satisfy the
+        // invariant pst_target <= ins_target.
+        let c = EcnSharpConfig::rule_of_thumb(
+            1.0,
+            Duration::from_micros(300),
+            Duration::from_micros(200),
+        );
+        assert_eq!(c.pst_target, c.ins_target);
+    }
+
+    #[test]
+    #[should_panic(expected = "pst_interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = EcnSharpConfig::new(
+            Duration::from_micros(200),
+            Duration::from_micros(85),
+            Duration::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_targets_rejected() {
+        let _ = EcnSharpConfig::new(
+            Duration::from_micros(85),
+            Duration::from_micros(200),
+            Duration::from_micros(200),
+        );
+    }
+
+    #[test]
+    fn sweep_builders() {
+        let c = EcnSharpConfig::paper_testbed()
+            .with_pst_interval(Duration::from_micros(150))
+            .with_pst_target(Duration::from_micros(10));
+        assert_eq!(c.pst_interval, Duration::from_micros(150));
+        assert_eq!(c.pst_target, Duration::from_micros(10));
+        assert_eq!(c.ins_target, Duration::from_micros(200));
+    }
+}

@@ -1,0 +1,390 @@
+//! The ECN♯ marking algorithm (paper §3.2, Algorithm 1), sojourn-time
+//! flavour — the variant the paper implements on Tofino and in ns-3.
+//!
+//! A dequeued packet is CE-marked when **either**
+//!
+//! 1. its sojourn time exceeds `ins_target` (instantaneous marking — burst
+//!    tolerance and high throughput, inherited from current practice), or
+//! 2. the persistent-congestion state machine
+//!    ([`EcnSharp::should_persistent_mark`]) decides to mark — conservative
+//!    marking that drains standing queues built by small-RTT flows without
+//!    hurting throughput.
+//!
+//! Both conditions are evaluated for every packet: the persistent-state
+//! machine must observe every dequeue to track `first_above_time`
+//! correctly, even when the instantaneous check already marked the packet.
+
+use crate::config::EcnSharpConfig;
+use ecnsharp_aqm::{mark_or_drop, Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState};
+use ecnsharp_sim::{Duration, SimTime};
+
+/// Why a packet was marked (exposed for the microscopic analyses of §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkReason {
+    /// Not marked.
+    None,
+    /// Sojourn time above `ins_target`.
+    Instantaneous,
+    /// Persistent-queue conservative marking.
+    Persistent,
+    /// Both conditions fired on the same packet.
+    Both,
+}
+
+/// Counters describing what the marker has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MarkStats {
+    /// Packets examined at dequeue.
+    pub packets: u64,
+    /// Marks caused by the instantaneous condition (alone or jointly).
+    pub ins_marks: u64,
+    /// Marks caused by the persistent condition (alone or jointly).
+    pub pst_marks: u64,
+    /// Persistent-congestion episodes entered.
+    pub episodes: u64,
+}
+
+/// The ECN♯ AQM (sojourn-time signals).
+#[derive(Debug, Clone)]
+pub struct EcnSharp {
+    cfg: EcnSharpConfig,
+    // ── Algorithm 1 state (Table 2) ────────────────────────────────────
+    /// `marking_state`: are we inside a conservative-marking episode?
+    marking_state: bool,
+    /// `marking_count`: marks issued in the current episode.
+    marking_count: u64,
+    /// `marking_next`: the next scheduled conservative mark.
+    marking_next: SimTime,
+    /// `first_above_time`: when the sojourn time first exceeded
+    /// `pst_target` (None encodes the algorithm's `0`).
+    first_above_time: Option<SimTime>,
+    stats: MarkStats,
+}
+
+impl EcnSharp {
+    /// Create from a configuration.
+    pub fn new(cfg: EcnSharpConfig) -> Self {
+        EcnSharp {
+            cfg,
+            marking_state: false,
+            marking_count: 0,
+            marking_next: SimTime::ZERO,
+            first_above_time: None,
+            stats: MarkStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> EcnSharpConfig {
+        self.cfg
+    }
+
+    /// Marking statistics so far.
+    pub fn stats(&self) -> MarkStats {
+        self.stats
+    }
+
+    /// Whether the conservative-marking episode is active (`marking_state`).
+    pub fn in_marking_state(&self) -> bool {
+        self.marking_state
+    }
+
+    /// Algorithm 1, `IsPersistentQueueBuildups`: has the sojourn time stayed
+    /// at or above `pst_target` for a full `pst_interval`?
+    fn is_persistent_queue_buildup(&mut self, now: SimTime, sojourn: Duration) -> bool {
+        if sojourn < self.cfg.pst_target {
+            // Queue expired: forget the episode start.
+            self.first_above_time = None;
+            return false;
+        }
+        match self.first_above_time {
+            None => {
+                self.first_above_time = Some(now);
+                false
+            }
+            Some(fat) => now > fat + self.cfg.pst_interval,
+        }
+    }
+
+    /// Algorithm 1, `ShouldPersistentMark`: run the conservative-marking
+    /// state machine for one dequeued packet and return its decision.
+    pub fn should_persistent_mark(&mut self, now: SimTime, sojourn: Duration) -> bool {
+        let detected = self.is_persistent_queue_buildup(now, sojourn);
+        if self.marking_state {
+            if !detected {
+                self.marking_state = false;
+                false
+            } else if now > self.marking_next {
+                // One more conservative mark; shrink the spacing so marking
+                // intensifies while the queue refuses to drain.
+                self.marking_count += 1;
+                self.marking_next +=
+                    self.cfg.pst_interval.div_f64((self.marking_count as f64).sqrt());
+                true
+            } else {
+                false
+            }
+        } else if detected {
+            self.marking_state = true;
+            self.marking_count = 1;
+            self.marking_next = now + self.cfg.pst_interval;
+            self.stats.episodes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Full per-packet decision: instantaneous OR persistent.
+    pub fn decide(&mut self, now: SimTime, sojourn: Duration) -> MarkReason {
+        self.stats.packets += 1;
+        let ins = sojourn > self.cfg.ins_target;
+        let pst = self.should_persistent_mark(now, sojourn);
+        if ins {
+            self.stats.ins_marks += 1;
+        }
+        if pst {
+            self.stats.pst_marks += 1;
+        }
+        match (ins, pst) {
+            (false, false) => MarkReason::None,
+            (true, false) => MarkReason::Instantaneous,
+            (false, true) => MarkReason::Persistent,
+            (true, true) => MarkReason::Both,
+        }
+    }
+}
+
+impl Aqm for EcnSharp {
+    fn name(&self) -> &'static str {
+        "ECN#"
+    }
+
+    fn on_enqueue(&mut self, _now: SimTime, _q: &QueueState, _pkt: &PacketView) -> EnqueueVerdict {
+        EnqueueVerdict::Admit
+    }
+
+    fn on_dequeue(&mut self, now: SimTime, _q: &QueueState, pkt: &PacketView) -> DequeueVerdict {
+        match self.decide(now, pkt.sojourn(now)) {
+            MarkReason::None => DequeueVerdict::Pass,
+            _ => mark_or_drop(pkt.ect),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn marker() -> EcnSharp {
+        EcnSharp::new(EcnSharpConfig::paper_testbed()) // ins 200, pst 85, int 200 (us)
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+    fn d(us: u64) -> Duration {
+        Duration::from_micros(us)
+    }
+
+    #[test]
+    fn instantaneous_marking_above_ins_target() {
+        let mut m = marker();
+        assert_eq!(m.decide(t(0), d(201)), MarkReason::Instantaneous);
+        assert_eq!(m.decide(t(1), d(200)), MarkReason::None, "not strictly above");
+    }
+
+    #[test]
+    fn no_persistent_mark_below_pst_target() {
+        let mut m = marker();
+        for i in 0..10_000 {
+            assert!(!m.should_persistent_mark(t(i), d(84)));
+        }
+        assert_eq!(m.stats().episodes, 0);
+    }
+
+    #[test]
+    fn persistent_detection_needs_full_interval() {
+        let mut m = marker();
+        // sojourn 100 (>= pst_target 85, < ins 200) starting at t=0
+        assert!(!m.should_persistent_mark(t(0), d(100))); // sets first_above_time
+        assert!(!m.should_persistent_mark(t(100), d(100)));
+        assert!(!m.should_persistent_mark(t(200), d(100)), "now == fat+interval is not >");
+        assert!(m.should_persistent_mark(t(201), d(100)), "first conservative mark");
+        assert!(m.in_marking_state());
+    }
+
+    #[test]
+    fn first_mark_schedules_next_interval_away() {
+        let mut m = marker();
+        m.should_persistent_mark(t(0), d(100));
+        assert!(m.should_persistent_mark(t(201), d(100)));
+        // Next mark strictly after marking_next = 201 + 200 = 401.
+        assert!(!m.should_persistent_mark(t(300), d(100)));
+        assert!(!m.should_persistent_mark(t(401), d(100)));
+        assert!(m.should_persistent_mark(t(402), d(100)));
+    }
+
+    #[test]
+    fn marking_interval_shrinks_with_sqrt_count() {
+        let mut m = marker();
+        m.should_persistent_mark(t(0), d(100));
+        let mut marks = vec![];
+        for us in 1..3_000u64 {
+            if m.should_persistent_mark(t(us), d(100)) {
+                marks.push(us);
+            }
+        }
+        assert!(marks.len() >= 4, "got {marks:?}");
+        // Expected schedule: 201, then +200/sqrt(2) ≈ 342 (marking_next
+        // 401+141=542? no: marking_next after first mark = 201+200 = 401;
+        // second mark at 402 with count=2 bumps marking_next by
+        // 200/sqrt(2)=141 → 542; third at 543 with count=3 bumps by
+        // 200/sqrt(3)=115 → 657...). Gaps must be non-increasing.
+        let gaps: Vec<u64> = marks.windows(2).map(|w| w[1] - w[0]).collect();
+        for pair in gaps.windows(2) {
+            // <= +1 tolerates microsecond rounding of the sqrt schedule.
+            assert!(pair[1] <= pair[0] + 1, "gaps should shrink: {gaps:?}");
+        }
+    }
+
+    #[test]
+    fn queue_expiry_exits_marking_state() {
+        let mut m = marker();
+        m.should_persistent_mark(t(0), d(100));
+        assert!(m.should_persistent_mark(t(201), d(100)));
+        assert!(m.in_marking_state());
+        // One packet below target ends the episode...
+        assert!(!m.should_persistent_mark(t(250), d(10)));
+        assert!(!m.in_marking_state());
+        // ...and detection must again take a full interval.
+        assert!(!m.should_persistent_mark(t(260), d(100)));
+        assert!(!m.should_persistent_mark(t(460), d(100)));
+        assert!(m.should_persistent_mark(t(461), d(100)));
+    }
+
+    #[test]
+    fn decide_combines_reasons() {
+        let mut m = marker();
+        // Drive into marking state with sojourn above both thresholds.
+        m.decide(t(0), d(300)); // Instantaneous (fat set)
+        let r = m.decide(t(201), d(300));
+        assert_eq!(r, MarkReason::Both);
+        let s = m.stats();
+        assert_eq!(s.ins_marks, 2);
+        assert_eq!(s.pst_marks, 1);
+        assert_eq!(s.episodes, 1);
+        assert_eq!(s.packets, 2);
+    }
+
+    #[test]
+    fn persistent_state_advances_even_when_ins_marks() {
+        // Instantaneous marking must not blind the persistent detector.
+        let mut m = marker();
+        for us in (0..=400).step_by(50) {
+            m.decide(t(us), d(500)); // all above ins_target
+        }
+        assert!(m.in_marking_state(), "episode must have been entered");
+    }
+
+    #[test]
+    fn aqm_trait_marks_ect_and_drops_nonect() {
+        use ecnsharp_aqm::{DequeueVerdict, QueueState};
+        use ecnsharp_sim::Rate;
+        let mut m = marker();
+        let q = QueueState {
+            backlog_bytes: 50_000,
+            backlog_pkts: 33,
+            capacity_bytes: 1_000_000,
+            drain_rate: Rate::from_gbps(10),
+        };
+        let mk = |enq_us: u64, ect: bool| PacketView {
+            bytes: 1500,
+            ect,
+            enqueued_at: t(enq_us),
+        };
+        // sojourn 300 us > ins_target
+        assert_eq!(m.on_dequeue(t(300), &q, &mk(0, true)), DequeueVerdict::Mark);
+        assert_eq!(m.on_dequeue(t(600), &q, &mk(300, false)), DequeueVerdict::Drop);
+    }
+
+    #[test]
+    fn stats_start_zeroed() {
+        let m = marker();
+        assert_eq!(m.stats(), MarkStats::default());
+    }
+
+    proptest! {
+        /// Invariant: with sojourn permanently below pst_target (and
+        /// ins_target), ECN# never marks anything.
+        #[test]
+        fn prop_never_marks_below_targets(
+            times in proptest::collection::vec(0u64..1_000_000, 1..500),
+        ) {
+            let mut m = marker();
+            let mut ts = times.clone();
+            ts.sort_unstable();
+            for us in ts {
+                prop_assert_eq!(m.decide(t(us), d(84)), MarkReason::None);
+            }
+        }
+
+        /// Invariant: marking_next is strictly increasing within an episode
+        /// (conservative marks never bunch up).
+        #[test]
+        fn prop_marks_spaced_out(step in 1u64..50) {
+            let mut m = marker();
+            let mut last_mark: Option<u64> = None;
+            let mut us = 0;
+            for _ in 0..5_000 {
+                us += step;
+                if m.should_persistent_mark(t(us), d(100)) {
+                    if let Some(prev) = last_mark {
+                        // Marks must be separated by at least one step and
+                        // the schedule is monotone.
+                        prop_assert!(us > prev);
+                    }
+                    last_mark = Some(us);
+                }
+            }
+            // With sojourn persistently above target, marking must happen.
+            prop_assert!(last_mark.is_some());
+        }
+
+        /// Invariant: the detector requires a full pst_interval of
+        /// continuously-high sojourn before the first mark of an episode.
+        #[test]
+        fn prop_first_mark_not_early(gap in 1u64..200) {
+            let mut m = marker();
+            let mut first_seen = None;
+            let mut us = 0;
+            for _ in 0..10_000 {
+                if m.should_persistent_mark(t(us), d(100)) {
+                    first_seen = Some(us);
+                    break;
+                }
+                us += gap;
+            }
+            if let Some(first) = first_seen {
+                // first_above_time was set at t=0; interval is 200 us.
+                prop_assert!(first > 200, "marked at {first}us with gap {gap}");
+            }
+        }
+
+        /// Determinism: identical inputs yield identical decision streams.
+        #[test]
+        fn prop_deterministic(
+            sojourns in proptest::collection::vec(0u64..400, 1..300),
+        ) {
+            let run = |sjs: &[u64]| {
+                let mut m = marker();
+                sjs.iter()
+                    .enumerate()
+                    .map(|(i, &s)| m.decide(t(i as u64 * 10), d(s)))
+                    .collect::<Vec<_>>()
+            };
+            prop_assert_eq!(run(&sojourns), run(&sojourns));
+        }
+    }
+}

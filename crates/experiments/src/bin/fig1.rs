@@ -1,0 +1,37 @@
+//! Regenerates Figure 1's box-plot data: the RTT distribution per
+//! processing-component combination (same data as Table 1, rendered as
+//! five-number summaries).
+use ecnsharp_sim::Rng;
+use ecnsharp_stats::{BoxStats, Table};
+use ecnsharp_workload::Table1Case;
+
+fn main() {
+    println!("Figure 1 — [Testbed] RTT variations (box-plot data; paper: up to 2.68x)");
+    println!();
+    let mut rng = Rng::seed_from_u64(0xF161);
+    let mut t = Table::new(&["case", "min_us", "q1_us", "median_us", "q3_us", "max_us", "paper_avg"]);
+    let mut means = Vec::new();
+    for case in Table1Case::all() {
+        let xs: Vec<f64> = (0..3_000)
+            .map(|_| case.sample_rtt(&mut rng).as_micros_f64())
+            .collect();
+        means.push(xs.iter().sum::<f64>() / xs.len() as f64);
+        let b = BoxStats::from_samples(&xs).expect("non-empty");
+        let (pm, _, _, _) = case.paper_row();
+        t.row(&[
+            case.label().to_string(),
+            format!("{:.1}", b.min),
+            format!("{:.1}", b.q1),
+            format!("{:.1}", b.median),
+            format!("{:.1}", b.q3),
+            format!("{:.1}", b.max),
+            format!("{pm:.1}"),
+        ]);
+    }
+    print!("{}", t.render());
+    let _ = t.write_csv(ecnsharp_experiments::results_dir().join("fig1.csv"));
+    println!(
+        "\nmean-RTT variation factor: {:.2}x (paper: 2.68x)",
+        means.last().unwrap() / means.first().unwrap()
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 10: queue-occupancy microscope around an incast
+//! burst, plus the §5.4 headline numbers (avg queue pkts, drops).
+fn main() {
+    let scale = ecnsharp_experiments::Scale::from_env();
+    println!("Figure 10 — [Simulations] queue occupancy (fanout burst at t=4s)");
+    println!("paper headlines: DCTCP-RED-Tail ~182 pkts avg, ECN# ~8 pkts (95.6% lower), CoDel drops ~125 pkts");
+    println!();
+    print!("{}", ecnsharp_experiments::figures::fig10(scale).render());
+}

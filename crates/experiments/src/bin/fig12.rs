@@ -1,0 +1,8 @@
+//! Regenerates Figure 12: ECN# parameter sensitivity.
+fn main() {
+    let scale = ecnsharp_experiments::Scale::from_env();
+    println!("Figure 12 — [Simulations] parameter sensitivity (pst_interval 100-250us, pst_target 6-18us)");
+    println!("paper headline: overall-FCT variation <1% (web search), <0.2% (data mining)");
+    println!();
+    print!("{}", ecnsharp_experiments::figures::fig12(scale).render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 13: ECN# under DWRR packet scheduling.
+fn main() {
+    let scale = ecnsharp_experiments::Scale::from_env();
+    println!("Figure 13 — [Simulations] DWRR (3 classes, weights 2:1:1): goodput staircase + short-probe FCT vs TCN");
+    println!("paper headlines: goodput ~9.6 -> 6.42/3.18 -> 4.82/2.40/2.40 Gbps; probe FCT 19.6% better than TCN");
+    println!();
+    print!("{}", ecnsharp_experiments::figures::fig13(scale).render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3: larger RTT variations enlarge the performance gap
+//! between avg-RTT and p90-RTT thresholds.
+fn main() {
+    let scale = ecnsharp_experiments::Scale::from_env();
+    println!("Figure 3 — [Testbed] performance loss vs RTT variation (2x..5x)");
+    println!("paper headlines: avg-threshold throughput loss 6.7%->29.8%; tail-threshold short-p99 penalty 41%->198%");
+    println!();
+    print!("{}", ecnsharp_experiments::figures::fig3(scale).render());
+}

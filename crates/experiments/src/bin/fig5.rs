@@ -1,0 +1,6 @@
+//! Regenerates Figure 5: the web-search and data-mining flow-size CDFs.
+fn main() {
+    println!("Figure 5 — flow size distributions (DCTCP web search, VL2 data mining)");
+    println!();
+    print!("{}", ecnsharp_experiments::figures::fig5().render());
+}

@@ -1,0 +1,6 @@
+//! Section-4 report: Tofino pipeline resources and Algorithm-2 fidelity.
+fn main() {
+    println!("Section 4 — Tofino implementation: resource usage & time-emulation fidelity");
+    println!();
+    print!("{}", ecnsharp_experiments::figures::tofino_report().render());
+}

@@ -1,0 +1,23 @@
+//! # ecnsharp-experiments
+//!
+//! The evaluation harness: everything needed to regenerate every table and
+//! figure of the paper, as library functions (used by the `fig*`/`table*`
+//! binaries, the Criterion benches, and the integration tests).
+//!
+//! See `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured outcomes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod runner;
+pub mod scenario;
+pub mod scheme;
+
+pub use runner::{parallel_map, results_dir, Scale};
+pub use scenario::{
+    run_dwrr, run_incast_micro, run_incast_micro_with, run_leaf_spine, run_testbed_star,
+    DwrrResult, FctScenario, IncastResult, IncastTimeline,
+};
+pub use scheme::{Scheme, SchemeParams};

@@ -1,0 +1,133 @@
+//! Sweep execution: run scenario points in parallel across OS threads
+//! (each simulation is single-threaded and deterministic; parallelism is
+//! across independent runs only, so results never depend on scheduling).
+
+use std::sync::Mutex;
+
+/// Experiment scale, switchable via `ECNSHARP_SCALE=quick|mid|full`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full fidelity: paper-like flow counts, multiple seeds per point.
+    Full,
+    /// Intermediate fidelity for slower machines: fewer flows/seeds and a
+    /// coarser load sweep, same mechanisms.
+    Mid,
+    /// Seconds-scale smoke runs for tests and benches.
+    Quick,
+}
+
+impl Scale {
+    /// Read from the `ECNSHARP_SCALE` environment variable (default full).
+    pub fn from_env() -> Scale {
+        match std::env::var("ECNSHARP_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            Ok("mid") => Scale::Mid,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Flows per FCT run.
+    pub fn flows(self) -> usize {
+        match self {
+            Scale::Full => 1_200,
+            Scale::Mid => 600,
+            Scale::Quick => 120,
+        }
+    }
+
+    /// Flows per FCT run for the heavy-tailed data-mining workload (whose
+    /// mean flow is ~8× larger).
+    pub fn flows_dm(self) -> usize {
+        match self {
+            Scale::Full => 400,
+            Scale::Mid => 200,
+            Scale::Quick => 60,
+        }
+    }
+
+    /// Seeds averaged per point (the paper averages three runs).
+    pub fn seeds(self) -> u64 {
+        match self {
+            Scale::Full => 2,
+            Scale::Mid | Scale::Quick => 1,
+        }
+    }
+
+    /// Load sweep for the testbed figures.
+    pub fn loads(self) -> Vec<f64> {
+        match self {
+            Scale::Full => (1..=9).map(|k| k as f64 / 10.0).collect(),
+            Scale::Mid => vec![0.2, 0.4, 0.6, 0.8],
+            Scale::Quick => vec![0.3, 0.7],
+        }
+    }
+}
+
+/// Map `f` over `items` using up to `available_parallelism` threads,
+/// preserving order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let work: Mutex<std::vec::IntoIter<(usize, T)>> =
+        Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = work.lock().unwrap().next();
+                let Some((idx, item)) = next else { break };
+                let r = f(&item);
+                results.lock().unwrap()[idx] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
+}
+
+/// Results directory (override with `ECNSHARP_RESULTS`).
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var("ECNSHARP_RESULTS")
+        .unwrap_or_else(|_| "results".into())
+        .into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let xs: Vec<u64> = (0..100).collect();
+        let ys = parallel_map(xs, |&x| x * x);
+        assert_eq!(ys, (0..100).map(|x| x * x).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let ys: Vec<u32> = parallel_map(Vec::<u32>::new(), |_| unreachable!());
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn scale_knobs() {
+        assert!(Scale::Full.flows() > Scale::Quick.flows());
+        assert!(Scale::Full.seeds() >= 1);
+        assert!(!Scale::Quick.loads().is_empty());
+    }
+}

@@ -1,0 +1,481 @@
+//! Scenario builders and runners for the paper's experiment shapes.
+
+use crate::scheme::{Scheme, SchemeParams};
+use ecnsharp_aqm::DropTail;
+use ecnsharp_net::topology::{leaf_spine, star, LeafSpine, Star};
+use ecnsharp_net::{FlowId, NodeId, PortConfig};
+use ecnsharp_sched::Dwrr;
+use ecnsharp_sim::{Duration, Rate, Rng, SimTime};
+use ecnsharp_stats::{FctBreakdown, QueueSummary};
+use ecnsharp_transport::{TcpConfig, TcpStack};
+use ecnsharp_workload::{IncastSpec, Pattern, PiecewiseCdf, RttVariation, TrafficSpec};
+
+/// Common knobs of an FCT experiment.
+#[derive(Debug, Clone)]
+pub struct FctScenario {
+    /// RNG seed (workload + network dice).
+    pub seed: u64,
+    /// Scheme installed on every switch egress port.
+    pub scheme: Scheme,
+    /// Link rate (10 Gbps everywhere in the paper).
+    pub rate: Rate,
+    /// Per-port buffer.
+    pub buffer: u64,
+    /// RTT-variation model; also determines link propagation delays (the
+    /// model's minimum is realized physically).
+    pub rtt: RttVariation,
+    /// Flow-size distribution.
+    pub cdf: PiecewiseCdf,
+    /// Target bottleneck load.
+    pub load: f64,
+    /// Flows to run.
+    pub n_flows: usize,
+}
+
+impl FctScenario {
+    /// The paper's testbed defaults (§5.2): 10 Gbps, 3× RTT variation,
+    /// web-search traffic, 1 MB port buffers.
+    pub fn testbed(scheme: Scheme, cdf: PiecewiseCdf, load: f64, n_flows: usize, seed: u64) -> Self {
+        FctScenario {
+            seed,
+            scheme,
+            rate: Rate::from_gbps(10),
+            buffer: 1_000_000,
+            rtt: RttVariation::paper_3x(),
+            cdf,
+            load,
+            n_flows,
+        }
+    }
+
+    fn params(&self) -> SchemeParams {
+        SchemeParams::derive(&self.rtt, self.rate)
+    }
+}
+
+/// Host NIC ports: deep FIFO, no AQM (the queueing under study happens at
+/// the switch).
+fn nic_port() -> PortConfig {
+    PortConfig::fifo(4_000_000, Box::new(DropTail::new()))
+}
+
+/// Endpoint transport used by every scenario. `ECNSHARP_DELACK` overrides
+/// the delayed-ACK count (calibration experiments).
+fn endpoint_tcp() -> TcpConfig {
+    let mut cfg = TcpConfig::dctcp();
+    if let Ok(v) = std::env::var("ECNSHARP_DELACK") {
+        if let Ok(n) = v.parse::<u32>() {
+            cfg.delack_count = n.max(1);
+        }
+    }
+    cfg
+}
+
+/// Run the 8-host testbed (7 senders → 1 receiver, §5.2). Returns the FCT
+/// breakdown plus the bottleneck port's drop/mark stats.
+pub fn run_testbed_star(sc: &FctScenario) -> (FctBreakdown, ecnsharp_net::PortStats) {
+    let n_hosts = 8;
+    let params = sc.params();
+    // The star realizes the minimum base RTT: host→switch→host traverses
+    // two links each way ⇒ 4 propagation legs per RTT.
+    let link_delay = Duration::from_nanos(sc.rtt.min().as_nanos() / 4);
+    let scheme = sc.scheme.clone();
+    let buffer = sc.buffer;
+    let mut topo: Star = star(
+        sc.seed,
+        n_hosts,
+        sc.rate,
+        link_delay,
+        |_| TcpStack::boxed(endpoint_tcp()),
+        nic_port,
+        || params.port(&scheme, buffer, 0xEC0),
+    );
+    let receiver = topo.hosts[n_hosts - 1];
+    let senders: Vec<NodeId> = topo.hosts[..n_hosts - 1].to_vec();
+    let spec = TrafficSpec {
+        cdf: sc.cdf.clone(),
+        load: sc.load,
+        bottleneck: sc.rate,
+        pattern: Pattern::ManyToOne {
+            senders,
+            receiver,
+        },
+        rtt: sc.rtt,
+        class: 0,
+        start: SimTime::ZERO,
+    };
+    let mut rng = Rng::seed_from_u64(sc.seed ^ 0x5EED);
+    for (at, cmd) in spec.generate(sc.n_flows, 1, &mut rng) {
+        topo.net.schedule_flow(at, cmd);
+    }
+    topo.net.run_until_idle();
+    let bport = topo
+        .net
+        .port_towards(topo.switch, receiver)
+        .expect("receiver port");
+    let stats = topo.net.port_stats(topo.switch, bport);
+    (FctBreakdown::from_records(topo.net.records()), stats)
+}
+
+/// Run the §5.3 leaf-spine fabric (all-to-all traffic, ECMP). Scaled by
+/// `hosts_per_leaf`/`n_leaves`/`n_spines` so tests can shrink it.
+pub fn run_leaf_spine(
+    sc: &FctScenario,
+    n_spines: usize,
+    n_leaves: usize,
+    hosts_per_leaf: usize,
+) -> FctBreakdown {
+    let params = sc.params();
+    // host→leaf→spine→leaf→host: 8 propagation legs per RTT.
+    let link_delay = Duration::from_nanos(sc.rtt.min().as_nanos() / 8);
+    let scheme = sc.scheme.clone();
+    let buffer = sc.buffer;
+    let mut topo: LeafSpine = leaf_spine(
+        sc.seed,
+        n_spines,
+        n_leaves,
+        hosts_per_leaf,
+        sc.rate,
+        sc.rate,
+        link_delay,
+        |_| TcpStack::boxed(endpoint_tcp()),
+        nic_port,
+        || params.port(&scheme, buffer, 0xEC1),
+    );
+    let spec = TrafficSpec {
+        cdf: sc.cdf.clone(),
+        load: sc.load,
+        bottleneck: sc.rate,
+        pattern: Pattern::AllToAll {
+            hosts: topo.hosts.clone(),
+        },
+        rtt: sc.rtt,
+        class: 0,
+        start: SimTime::ZERO,
+    };
+    // Load is per edge link; with all-to-all each host sources flows at
+    // `load` of its uplink, so the aggregate generator runs at
+    // n_hosts × the single-link rate.
+    let n_hosts = topo.hosts.len();
+    let mut rng = Rng::seed_from_u64(sc.seed ^ 0x1EAF);
+    let mean_gap = spec.mean_interarrival() / n_hosts as u64;
+    let mut t = SimTime::ZERO;
+    let mut flows = Vec::with_capacity(sc.n_flows);
+    for k in 0..sc.n_flows {
+        t += rng.exp_duration(mean_gap);
+        let mut cmds = spec.generate(1, 1 + k as u64, &mut rng);
+        let (_, mut cmd) = cmds.pop().expect("one");
+        cmd.flow = FlowId(1 + k as u64);
+        flows.push((t, cmd));
+    }
+    for (at, cmd) in flows {
+        topo.net.schedule_flow(at, cmd);
+    }
+    topo.net.run_until_idle();
+    FctBreakdown::from_records(topo.net.records())
+}
+
+/// Result of the §5.4 incast microscope.
+#[derive(Debug, Clone)]
+pub struct IncastResult {
+    /// Queue occupancy summary over the sampled window.
+    pub queue: QueueSummary,
+    /// The raw series `(t, bytes, pkts)` for plotting (Fig. 10).
+    pub series: Vec<(SimTime, u64, u64)>,
+    /// FCT breakdown of the query flows only (Fig. 11).
+    pub query_fct: FctBreakdown,
+    /// Total drops at the bottleneck during the run.
+    pub drops: u64,
+    /// Total timeouts suffered by query flows.
+    pub query_timeouts: u64,
+    /// Average standing queue (packets) in the 5 ms *before* the burst —
+    /// the level Fig. 10's flat segments show (paper: ~182 pkts for
+    /// RED-Tail vs ~8 for ECN#).
+    pub standing_pkts: f64,
+}
+
+/// When the microscope's events happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncastTimeline {
+    /// The paper's timeline: background from 3.0/3.5 s, burst at 4 s,
+    /// horizon 4.6 s (what Figs. 10–11 plot).
+    Paper,
+    /// Same structure compressed ~5×: background from 0.2/0.25 s, burst at
+    /// 0.5 s, horizon 1.0 s. The background flows still converge (hundreds
+    /// of RTTs) — used by tests and benches to stay fast.
+    Compressed,
+}
+
+impl IncastTimeline {
+    fn times(self) -> (u64, u64, u64, u64) {
+        // (long_start_ms, bg_start_ms, burst_ms, horizon_ms)
+        match self {
+            IncastTimeline::Paper => (3_000, 3_500, 4_000, 4_600),
+            IncastTimeline::Compressed => (200, 250, 500, 1_000),
+        }
+    }
+}
+
+/// The §5.4 microscope with the paper's timeline (see
+/// [`run_incast_micro_with`]).
+pub fn run_incast_micro(scheme: Scheme, fanout: usize, seed: u64) -> IncastResult {
+    run_incast_micro_with(scheme, fanout, seed, IncastTimeline::Paper)
+}
+
+/// The §5.4 microscope: 16 senders → 1 receiver, 2 long-lived small-RTT
+/// background flows plus data-mining short flows, and an `fanout`-wide
+/// query burst. The queue is sampled for 5 ms before and after the burst.
+pub fn run_incast_micro_with(
+    scheme: Scheme,
+    fanout: usize,
+    seed: u64,
+    timeline: IncastTimeline,
+) -> IncastResult {
+    let (long_ms, bg_ms, burst_ms, horizon_ms) = timeline.times();
+    let rate = Rate::from_gbps(10);
+    let rtt = RttVariation::sim_3x();
+    let params = SchemeParams::derive(&rtt, rate);
+    let buffer = 1_000_000;
+    let link_delay = Duration::from_nanos(rtt.min().as_nanos() / 4);
+    let mut topo: Star = star(
+        seed,
+        17,
+        rate,
+        link_delay,
+        |_| TcpStack::boxed(endpoint_tcp()),
+        nic_port,
+        || params.port(&scheme, buffer, 0xE5D),
+    );
+    let receiver = topo.hosts[16];
+    let senders: Vec<NodeId> = topo.hosts[..16].to_vec();
+    let bport = topo
+        .net
+        .port_towards(topo.switch, receiver)
+        .expect("receiver port");
+
+    // Two long-lived background flows with the minimum base RTT — the
+    // standing-queue builders the persistent detector must tame.
+    for (i, &s) in senders.iter().take(2).enumerate() {
+        topo.net.schedule_flow(
+            SimTime::from_millis(long_ms),
+            ecnsharp_net::FlowCmd {
+                flow: FlowId(900_000 + i as u64),
+                src: s,
+                dst: receiver,
+                // Effectively infinite: outlives the run horizon.
+                size: 4_000_000_000,
+                class: 0,
+                extra_delay: Duration::ZERO,
+            },
+        );
+    }
+    // Data-mining background at modest load in the surrounding second.
+    let spec = TrafficSpec {
+        cdf: ecnsharp_workload::dists::data_mining(),
+        load: 0.2,
+        bottleneck: rate,
+        pattern: Pattern::ManyToOne {
+            senders: senders.clone(),
+            receiver,
+        },
+        rtt,
+        class: 0,
+        start: SimTime::from_millis(bg_ms),
+    };
+    let mut rng = Rng::seed_from_u64(seed ^ 0xBAC6);
+    for (at, cmd) in spec.generate(60, 1, &mut rng) {
+        topo.net.schedule_flow(at, cmd);
+    }
+    // The query burst.
+    let burst_at = SimTime::from_millis(burst_ms);
+    let incast = IncastSpec::paper(senders, receiver, fanout, burst_at);
+    let first_query = 1_000_000u64;
+    for (at, cmd) in incast.generate(first_query, &mut rng) {
+        topo.net.schedule_flow(at, cmd);
+    }
+    // Fig. 10's 5 ms microscope window, plus a 5 ms pre-roll that shows
+    // the standing queue the schemes maintain before the burst.
+    topo.net.add_queue_monitor(
+        topo.switch,
+        bport,
+        Duration::from_micros(5),
+        burst_at - Duration::from_millis(5),
+        burst_at + Duration::from_millis(5),
+    );
+    topo.net.run_until(SimTime::from_millis(horizon_ms));
+    // Stop background cleanly: summarize what completed.
+    let records = topo.net.records().to_vec();
+    let query: Vec<_> = records
+        .iter()
+        .filter(|r| r.flow.0 >= first_query)
+        .cloned()
+        .collect();
+    assert!(
+        !query.is_empty(),
+        "no query flows finished — run window too small"
+    );
+    let monitor = &topo.net.monitors()[0];
+    let pre: Vec<f64> = monitor
+        .samples
+        .iter()
+        .filter(|&&(t, _, _)| t < burst_at)
+        .map(|&(_, _, p)| p as f64)
+        .collect();
+    let standing_pkts = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
+    IncastResult {
+        standing_pkts,
+        queue: QueueSummary::from_monitor(monitor),
+        series: monitor.samples.clone(),
+        query_fct: FctBreakdown::from_records(&query),
+        drops: topo.net.port_stats(topo.switch, bport).total_drops(),
+        query_timeouts: query.iter().map(|r| r.timeouts as u64).sum(),
+    }
+}
+
+/// Result of the DWRR scheduling experiment (§5.4, Fig. 13).
+#[derive(Debug, Clone)]
+pub struct DwrrResult {
+    /// Goodput (Gbps) per class sampled at `checkpoints` (per window).
+    pub goodput: Vec<[f64; 3]>,
+    /// Checkpoint times.
+    pub checkpoints: Vec<SimTime>,
+    /// Short-probe FCT breakdown.
+    pub probe_fct: FctBreakdown,
+}
+
+/// The Fig. 13 experiment: DWRR with weights 2:1:1 over three service
+/// classes; long-lived flows join classes 0/1/2 at 0 s/0.5 s/1.0 s; short
+/// probes (3–60 KB) sample latency across classes throughout.
+pub fn run_dwrr(scheme: Scheme, seed: u64) -> DwrrResult {
+    let rate = Rate::from_gbps(10);
+    let rtt = RttVariation::sim_3x();
+    let params = SchemeParams::derive(&rtt, rate);
+    let link_delay = Duration::from_nanos(rtt.min().as_nanos() / 4);
+    // 6 hosts: 3 long-flow senders, 2 probe senders, 1 receiver.
+    let scheme2 = scheme.clone();
+    let mut topo: Star = star(
+        seed,
+        6,
+        rate,
+        link_delay,
+        |_| TcpStack::boxed(endpoint_tcp()),
+        nic_port,
+        move || {
+            params
+                .port(&scheme2, 1_000_000, 0xD3)
+                .with_sched(Box::new(Dwrr::new(&[2, 1, 1], 1_538)))
+        },
+    );
+    let receiver = topo.hosts[5];
+    let bport = topo.net.port_towards(topo.switch, receiver).expect("port");
+
+    // Long-lived flows, one per class, staggered.
+    for (i, (&s, start_ms)) in topo.hosts[..3].iter().zip([0u64, 500, 1_000]).enumerate() {
+        topo.net.schedule_flow(
+            SimTime::from_millis(start_ms),
+            ecnsharp_net::FlowCmd {
+                flow: FlowId(500_000 + i as u64),
+                src: s,
+                dst: receiver,
+                size: 4_000_000_000,
+                class: i as u8,
+                extra_delay: Duration::ZERO,
+            },
+        );
+    }
+    // Short probes: uniform 3-60 KB, random class, Poisson-ish spacing.
+    let mut rng = Rng::seed_from_u64(seed ^ 0xD884);
+    let first_probe = 700_000u64;
+    let mut n_probes = 0;
+    let mut t = SimTime::from_millis(100);
+    while t < SimTime::from_millis(1_900) {
+        t += rng.exp_duration(Duration::from_millis(4));
+        let src = topo.hosts[3 + (n_probes % 2) as usize];
+        topo.net.schedule_flow(
+            t,
+            ecnsharp_net::FlowCmd {
+                flow: FlowId(first_probe + n_probes),
+                src,
+                dst: receiver,
+                size: rng.range_u64(3_000, 60_001),
+                class: (n_probes % 3) as u8,
+                extra_delay: rtt.sample(&mut rng).saturating_sub(rtt.min()),
+            },
+        );
+        n_probes += 1;
+    }
+
+    // Sample per-class goodput in 100 ms windows over [0, 2 s].
+    let mut checkpoints = Vec::new();
+    let mut goodput = Vec::new();
+    let mut prev = vec![0u64; 3];
+    for k in 1..=20u64 {
+        let t = SimTime::from_millis(k * 100);
+        topo.net.run_until(t);
+        let mut tx = topo.net.tx_payload_per_class(topo.switch, bport);
+        tx.resize(3, 0);
+        let window = 0.1;
+        let rates = [
+            (tx[0] - prev[0]) as f64 * 8.0 / window / 1e9,
+            (tx[1] - prev[1]) as f64 * 8.0 / window / 1e9,
+            (tx[2] - prev[2]) as f64 * 8.0 / window / 1e9,
+        ];
+        prev = tx;
+        checkpoints.push(t);
+        goodput.push(rates);
+    }
+    // Let the probes drain (long flows may still be running; stop at 3 s).
+    topo.net.run_until(SimTime::from_secs(3));
+    let probes: Vec<_> = topo
+        .net
+        .records()
+        .iter()
+        .filter(|r| (first_probe..first_probe + n_probes).contains(&r.flow.0))
+        .cloned()
+        .collect();
+    assert!(!probes.is_empty(), "no probes completed");
+    DwrrResult {
+        goodput,
+        checkpoints,
+        probe_fct: FctBreakdown::from_records(&probes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecnsharp_workload::dists;
+
+    #[test]
+    fn testbed_star_smoke() {
+        let sc = FctScenario::testbed(Scheme::EcnSharp(None), dists::web_search(), 0.5, 60, 1);
+        let (fct, stats) = run_testbed_star(&sc);
+        assert_eq!(fct.overall.count, 60);
+        assert!(stats.enqueued > 0);
+        assert!(fct.overall.avg > 0.0);
+    }
+
+    #[test]
+    fn leaf_spine_smoke() {
+        let sc = FctScenario::testbed(Scheme::DctcpRedTail, dists::web_search(), 0.3, 40, 2);
+        let fct = run_leaf_spine(&sc, 2, 2, 4);
+        assert_eq!(fct.overall.count, 40);
+    }
+
+    #[test]
+    fn incast_micro_smoke() {
+        let r = run_incast_micro_with(Scheme::EcnSharp(None), 20, 3, IncastTimeline::Compressed);
+        assert_eq!(r.query_fct.overall.count, 20);
+        assert!(r.queue.samples > 500);
+    }
+
+    #[test]
+    fn dwrr_smoke() {
+        let r = run_dwrr(Scheme::EcnSharp(None), 4);
+        assert_eq!(r.goodput.len(), 20);
+        // After 1.2 s all three classes are active: ratios near 2:1:1.
+        let late = r.goodput[14];
+        assert!(late[0] > late[1] * 1.4, "{late:?}");
+        assert!((late[1] / late[2] - 1.0).abs() < 0.4, "{late:?}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Host agents: the pluggable endpoint logic (a TCP stack, a traffic sink,
+//! a probe generator) that a [`crate::Network`] drives with packets, timers
+//! and flow commands.
+
+use crate::ids::{FlowId, NodeId};
+use crate::packet::Packet;
+use ecnsharp_sim::{Duration, SimTime};
+
+/// An instruction to a source host: "open a flow of `size` bytes to `dst`".
+#[derive(Debug, Clone)]
+pub struct FlowCmd {
+    /// Unique flow identifier.
+    pub flow: FlowId,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Application bytes to deliver.
+    pub size: u64,
+    /// Service class for multi-queue schedulers.
+    pub class: u8,
+    /// Extra one-way processing delay the *sender* adds to every packet of
+    /// this flow — the netem emulation of base-RTT variation (§2.3): the
+    /// flow's base RTT becomes network RTT + `extra_delay`.
+    pub extra_delay: Duration,
+}
+
+/// A completed flow, as recorded by the network.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// The flow.
+    pub flow: FlowId,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Application bytes.
+    pub size: u64,
+    /// When the source agent was told to start.
+    pub start: SimTime,
+    /// When the source agent reported completion (last byte acked).
+    pub finish: SimTime,
+    /// Service class.
+    pub class: u8,
+    /// Retransmission timeouts suffered (diagnostics for incast analyses).
+    pub timeouts: u32,
+}
+
+impl FlowRecord {
+    /// Flow completion time.
+    pub fn fct(&self) -> Duration {
+        self.finish.saturating_since(self.start)
+    }
+}
+
+/// Side effects an agent callback can request.
+#[derive(Debug)]
+pub enum Action {
+    /// Transmit a packet from this host's NIC, after an artificial
+    /// processing delay (the netem knob; [`Duration::ZERO`] for none).
+    Send(Packet, Duration),
+    /// Fire [`Agent::on_timer`] with `key` at absolute time `at`.
+    SetTimer(SimTime, u64),
+    /// Report a flow as complete (FCT bookkeeping) with a timeout count.
+    FlowDone(FlowId, u32),
+}
+
+/// Callback context handed to agents; collects requested actions.
+pub struct Ctx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The host this agent lives on.
+    pub node: NodeId,
+    pub(crate) actions: &'a mut Vec<Action>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Build a detached context collecting into `actions` — for unit tests
+    /// of agents outside a running [`crate::Network`].
+    pub fn detached(now: SimTime, node: NodeId, actions: &'a mut Vec<Action>) -> Ctx<'a> {
+        Ctx { now, node, actions }
+    }
+
+    /// Send `pkt` out of this host's NIC immediately.
+    pub fn send(&mut self, pkt: Packet) {
+        self.actions.push(Action::Send(pkt, Duration::ZERO));
+    }
+
+    /// Send `pkt` after an artificial processing delay (netem emulation).
+    pub fn send_delayed(&mut self, pkt: Packet, delay: Duration) {
+        self.actions.push(Action::Send(pkt, delay));
+    }
+
+    /// Request a timer callback `after` from now, tagged with `key`.
+    ///
+    /// Timers are not cancellable; agents implement cancellation by tagging
+    /// timers with epochs and ignoring stale ones (the idiomatic pattern in
+    /// event-driven stacks — no tombstone bookkeeping in the hot queue).
+    pub fn set_timer(&mut self, after: Duration, key: u64) {
+        self.actions.push(Action::SetTimer(self.now + after, key));
+    }
+
+    /// Report that `flow` has completed (sender-side, last byte acked).
+    pub fn flow_done(&mut self, flow: FlowId, timeouts: u32) {
+        self.actions.push(Action::FlowDone(flow, timeouts));
+    }
+}
+
+/// Endpoint logic attached to a host.
+pub trait Agent: Send {
+    /// A packet addressed to this host has arrived.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet);
+
+    /// A timer requested via [`Ctx::set_timer`] has fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: u64);
+
+    /// The workload driver wants this host to start sending a flow.
+    fn on_flow_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: FlowCmd);
+}
+
+/// A trivial agent that ignores everything — placeholder for pure-sink
+/// hosts and unit tests.
+#[derive(Debug, Default)]
+pub struct NullAgent;
+
+impl Agent for NullAgent {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _key: u64) {}
+    fn on_flow_cmd(&mut self, _ctx: &mut Ctx<'_>, _cmd: FlowCmd) {}
+}
+
+/// An agent that echoes every data packet back to its source as an ACK —
+/// handy for RTT probes and engine tests.
+#[derive(Debug, Default)]
+pub struct EchoAgent;
+
+impl Agent for EchoAgent {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        if !pkt.flags.ack {
+            let reply = Packet::ack(pkt.flow, pkt.dst, pkt.src, pkt.seq_end());
+            ctx.send(reply);
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _key: u64) {}
+    fn on_flow_cmd(&mut self, _ctx: &mut Ctx<'_>, _cmd: FlowCmd) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_collects_actions() {
+        let mut actions = Vec::new();
+        let mut ctx = Ctx {
+            now: SimTime::from_micros(5),
+            node: NodeId(0),
+            actions: &mut actions,
+        };
+        ctx.send(Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 100));
+        ctx.set_timer(Duration::from_micros(10), 7);
+        ctx.flow_done(FlowId(1), 0);
+        assert_eq!(actions.len(), 3);
+        match &actions[1] {
+            Action::SetTimer(at, key) => {
+                assert_eq!(*at, SimTime::from_micros(15));
+                assert_eq!(*key, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_agent_acks_data() {
+        let mut actions = Vec::new();
+        let mut ctx = Ctx {
+            now: SimTime::ZERO,
+            node: NodeId(1),
+            actions: &mut actions,
+        };
+        let mut agent = EchoAgent;
+        let data = Packet::data(FlowId(3), NodeId(0), NodeId(1), 100, 200);
+        agent.on_packet(&mut ctx, data);
+        match &actions[0] {
+            Action::Send(p, _) => {
+                assert!(p.flags.ack);
+                assert_eq!(p.ack, 300);
+                assert_eq!(p.dst, NodeId(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // ACKs are not echoed (no loops).
+        actions.clear();
+        let mut ctx = Ctx {
+            now: SimTime::ZERO,
+            node: NodeId(1),
+            actions: &mut actions,
+        };
+        agent.on_packet(&mut ctx, Packet::ack(FlowId(3), NodeId(0), NodeId(1), 5));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn flow_record_fct() {
+        let r = FlowRecord {
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 1000,
+            start: SimTime::from_micros(100),
+            finish: SimTime::from_micros(350),
+            class: 0,
+            timeouts: 0,
+        };
+        assert_eq!(r.fct(), Duration::from_micros(250));
+    }
+}

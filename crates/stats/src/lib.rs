@@ -1,0 +1,26 @@
+//! # ecnsharp-stats
+//!
+//! Metrics for the ECN♯ evaluation harness:
+//!
+//! - [`FctBreakdown`] — flow-completion-time summaries broken down exactly
+//!   like the paper's figures: overall, short `(0,100 KB]`, large
+//!   `[10 MB,∞)`; averages and 99th percentiles; multi-run averaging;
+//! - [`QueueSummary`] — queue-occupancy series statistics (Fig. 10);
+//! - [`Table`] — aligned text tables and CSV files for every report
+//!   binary;
+//! - percentile/mean helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fct;
+pub mod hist;
+pub mod percentile;
+pub mod series;
+pub mod table;
+
+pub use fct::{average_breakdowns, FctBreakdown, FctSummary, LARGE_MIN, SHORT_MAX};
+pub use hist::{ecdf_points, BoxStats, Histogram};
+pub use percentile::{mean, percentile, std_dev};
+pub use series::{monitor_csv, QueueSummary};
+pub use table::{ratio, us, Table};

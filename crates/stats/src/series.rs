@@ -1,0 +1,87 @@
+//! Queue-occupancy time-series statistics (for the Fig. 10 microscope).
+
+use ecnsharp_net::QueueMonitor;
+
+/// Summary of a queue-occupancy series, in packets.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueSummary {
+    /// Number of samples.
+    pub samples: usize,
+    /// Mean backlog in packets.
+    pub avg_pkts: f64,
+    /// Peak backlog in packets.
+    pub max_pkts: u64,
+    /// Mean backlog in bytes.
+    pub avg_bytes: f64,
+}
+
+impl QueueSummary {
+    /// Summarize a monitor's samples.
+    ///
+    /// # Panics
+    /// On an empty series.
+    pub fn from_monitor(m: &QueueMonitor) -> QueueSummary {
+        assert!(!m.samples.is_empty(), "monitor collected no samples");
+        let n = m.samples.len() as f64;
+        QueueSummary {
+            samples: m.samples.len(),
+            avg_pkts: m.samples.iter().map(|&(_, _, p)| p as f64).sum::<f64>() / n,
+            max_pkts: m.samples.iter().map(|&(_, _, p)| p).max().unwrap(),
+            avg_bytes: m.samples.iter().map(|&(_, b, _)| b as f64).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Dump a monitor's series as CSV rows (`time_s,bytes,pkts`).
+pub fn monitor_csv(m: &QueueMonitor) -> String {
+    let mut out = String::from("time_s,backlog_bytes,backlog_pkts\n");
+    for &(t, bytes, pkts) in &m.samples {
+        out.push_str(&format!("{:.9},{bytes},{pkts}\n", t.as_secs_f64()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecnsharp_net::NodeId;
+    use ecnsharp_sim::{Duration, SimTime};
+
+    fn monitor_with(samples: Vec<(SimTime, u64, u64)>) -> QueueMonitor {
+        QueueMonitor {
+            node: NodeId(0),
+            port: 0,
+            interval: Duration::from_micros(1),
+            until: SimTime::from_micros(10),
+            samples,
+        }
+    }
+
+    #[test]
+    fn summary_math() {
+        let m = monitor_with(vec![
+            (SimTime::from_micros(0), 1500, 1),
+            (SimTime::from_micros(1), 4500, 3),
+            (SimTime::from_micros(2), 3000, 2),
+        ]);
+        let s = QueueSummary::from_monitor(&m);
+        assert_eq!(s.samples, 3);
+        assert!((s.avg_pkts - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_pkts, 3);
+        assert!((s.avg_bytes - 3000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_format() {
+        let m = monitor_with(vec![(SimTime::from_micros(1), 1500, 1)]);
+        let csv = monitor_csv(&m);
+        assert!(csv.starts_with("time_s,"));
+        assert!(csv.contains("0.000001000,1500,1\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_series_panics() {
+        let _ = QueueSummary::from_monitor(&monitor_with(vec![]));
+    }
+}

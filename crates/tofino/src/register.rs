@@ -1,0 +1,177 @@
+//! Tofino register model with the hardware's central restriction: **one
+//! access per register per pipeline pass** (§4.2). Reading a register,
+//! comparing it and writing it back counts as that one access (a stateful
+//! ALU operation); touching the same register from two different tables in
+//! one pass is what made the naive control-flow translation of Fig. 4b
+//! uncompilable.
+//!
+//! The model is deliberately strict: a second access in the same pass
+//! panics, so any pipeline organization bug fails unit tests immediately
+//! instead of silently diverging from what hardware would do.
+
+use std::collections::HashSet;
+
+/// A named array of 32-bit registers (one slot per switch port in the
+/// paper's deployment) enforcing single-access-per-pass.
+pub struct RegisterArray {
+    name: &'static str,
+    slots: Vec<u32>,
+}
+
+/// A set of register arrays plus per-pass access tracking.
+pub struct RegisterFile {
+    arrays: Vec<RegisterArray>,
+    accessed_this_pass: HashSet<usize>,
+    passes: u64,
+}
+
+/// Handle to one array inside a [`RegisterFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegId(usize);
+
+impl RegisterFile {
+    /// Create an empty register file.
+    pub fn new() -> Self {
+        RegisterFile {
+            arrays: Vec::new(),
+            accessed_this_pass: HashSet::new(),
+            passes: 0,
+        }
+    }
+
+    /// Allocate an array of `slots` 32-bit registers.
+    pub fn alloc(&mut self, name: &'static str, slots: usize) -> RegId {
+        assert!(slots > 0);
+        self.arrays.push(RegisterArray {
+            name,
+            slots: vec![0; slots],
+        });
+        RegId(self.arrays.len() - 1)
+    }
+
+    /// Begin a new pipeline pass (a new packet): clears access marks.
+    pub fn begin_pass(&mut self) {
+        self.accessed_this_pass.clear();
+        self.passes += 1;
+    }
+
+    /// Perform this pass's single access to `reg[idx]`: the stateful-ALU
+    /// read-modify-write. `f` receives the current value and returns the
+    /// new value plus an output carried into packet metadata.
+    ///
+    /// # Panics
+    /// If `reg` was already accessed in this pass (the Tofino compile
+    /// error, §4.2), or `idx` is out of range.
+    pub fn access<T>(&mut self, reg: RegId, idx: usize, f: impl FnOnce(u32) -> (u32, T)) -> T {
+        assert!(
+            self.accessed_this_pass.insert(reg.0),
+            "register '{}' accessed twice in one pipeline pass — \
+             not compilable to Tofino",
+            self.arrays[reg.0].name
+        );
+        let slot = &mut self.arrays[reg.0].slots[idx];
+        let (new, out) = f(*slot);
+        *slot = new;
+        out
+    }
+
+    /// Read a register outside the pipeline (control-plane inspection;
+    /// does not count as an access).
+    pub fn peek(&self, reg: RegId, idx: usize) -> u32 {
+        self.arrays[reg.0].slots[idx]
+    }
+
+    /// Number of allocated 32-bit register arrays.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Total register memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.arrays.iter().map(|a| a.slots.len() * 4).sum()
+    }
+
+    /// Pipeline passes executed.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_access_allowed() {
+        let mut rf = RegisterFile::new();
+        let r = rf.alloc("first_above_time", 128);
+        rf.begin_pass();
+        let old = rf.access(r, 3, |v| (v + 7, v));
+        assert_eq!(old, 0);
+        assert_eq!(rf.peek(r, 3), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "accessed twice in one pipeline pass")]
+    fn double_access_panics() {
+        let mut rf = RegisterFile::new();
+        let r = rf.alloc("first_above_time", 1);
+        rf.begin_pass();
+        rf.access(r, 0, |v| (v, ()));
+        rf.access(r, 0, |v| (v, ())); // Fig. 4b's compile error
+    }
+
+    #[test]
+    fn new_pass_resets_access_marks() {
+        let mut rf = RegisterFile::new();
+        let r = rf.alloc("marking_state", 1);
+        for pass in 0..100u32 {
+            rf.begin_pass();
+            let prev = rf.access(r, 0, |v| (pass, v));
+            if pass > 0 {
+                assert_eq!(prev, pass - 1);
+            }
+        }
+        assert_eq!(rf.passes(), 100);
+    }
+
+    #[test]
+    fn different_registers_in_one_pass_ok() {
+        let mut rf = RegisterFile::new();
+        let a = rf.alloc("a", 1);
+        let b = rf.alloc("b", 1);
+        rf.begin_pass();
+        rf.access(a, 0, |v| (v + 1, ()));
+        rf.access(b, 0, |v| (v + 1, ()));
+        assert_eq!(rf.peek(a, 0), 1);
+        assert_eq!(rf.peek(b, 0), 1);
+    }
+
+    #[test]
+    fn resource_accounting() {
+        let mut rf = RegisterFile::new();
+        rf.alloc("a", 128);
+        rf.alloc("b", 128);
+        assert_eq!(rf.array_count(), 2);
+        assert_eq!(rf.memory_bytes(), 2 * 128 * 4);
+    }
+
+    #[test]
+    fn per_port_slots_independent() {
+        let mut rf = RegisterFile::new();
+        let r = rf.alloc("per_port", 4);
+        rf.begin_pass();
+        rf.access(r, 0, |_| (11, ()));
+        rf.begin_pass();
+        rf.access(r, 3, |_| (33, ()));
+        assert_eq!(rf.peek(r, 0), 11);
+        assert_eq!(rf.peek(r, 1), 0);
+        assert_eq!(rf.peek(r, 3), 33);
+    }
+}

@@ -1,0 +1,767 @@
+//! Per-flow connection state: the sending side (congestion control, loss
+//! recovery, RTO) and the receiving side (cumulative ACKs, out-of-order
+//! reassembly, the DCTCP CE-echo state machine).
+//!
+//! The model is byte-counted TCP without SACK: slow start, congestion
+//! avoidance, NewReno fast retransmit/recovery on three duplicate ACKs,
+//! go-back-N on RTO with exponential backoff, and ECN reactions per
+//! [`CcKind`]. This is the fidelity class of the ns-3 models the paper's
+//! simulations use.
+
+use crate::config::{CcKind, TcpConfig};
+use crate::rtt::RttEstimator;
+use ecnsharp_net::{Ctx, Ecn, FlowCmd, FlowId, NodeId, Packet};
+use ecnsharp_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Sender connection states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderState {
+    /// SYN sent, waiting for SYN-ACK.
+    SynSent,
+    /// Data transfer in progress.
+    Established,
+    /// All bytes acknowledged; flow reported complete.
+    Done,
+}
+
+/// The sending half of a flow.
+pub struct Sender {
+    /// Immutable flow parameters.
+    pub cmd: FlowCmd,
+    cfg: TcpConfig,
+    /// Connection state.
+    pub state: SenderState,
+    /// Lowest unacknowledged byte.
+    pub snd_una: u64,
+    /// Next byte to send.
+    pub snd_nxt: u64,
+    /// Congestion window in bytes.
+    pub cwnd: f64,
+    /// Slow-start threshold in bytes.
+    pub ssthresh: f64,
+    dupacks: u32,
+    /// NewReno recovery point: `Some(snd_nxt at loss)` while recovering.
+    recover: Option<u64>,
+    /// RTT/RTO estimation.
+    pub rtt: RttEstimator,
+    /// Monotonic epoch distinguishing live from stale RTO timers.
+    pub rto_epoch: u32,
+    backoff: u32,
+    /// Retransmission timeouts suffered.
+    pub timeouts: u32,
+    // ── DCTCP state ─────────────────────────────────────────────────────
+    /// EWMA of the marked-byte fraction.
+    pub alpha: f64,
+    acked_bytes: u64,
+    marked_bytes: u64,
+    /// When `snd_una` passes this, fold the counters into `alpha`.
+    alpha_seq: u64,
+    /// Congestion-window-reduced until `snd_una` passes this (one reaction
+    /// per window, both for DCTCP and ECN-TCP).
+    cwr_end: Option<u64>,
+}
+
+impl Sender {
+    /// Create a sender for `cmd` and emit its first packet (SYN).
+    pub fn start(cmd: FlowCmd, cfg: TcpConfig, ctx: &mut Ctx<'_>) -> Self {
+        let mut s = Sender {
+            state: SenderState::SynSent,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd: cfg.init_cwnd_bytes(),
+            ssthresh: cfg.max_cwnd as f64,
+            dupacks: 0,
+            recover: None,
+            rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.init_rto),
+            rto_epoch: 0,
+            backoff: 1,
+            timeouts: 0,
+            alpha: cfg.dctcp_init_alpha,
+            acked_bytes: 0,
+            marked_bytes: 0,
+            alpha_seq: 0,
+            cwr_end: None,
+            cmd,
+            cfg,
+        };
+        s.send_syn(ctx);
+        s.arm_rto(ctx);
+        s
+    }
+
+    fn mss(&self) -> u64 {
+        self.cfg.mss
+    }
+
+    fn send_syn(&mut self, ctx: &mut Ctx<'_>) {
+        let mut p = Packet::data(self.cmd.flow, self.cmd.src, self.cmd.dst, 0, 0);
+        p.flags.syn = true;
+        p.class = self.cmd.class;
+        p.ts = ctx.now;
+        ctx.send_delayed(p, self.cmd.extra_delay);
+    }
+
+    fn send_segment(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        let len = self.mss().min(self.cmd.size - seq);
+        debug_assert!(len > 0);
+        let mut p = Packet::data(self.cmd.flow, self.cmd.src, self.cmd.dst, seq, len);
+        p.class = self.cmd.class;
+        p.ts = ctx.now;
+        ctx.send_delayed(p, self.cmd.extra_delay);
+    }
+
+    /// Transmit whatever the window allows.
+    fn send_available(&mut self, ctx: &mut Ctx<'_>) {
+        let cwnd = (self.cwnd as u64).min(self.cfg.max_cwnd);
+        while self.snd_nxt < self.cmd.size {
+            let len = self.mss().min(self.cmd.size - self.snd_nxt);
+            let in_flight = self.snd_nxt - self.snd_una;
+            if in_flight + len > cwnd {
+                break;
+            }
+            let seq = self.snd_nxt;
+            self.send_segment(ctx, seq);
+            self.snd_nxt += len;
+        }
+    }
+
+    /// (Re-)arm the retransmission timer. Old timers are invalidated via
+    /// the epoch.
+    fn arm_rto(&mut self, ctx: &mut Ctx<'_>) {
+        self.rto_epoch = self.rto_epoch.wrapping_add(1);
+        let timeout = self.rtt.rto() * self.backoff as u64;
+        ctx.set_timer(timeout, timer_key(self.cmd.flow, TimerKind::Rto, self.rto_epoch));
+    }
+
+    /// Cancel the timer logically (any pending firing becomes stale).
+    fn disarm_rto(&mut self) {
+        self.rto_epoch = self.rto_epoch.wrapping_add(1);
+    }
+
+    /// Handle an incoming ACK / SYN-ACK for this flow.
+    pub fn on_ack(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
+        if self.state == SenderState::Done {
+            return;
+        }
+        if pkt.flags.syn {
+            // SYN-ACK: connection established.
+            if self.state == SenderState::SynSent {
+                self.state = SenderState::Established;
+                if pkt.ts != SimTime::ZERO {
+                    self.rtt.sample(ctx.now.saturating_since(pkt.ts));
+                }
+                self.backoff = 1;
+                if self.cmd.size == 0 {
+                    self.complete(ctx);
+                    return;
+                }
+                self.send_available(ctx);
+                self.arm_rto(ctx);
+            }
+            return;
+        }
+        if self.state != SenderState::Established {
+            return;
+        }
+
+        if pkt.ack > self.snd_una {
+            self.on_new_ack(ctx, pkt);
+        } else if pkt.ack == self.snd_una {
+            self.on_dup_ack(ctx, pkt);
+        }
+    }
+
+    fn on_new_ack(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
+        let acked = pkt.ack - self.snd_una;
+        self.snd_una = pkt.ack;
+        // A late ACK for data sent before an RTO's go-back-N rewind can
+        // overtake snd_nxt; sending resumes from the ACK point.
+        self.snd_nxt = self.snd_nxt.max(self.snd_una);
+        self.dupacks = 0;
+        self.backoff = 1;
+        if pkt.ts != SimTime::ZERO {
+            self.rtt.sample(ctx.now.saturating_since(pkt.ts));
+        }
+
+        // DCTCP bookkeeping: every acked byte counts; ECE-carrying ACKs
+        // contribute to the marked fraction.
+        self.acked_bytes += acked;
+        if pkt.flags.ece {
+            self.marked_bytes += acked;
+        }
+        if self.snd_una >= self.alpha_seq {
+            if let CcKind::Dctcp { g } = self.cfg.cc {
+                if self.acked_bytes > 0 {
+                    let frac = self.marked_bytes as f64 / self.acked_bytes as f64;
+                    self.alpha = (1.0 - g) * self.alpha + g * frac;
+                }
+            }
+            self.acked_bytes = 0;
+            self.marked_bytes = 0;
+            self.alpha_seq = self.snd_nxt.max(self.snd_una + 1);
+        }
+
+        match self.recover {
+            Some(recover) if self.snd_una < recover => {
+                // Partial ACK inside recovery: the next hole is lost too.
+                let seq = self.snd_una;
+                self.send_segment(ctx, seq);
+                self.arm_rto(ctx);
+            }
+            Some(_) => {
+                // Recovery complete.
+                self.recover = None;
+                self.cwnd = self.ssthresh;
+            }
+            None => {
+                // Normal growth.
+                if self.cwnd < self.ssthresh {
+                    // Slow start: one MSS per ACK (bounded by acked bytes).
+                    self.cwnd += acked.min(self.mss()) as f64;
+                } else {
+                    // Congestion avoidance: ~one MSS per RTT.
+                    self.cwnd += (self.mss() * self.mss()) as f64 / self.cwnd * (acked as f64 / self.mss() as f64).min(1.0);
+                }
+                self.cwnd = self.cwnd.min(self.cfg.max_cwnd as f64);
+            }
+        }
+
+        // ECN reaction, at most once per window, never during loss
+        // recovery (loss already cut the window).
+        if pkt.flags.ece && self.recover.is_none() {
+            let past_cwr = self.cwr_end.is_none_or(|e| self.snd_una >= e);
+            if past_cwr {
+                let factor = match self.cfg.cc {
+                    CcKind::Dctcp { .. } => 1.0 - self.alpha / 2.0,
+                    CcKind::EcnTcp => 0.5,
+                    CcKind::Reno => 1.0,
+                };
+                if factor < 1.0 {
+                    self.cwnd = (self.cwnd * factor).max((2 * self.mss()) as f64);
+                    self.ssthresh = self.cwnd;
+                    self.cwr_end = Some(self.snd_nxt);
+                }
+            }
+        }
+
+        if self.snd_una >= self.cmd.size {
+            self.complete(ctx);
+            return;
+        }
+        self.send_available(ctx);
+        self.arm_rto(ctx);
+    }
+
+    fn on_dup_ack(&mut self, ctx: &mut Ctx<'_>, _pkt: &Packet) {
+        self.dupacks += 1;
+        if self.recover.is_some() {
+            // NewReno window inflation keeps the pipe full in recovery.
+            self.cwnd += self.mss() as f64;
+            self.send_available(ctx);
+            return;
+        }
+        if self.dupacks == 3 {
+            // Fast retransmit.
+            let flight = (self.snd_nxt - self.snd_una) as f64;
+            self.ssthresh = (flight / 2.0).max((2 * self.mss()) as f64);
+            self.cwnd = self.ssthresh + (3 * self.mss()) as f64;
+            self.recover = Some(self.snd_nxt);
+            let seq = self.snd_una;
+            self.send_segment(ctx, seq);
+            self.arm_rto(ctx);
+        }
+    }
+
+    /// RTO fired (stack verified the epoch matches).
+    pub fn on_rto(&mut self, ctx: &mut Ctx<'_>) {
+        match self.state {
+            SenderState::Done => {}
+            SenderState::SynSent => {
+                self.timeouts += 1;
+                self.backoff = (self.backoff * 2).min(64);
+                self.send_syn(ctx);
+                self.arm_rto(ctx);
+            }
+            SenderState::Established => {
+                if self.snd_una >= self.cmd.size {
+                    return;
+                }
+                self.timeouts += 1;
+                // Classic RTO reaction: collapse to one segment, go-back-N.
+                self.ssthresh = ((self.snd_nxt - self.snd_una) as f64 / 2.0)
+                    .max((2 * self.mss()) as f64);
+                self.cwnd = self.mss() as f64;
+                self.snd_nxt = self.snd_una;
+                self.dupacks = 0;
+                self.recover = None;
+                self.cwr_end = None;
+                self.backoff = (self.backoff * 2).min(64);
+                self.send_available(ctx);
+                self.arm_rto(ctx);
+            }
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = SenderState::Done;
+        self.disarm_rto();
+        ctx.flow_done(self.cmd.flow, self.timeouts);
+    }
+}
+
+/// The receiving half of a flow.
+pub struct Receiver {
+    flow: FlowId,
+    /// This host.
+    me: NodeId,
+    /// The sender to ACK back to.
+    peer: NodeId,
+    class: u8,
+    cfg: TcpConfig,
+    /// Next expected in-order byte.
+    pub rcv_nxt: u64,
+    /// Out-of-order segments: start → end (exclusive).
+    ooo: BTreeMap<u64, u64>,
+    // ── DCTCP CE-echo state machine (DCTCP paper §3.2) ──────────────────
+    /// Last CE state observed.
+    ce_state: bool,
+    /// Data segments received since the last ACK.
+    pending: u32,
+    /// Epoch for the delayed-ACK timer.
+    pub delack_epoch: u32,
+    /// Timestamp to echo on the next ACK.
+    echo_ts: SimTime,
+}
+
+impl Receiver {
+    /// Create receiver state upon the first packet of a flow.
+    pub fn new(flow: FlowId, me: NodeId, peer: NodeId, class: u8, cfg: TcpConfig) -> Self {
+        Receiver {
+            flow,
+            me,
+            peer,
+            class,
+            cfg,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            ce_state: false,
+            pending: 0,
+            delack_epoch: 0,
+            echo_ts: SimTime::ZERO,
+        }
+    }
+
+    fn send_ack(&mut self, ctx: &mut Ctx<'_>, ece: bool) {
+        let mut a = Packet::ack(self.flow, self.me, self.peer, self.rcv_nxt);
+        a.flags.ece = ece;
+        a.class = self.class;
+        a.ts = self.echo_ts;
+        // Pure ACKs are not ECT (standard practice; they are tiny and
+        // marking them would signal the wrong direction).
+        a.ecn = Ecn::NotEct;
+        ctx.send(a);
+        self.pending = 0;
+        self.delack_epoch = self.delack_epoch.wrapping_add(1);
+    }
+
+    /// Handle an arriving SYN or data packet.
+    pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
+        if pkt.flags.syn {
+            let mut sa = Packet::ack(self.flow, self.me, self.peer, 0);
+            sa.flags.syn = true;
+            sa.ts = pkt.ts;
+            sa.class = self.class;
+            sa.ecn = Ecn::NotEct;
+            ctx.send(sa);
+            return;
+        }
+        if pkt.payload == 0 {
+            return;
+        }
+
+        // Reassembly.
+        let (start, end) = (pkt.seq, pkt.seq + pkt.payload);
+        let duplicate = end <= self.rcv_nxt;
+        if !duplicate {
+            if start <= self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.max(end);
+                // Drain any now-contiguous buffered segments.
+                while let Some((&s, &e)) = self.ooo.first_key_value() {
+                    if s > self.rcv_nxt {
+                        break;
+                    }
+                    self.rcv_nxt = self.rcv_nxt.max(e);
+                    self.ooo.remove(&s);
+                }
+            } else {
+                // Buffer out-of-order segment (coarse: keyed by start).
+                let entry = self.ooo.entry(start).or_insert(end);
+                *entry = (*entry).max(end);
+            }
+        }
+
+        self.echo_ts = pkt.ts;
+        let ce = pkt.ecn.is_ce();
+        self.pending += 1;
+
+        // DCTCP CE-echo: on a CE-state flip, immediately ACK what is
+        // pending with the *old* state so the sender's marked-byte
+        // accounting stays exact, then continue with the new state.
+        if ce != self.ce_state && self.pending > 1 {
+            let old = self.ce_state;
+            self.pending -= 1; // the current packet is acked by the next ACK
+            self.send_ack(ctx, old);
+            self.pending = 1;
+        }
+        self.ce_state = ce;
+
+        // Out-of-order or duplicate data ⇒ immediate (dup-)ACK to drive
+        // fast retransmit; in-order data follows the delayed-ACK policy.
+        let out_of_order = duplicate || start > self.rcv_nxt || !self.ooo.is_empty();
+        if out_of_order || self.pending >= self.cfg.delack_count {
+            self.send_ack(ctx, ce);
+        } else {
+            // Arm the delayed-ACK timer.
+            self.delack_epoch = self.delack_epoch.wrapping_add(1);
+            ctx.set_timer(
+                self.cfg.delack_timeout,
+                timer_key(self.flow, TimerKind::DelAck, self.delack_epoch),
+            );
+        }
+    }
+
+    /// Delayed-ACK timer fired (stack verified the epoch).
+    pub fn on_delack_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pending > 0 {
+            let ce = self.ce_state;
+            self.send_ack(ctx, ce);
+        }
+    }
+}
+
+/// Timer namespaces multiplexed into the agent's single `u64` key space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Sender retransmission timeout.
+    Rto,
+    /// Receiver delayed ACK.
+    DelAck,
+}
+
+/// Pack `(flow, kind, epoch)` into a timer key. Flow ids must fit 31 bits.
+pub fn timer_key(flow: FlowId, kind: TimerKind, epoch: u32) -> u64 {
+    debug_assert!(flow.0 < (1 << 31), "flow id too large for timer key");
+    let kind_bit = match kind {
+        TimerKind::Rto => 0u64,
+        TimerKind::DelAck => 1u64,
+    };
+    (kind_bit << 63) | (flow.0 << 32) | epoch as u64
+}
+
+/// Unpack a timer key.
+pub fn parse_timer_key(key: u64) -> (FlowId, TimerKind, u32) {
+    let kind = if key >> 63 == 0 {
+        TimerKind::Rto
+    } else {
+        TimerKind::DelAck
+    };
+    let flow = FlowId((key >> 32) & 0x7FFF_FFFF);
+    (flow, kind, key as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecnsharp_net::Ctx;
+    use ecnsharp_sim::Duration;
+
+    #[test]
+    fn timer_key_roundtrip() {
+        for (flow, kind, epoch) in [
+            (FlowId(0), TimerKind::Rto, 0u32),
+            (FlowId(12345), TimerKind::DelAck, 77),
+            (FlowId((1 << 31) - 1), TimerKind::Rto, u32::MAX),
+        ] {
+            let k = timer_key(flow, kind, epoch);
+            assert_eq!(parse_timer_key(k), (flow, kind, epoch));
+        }
+    }
+
+    // ── Sender state-machine unit tests (detached contexts) ────────────
+
+    fn sender_cmd(size: u64) -> FlowCmd {
+        FlowCmd {
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size,
+            class: 0,
+            extra_delay: Duration::ZERO,
+        }
+    }
+
+    /// Collect the data packets a callback caused the sender to emit.
+    fn sent(actions: &mut Vec<ecnsharp_net::Action>) -> Vec<Packet> {
+        actions
+            .drain(..)
+            .filter_map(|a| match a {
+                ecnsharp_net::Action::Send(p, _) => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drive a sender to Established and return it (SYN-ACK consumed).
+    fn established(size: u64) -> (Sender, Vec<Packet>) {
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_micros(0), NodeId(0), &mut actions);
+        let mut s = Sender::start(sender_cmd(size), TcpConfig::dctcp(), &mut ctx);
+        let syn = sent(&mut actions);
+        assert_eq!(syn.len(), 1);
+        assert!(syn[0].flags.syn);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_micros(100), NodeId(0), &mut actions);
+        let mut synack = Packet::ack(FlowId(1), NodeId(1), NodeId(0), 0);
+        synack.flags.syn = true;
+        synack.ts = SimTime::from_micros(0);
+        s.on_ack(&mut ctx, &synack);
+        let first_window = sent(&mut actions);
+        (s, first_window)
+    }
+
+    /// Build an ACK for the sender with optional ECE.
+    fn ack_pkt(ack: u64, ece: bool, ts_us: u64) -> Packet {
+        let mut a = Packet::ack(FlowId(1), NodeId(1), NodeId(0), ack);
+        a.flags.ece = ece;
+        a.ts = SimTime::from_micros(ts_us);
+        a
+    }
+
+    #[test]
+    fn initial_window_is_three_segments() {
+        let (s, w) = established(1_000_000);
+        assert_eq!(w.len(), 3, "IW=3");
+        assert_eq!(w[0].seq, 0);
+        assert_eq!(w[1].seq, 1460);
+        assert_eq!(w[2].seq, 2920);
+        assert_eq!(s.snd_nxt, 4380);
+        assert_eq!(s.state, SenderState::Established);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let (mut s, _) = established(10_000_000);
+        let cwnd0 = s.cwnd;
+        // Ack the three IW segments: slow start adds 1 MSS per ACK.
+        for (i, ack) in [1460u64, 2920, 4380].into_iter().enumerate() {
+            let mut actions = Vec::new();
+            let mut ctx =
+                Ctx::detached(SimTime::from_micros(200 + i as u64), NodeId(0), &mut actions);
+            s.on_ack(&mut ctx, &ack_pkt(ack, false, 100));
+        }
+        assert!((s.cwnd - (cwnd0 + 3.0 * 1460.0)).abs() < 1.0, "cwnd {}", s.cwnd);
+    }
+
+    #[test]
+    fn dctcp_alpha_decays_without_marks_and_rises_with() {
+        let (mut s, _) = established(100_000_000);
+        assert_eq!(s.alpha, 1.0, "Linux-style init");
+        // Several clean windows: alpha decays by (1-g) per window.
+        let mut ack = 0u64;
+        for k in 0..50u64 {
+            ack += 1460;
+            let mut actions = Vec::new();
+            let mut ctx = Ctx::detached(SimTime::from_micros(300 + k), NodeId(0), &mut actions);
+            s.on_ack(&mut ctx, &ack_pkt(ack, false, 200));
+        }
+        assert!(s.alpha < 0.8, "alpha should decay, got {}", s.alpha);
+        let low = s.alpha;
+        // Now every ACK carries ECE: alpha climbs towards 1.
+        for k in 0..300u64 {
+            ack += 1460;
+            let mut actions = Vec::new();
+            let mut ctx =
+                Ctx::detached(SimTime::from_micros(1_000 + k), NodeId(0), &mut actions);
+            s.on_ack(&mut ctx, &ack_pkt(ack, true, 900));
+        }
+        assert!(s.alpha > low, "alpha should rise, got {}", s.alpha);
+        assert!(s.alpha > 0.5, "alpha {}", s.alpha);
+    }
+
+    #[test]
+    fn ece_cuts_once_per_window() {
+        let (mut s, _) = established(100_000_000);
+        // Grow a bit first.
+        let mut ack = 0u64;
+        for k in 0..20u64 {
+            ack += 1460;
+            let mut actions = Vec::new();
+            let mut ctx = Ctx::detached(SimTime::from_micros(300 + k), NodeId(0), &mut actions);
+            s.on_ack(&mut ctx, &ack_pkt(ack, false, 200));
+        }
+        let before = s.cwnd;
+        // Two consecutive ECE ACKs within one window: only one cut.
+        ack += 1460;
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_micros(400), NodeId(0), &mut actions);
+        s.on_ack(&mut ctx, &ack_pkt(ack, true, 300));
+        let after_first = s.cwnd;
+        assert!(after_first < before, "first ECE must cut");
+        ack += 1460;
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_micros(401), NodeId(0), &mut actions);
+        s.on_ack(&mut ctx, &ack_pkt(ack, true, 300));
+        // Second cut suppressed (CWR window), modulo normal growth.
+        assert!(s.cwnd >= after_first, "second ECE in window must not cut");
+    }
+
+    #[test]
+    fn three_dupacks_trigger_fast_retransmit() {
+        let (mut s, _) = established(10_000_000);
+        // Ack first segment so snd_una = 1460 and more data flies.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_micros(300), NodeId(0), &mut actions);
+        s.on_ack(&mut ctx, &ack_pkt(1460, false, 200));
+        sent(&mut actions);
+        // Three duplicate ACKs at 1460.
+        for k in 0..3 {
+            let mut actions = Vec::new();
+            let mut ctx =
+                Ctx::detached(SimTime::from_micros(310 + k), NodeId(0), &mut actions);
+            s.on_ack(&mut ctx, &ack_pkt(1460, false, 0));
+            let out = sent(&mut actions);
+            if k < 2 {
+                assert!(out.is_empty(), "no retransmit before 3rd dupack");
+            } else {
+                assert_eq!(out.len(), 1, "fast retransmit on 3rd dupack");
+                assert_eq!(out[0].seq, 1460, "retransmits the hole");
+            }
+        }
+    }
+
+    #[test]
+    fn rto_rewinds_and_collapses_window() {
+        let (mut s, _) = established(10_000_000);
+        let nxt_before = s.snd_nxt;
+        assert!(nxt_before > 0);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_millis(50), NodeId(0), &mut actions);
+        s.on_rto(&mut ctx);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.cwnd, 1460.0, "cwnd collapses to one segment");
+        let out = sent(&mut actions);
+        assert_eq!(out.len(), 1, "go-back-N resends from snd_una");
+        assert_eq!(out[0].seq, 0);
+    }
+
+    #[test]
+    fn completion_reports_flow_done() {
+        let (mut s, _) = established(1_460);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_micros(500), NodeId(0), &mut actions);
+        s.on_ack(&mut ctx, &ack_pkt(1460, false, 200));
+        assert_eq!(s.state, SenderState::Done);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ecnsharp_net::Action::FlowDone(f, 0) if *f == FlowId(1)
+        )));
+        // Further ACKs are ignored harmlessly.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_micros(600), NodeId(0), &mut actions);
+        s.on_ack(&mut ctx, &ack_pkt(1460, false, 0));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn late_ack_after_rto_rewind_is_safe() {
+        // Regression test: an ACK beyond snd_nxt after go-back-N must not
+        // underflow the in-flight computation.
+        let (mut s, _) = established(10_000_000);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_millis(50), NodeId(0), &mut actions);
+        s.on_rto(&mut ctx); // snd_nxt rewound to snd_una = 0
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_millis(51), NodeId(0), &mut actions);
+        // Old in-flight data gets acked beyond the rewound snd_nxt.
+        s.on_ack(&mut ctx, &ack_pkt(2920, false, 0));
+        assert!(s.snd_nxt >= s.snd_una);
+        let out = sent(&mut actions);
+        assert!(!out.is_empty(), "transmission resumes from the ACK point");
+    }
+
+    // Receiver-side unit tests.
+
+    #[test]
+    fn receiver_reassembles_out_of_order() {
+        let cfg = TcpConfig::default();
+        let mut r = Receiver::new(FlowId(1), NodeId(1), NodeId(0), 0, cfg);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(1), &mut actions);
+        // Segment [1460, 2920) arrives first.
+        let p2 = Packet::data(FlowId(1), NodeId(0), NodeId(1), 1460, 1460);
+        r.on_packet(&mut ctx, &p2);
+        assert_eq!(r.rcv_nxt, 0);
+        // Hole filled: rcv_nxt jumps over the buffered segment.
+        let p1 = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 1460);
+        r.on_packet(&mut ctx, &p1);
+        assert_eq!(r.rcv_nxt, 2920);
+    }
+
+    #[test]
+    fn receiver_acks_syn_with_synack() {
+        let cfg = TcpConfig::default();
+        let mut r = Receiver::new(FlowId(1), NodeId(1), NodeId(0), 0, cfg);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_micros(9), NodeId(1), &mut actions);
+        let mut syn = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 0);
+        syn.flags.syn = true;
+        syn.ts = SimTime::from_micros(3);
+        r.on_packet(&mut ctx, &syn);
+        match &actions[0] {
+            ecnsharp_net::Action::Send(p, _) => {
+                assert!(p.flags.syn && p.flags.ack);
+                assert_eq!(p.ts, SimTime::from_micros(3), "ts echoed");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn receiver_echoes_ce_per_packet() {
+        let cfg = TcpConfig::default(); // delack_count = 1: per-packet ACKs
+        let mut r = Receiver::new(FlowId(1), NodeId(1), NodeId(0), 0, cfg);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(1), &mut actions);
+        let mut p = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 1460);
+        p.ecn = Ecn::Ce;
+        r.on_packet(&mut ctx, &p);
+        let mut p2 = Packet::data(FlowId(1), NodeId(0), NodeId(1), 1460, 1460);
+        p2.ecn = Ecn::Ect;
+        r.on_packet(&mut ctx, &p2);
+        let eces: Vec<bool> = actions
+            .iter()
+            .map(|a| match a {
+                ecnsharp_net::Action::Send(p, _) => p.flags.ece,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(eces, vec![true, false]);
+    }
+
+    #[test]
+    fn duplicate_data_triggers_dup_ack() {
+        let cfg = TcpConfig::default();
+        let mut r = Receiver::new(FlowId(1), NodeId(1), NodeId(0), 0, cfg);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(1), &mut actions);
+        let p = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 1460);
+        r.on_packet(&mut ctx, &p);
+        r.on_packet(&mut ctx, &p); // duplicate
+        assert_eq!(actions.len(), 2);
+        match &actions[1] {
+            ecnsharp_net::Action::Send(a, _) => assert_eq!(a.ack, 1460),
+            _ => panic!(),
+        }
+    }
+}

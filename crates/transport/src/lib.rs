@@ -1,0 +1,54 @@
+//! # ecnsharp-transport
+//!
+//! Endpoint transport for the ECN♯ reproduction: a byte-counted TCP with
+//! pluggable ECN congestion control, packaged as an
+//! [`ecnsharp_net::Agent`].
+//!
+//! - **DCTCP** ([`CcKind::Dctcp`]) — the evaluation default (paper §5.1):
+//!   the receiver echoes CE per packet (with the DCTCP delayed-ACK state
+//!   machine when ACK coalescing is on), the sender maintains
+//!   `α ← (1−g)·α + g·F` per window and cuts `cwnd ← cwnd·(1 − α/2)`.
+//! - **ECN-TCP** ([`CcKind::EcnTcp`]) — classic RFC 3168 behaviour: halve
+//!   once per window on ECE (λ = 1).
+//! - **Reno** ([`CcKind::Reno`]) — loss-only control.
+//!
+//! Loss recovery is NewReno (3 dup-ACKs → fast retransmit, partial-ACK
+//! retransmissions), with go-back-N and exponential backoff on RTO. The
+//! RTO floor defaults to 5 ms — the datacenter setting that makes each
+//! incast timeout cost "more than 1 ms" of FCT as the paper observes.
+//!
+//! ```
+//! use ecnsharp_transport::{TcpStack, TcpConfig};
+//! use ecnsharp_net::{topology::dumbbell, PortConfig, FlowCmd, FlowId};
+//! use ecnsharp_aqm::DctcpRed;
+//! use ecnsharp_sim::{Rate, Duration, SimTime};
+//!
+//! let plain = || PortConfig::fifo(1_000_000, Box::new(ecnsharp_aqm::DropTail::new()));
+//! let mut d = dumbbell(
+//!     1, Rate::from_gbps(40), Rate::from_gbps(10), Duration::from_micros(5),
+//!     TcpStack::boxed(TcpConfig::dctcp()),
+//!     TcpStack::boxed(TcpConfig::dctcp()),
+//!     plain,
+//!     PortConfig::fifo(1_000_000, Box::new(DctcpRed::with_threshold(65_000))),
+//! );
+//! let (a, b) = (d.a, d.b);
+//! d.net.schedule_flow(SimTime::ZERO, FlowCmd {
+//!     flow: FlowId(1), src: a, dst: b, size: 1_000_000, class: 0,
+//!     extra_delay: Duration::ZERO,
+//! });
+//! d.net.run_until_idle();
+//! assert_eq!(d.net.records().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod conn;
+pub mod rtt;
+pub mod stack;
+
+pub use config::{CcKind, TcpConfig};
+pub use conn::{Receiver, Sender, SenderState};
+pub use rtt::RttEstimator;
+pub use stack::TcpStack;

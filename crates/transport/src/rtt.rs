@@ -1,0 +1,146 @@
+//! RTT estimation and retransmission-timeout computation (RFC 6298, with a
+//! datacenter-scale minimum RTO).
+
+use ecnsharp_sim::Duration;
+
+/// Jacobson/Karels smoothed RTT estimator.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    min_rto: Duration,
+    max_rto: Duration,
+    init_rto: Duration,
+    /// Smallest RTT ever observed (the flow's base RTT estimate).
+    min_rtt: Option<Duration>,
+}
+
+impl RttEstimator {
+    /// Create with the given RTO clamps and the RTO used before any sample.
+    pub fn new(min_rto: Duration, max_rto: Duration, init_rto: Duration) -> Self {
+        assert!(min_rto <= max_rto);
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            min_rto,
+            max_rto,
+            init_rto,
+            min_rtt: None,
+        }
+    }
+
+    /// Feed one RTT sample.
+    pub fn sample(&mut self, rtt: Duration) {
+        let r = rtt.as_secs_f64();
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                // RFC 6298: alpha = 1/8, beta = 1/4.
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+        self.min_rtt = Some(match self.min_rtt {
+            None => rtt,
+            Some(m) => m.min(rtt),
+        });
+    }
+
+    /// Current smoothed RTT, if any sample has been seen.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt.map(Duration::from_secs_f64)
+    }
+
+    /// Smallest observed RTT (base-RTT estimate).
+    pub fn min_rtt(&self) -> Option<Duration> {
+        self.min_rtt
+    }
+
+    /// Retransmission timeout: `srtt + 4·rttvar`, clamped to
+    /// `[min_rto, max_rto]`; the initial RTO before any sample.
+    pub fn rto(&self) -> Duration {
+        match self.srtt {
+            None => self.init_rto,
+            Some(srtt) => {
+                let raw = Duration::from_secs_f64(srtt + 4.0 * self.rttvar);
+                raw.max(self.min_rto).min(self.max_rto)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(
+            Duration::from_millis(5),
+            Duration::from_secs(1),
+            Duration::from_millis(10),
+        )
+    }
+
+    #[test]
+    fn initial_rto_used_before_samples() {
+        let e = est();
+        assert_eq!(e.rto(), Duration::from_millis(10));
+        assert!(e.srtt().is_none());
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = est();
+        e.sample(Duration::from_micros(100));
+        assert_eq!(e.srtt().unwrap(), Duration::from_micros(100));
+        // rto = srtt + 4*rttvar = 100 + 200 = 300 us, clamped up to 5 ms.
+        assert_eq!(e.rto(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn converges_to_stable_rtt() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.sample(Duration::from_micros(200));
+        }
+        let srtt = e.srtt().unwrap().as_micros_f64();
+        assert!((srtt - 200.0).abs() < 1.0, "{srtt}");
+    }
+
+    #[test]
+    fn rto_clamped_to_max() {
+        let mut e = RttEstimator::new(
+            Duration::from_millis(1),
+            Duration::from_millis(50),
+            Duration::from_millis(10),
+        );
+        e.sample(Duration::from_millis(500));
+        assert_eq!(e.rto(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut e = RttEstimator::new(
+            Duration::from_nanos(1),
+            Duration::from_secs(10),
+            Duration::from_millis(10),
+        );
+        for i in 0..50 {
+            e.sample(Duration::from_micros(if i % 2 == 0 { 100 } else { 900 }));
+        }
+        // With heavy oscillation the RTO must exceed the mean RTT.
+        assert!(e.rto() > Duration::from_micros(500), "{:?}", e.rto());
+    }
+
+    #[test]
+    fn min_rtt_tracks_floor() {
+        let mut e = est();
+        e.sample(Duration::from_micros(300));
+        e.sample(Duration::from_micros(120));
+        e.sample(Duration::from_micros(250));
+        assert_eq!(e.min_rtt().unwrap(), Duration::from_micros(120));
+    }
+}

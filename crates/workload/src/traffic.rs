@@ -1,0 +1,279 @@
+//! Open-loop traffic generation: flows arrive by a Poisson process sized
+//! from a workload CDF, targeting a configured utilization of a bottleneck
+//! link — the construction of the paper's testbed tool and of pFabric-style
+//! simulation studies.
+
+use crate::cdf::PiecewiseCdf;
+use crate::rtt::RttVariation;
+use ecnsharp_net::{FlowCmd, FlowId, NodeId};
+use ecnsharp_sim::{Duration, Rate, Rng, SimTime};
+
+/// Who talks to whom.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// Every flow goes from a uniformly random sender to the single
+    /// receiver (the testbed's 7→1 and the microscope's 16→1 shapes).
+    /// The *receiver's downlink* is the loaded bottleneck.
+    ManyToOne {
+        /// Candidate senders.
+        senders: Vec<NodeId>,
+        /// The receiver.
+        receiver: NodeId,
+    },
+    /// Random distinct (src, dst) pairs over the host set (the leaf-spine
+    /// §5.3 setup). Load is interpreted per *edge link*.
+    AllToAll {
+        /// All participating hosts.
+        hosts: Vec<NodeId>,
+    },
+}
+
+/// A Poisson-arrival, CDF-sized traffic specification.
+#[derive(Debug, Clone)]
+pub struct TrafficSpec {
+    /// Flow-size distribution.
+    pub cdf: PiecewiseCdf,
+    /// Target utilization of the bottleneck in `(0, 1]`.
+    pub load: f64,
+    /// Bottleneck capacity the load refers to.
+    pub bottleneck: Rate,
+    /// Communication pattern.
+    pub pattern: Pattern,
+    /// Base-RTT variation model; each flow's extra netem delay is
+    /// `sample() − min` (the topology provides the `min` part physically).
+    pub rtt: RttVariation,
+    /// Service class assigned to the flows.
+    pub class: u8,
+    /// First flow arrival is at `start` + one inter-arrival gap.
+    pub start: SimTime,
+}
+
+impl TrafficSpec {
+    /// Mean flow inter-arrival time for the configured load: with mean
+    /// flow size `S` bytes, `rate × load / (8·S)` flows per second arrive.
+    pub fn mean_interarrival(&self) -> Duration {
+        assert!(self.load > 0.0 && self.load <= 1.0, "load must be in (0,1]");
+        let bytes_per_sec = self.bottleneck.as_bps() as f64 / 8.0 * self.load;
+        let flows_per_sec = bytes_per_sec / self.cdf.mean();
+        Duration::from_secs_f64(1.0 / flows_per_sec)
+    }
+
+    /// Generate `n_flows` scheduled flow commands with ids starting at
+    /// `first_id`. Deterministic given `rng`'s state.
+    pub fn generate(&self, n_flows: usize, first_id: u64, rng: &mut Rng) -> Vec<(SimTime, FlowCmd)> {
+        let mean_gap = self.mean_interarrival();
+        let mut t = self.start;
+        let mut out = Vec::with_capacity(n_flows);
+        for k in 0..n_flows {
+            t += rng.exp_duration(mean_gap);
+            let (src, dst) = match &self.pattern {
+                Pattern::ManyToOne { senders, receiver } => (*rng.pick(senders), *receiver),
+                Pattern::AllToAll { hosts } => {
+                    let a = rng.below(hosts.len() as u64) as usize;
+                    let mut b = rng.below(hosts.len() as u64 - 1) as usize;
+                    if b >= a {
+                        b += 1;
+                    }
+                    (hosts[a], hosts[b])
+                }
+            };
+            let size = self.cdf.sample(rng);
+            let extra = self.rtt.sample(rng).saturating_sub(self.rtt.min());
+            out.push((
+                t,
+                FlowCmd {
+                    flow: FlowId(first_id + k as u64),
+                    src,
+                    dst,
+                    size,
+                    class: self.class,
+                    extra_delay: extra,
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// An incast query burst (§5.4): `fanout` senders each ship one small
+/// response (uniform in `[min_size, max_size]`) to `receiver` at the same
+/// instant.
+#[derive(Debug, Clone)]
+pub struct IncastSpec {
+    /// Responding servers.
+    pub senders: Vec<NodeId>,
+    /// The aggregating receiver.
+    pub receiver: NodeId,
+    /// Number of concurrent responses (≤ `senders.len()`; senders are
+    /// drawn round-robin if larger).
+    pub fanout: usize,
+    /// Smallest response size (paper: 3 KB).
+    pub min_size: u64,
+    /// Largest response size (paper: 60 KB).
+    pub max_size: u64,
+    /// When the query fires.
+    pub at: SimTime,
+    /// Service class.
+    pub class: u8,
+}
+
+impl IncastSpec {
+    /// The paper's query shape: uniform 3–60 KB responses.
+    pub fn paper(senders: Vec<NodeId>, receiver: NodeId, fanout: usize, at: SimTime) -> Self {
+        IncastSpec {
+            senders,
+            receiver,
+            fanout,
+            min_size: 3_000,
+            max_size: 60_000,
+            at,
+            class: 0,
+        }
+    }
+
+    /// Generate the burst's flow commands with ids starting at `first_id`.
+    pub fn generate(&self, first_id: u64, rng: &mut Rng) -> Vec<(SimTime, FlowCmd)> {
+        assert!(!self.senders.is_empty());
+        assert!(self.min_size <= self.max_size);
+        (0..self.fanout)
+            .map(|k| {
+                let src = self.senders[k % self.senders.len()];
+                let size = rng.range_u64(self.min_size, self.max_size + 1);
+                (
+                    self.at,
+                    FlowCmd {
+                        flow: FlowId(first_id + k as u64),
+                        src,
+                        dst: self.receiver,
+                        size,
+                        class: self.class,
+                        extra_delay: Duration::ZERO,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dists;
+
+    fn spec(load: f64) -> TrafficSpec {
+        TrafficSpec {
+            cdf: dists::web_search(),
+            load,
+            bottleneck: Rate::from_gbps(10),
+            pattern: Pattern::ManyToOne {
+                senders: (0..7).map(NodeId).collect(),
+                receiver: NodeId(7),
+            },
+            rtt: RttVariation::paper_3x(),
+            class: 0,
+            start: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn offered_load_matches_target() {
+        let s = spec(0.5);
+        let mut rng = Rng::seed_from_u64(1);
+        let flows = s.generate(20_000, 0, &mut rng);
+        let total_bytes: u64 = flows.iter().map(|(_, c)| c.size).sum();
+        let horizon = flows.last().unwrap().0.as_secs_f64();
+        let offered_gbps = total_bytes as f64 * 8.0 / horizon / 1e9;
+        assert!(
+            (offered_gbps - 5.0).abs() < 0.5,
+            "offered {offered_gbps} Gbps at 50% of 10G"
+        );
+    }
+
+    #[test]
+    fn arrivals_strictly_ordered_and_ids_unique() {
+        let s = spec(0.3);
+        let mut rng = Rng::seed_from_u64(2);
+        let flows = s.generate(1_000, 100, &mut rng);
+        for w in flows.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1.flow.0 + 1 == w[1].1.flow.0);
+        }
+        assert_eq!(flows[0].1.flow, FlowId(100));
+    }
+
+    #[test]
+    fn many_to_one_targets_receiver() {
+        let s = spec(0.5);
+        let mut rng = Rng::seed_from_u64(3);
+        for (_, cmd) in s.generate(500, 0, &mut rng) {
+            assert_eq!(cmd.dst, NodeId(7));
+            assert!(cmd.src.0 < 7);
+        }
+    }
+
+    #[test]
+    fn all_to_all_never_self_talks() {
+        let s = TrafficSpec {
+            pattern: Pattern::AllToAll {
+                hosts: (0..16).map(NodeId).collect(),
+            },
+            ..spec(0.4)
+        };
+        let mut rng = Rng::seed_from_u64(4);
+        for (_, cmd) in s.generate(2_000, 0, &mut rng) {
+            assert_ne!(cmd.src, cmd.dst);
+        }
+    }
+
+    #[test]
+    fn extra_delay_spans_variation_range() {
+        let s = spec(0.5);
+        let mut rng = Rng::seed_from_u64(5);
+        let flows = s.generate(5_000, 0, &mut rng);
+        let max_extra = flows.iter().map(|(_, c)| c.extra_delay).max().unwrap();
+        let min_extra = flows.iter().map(|(_, c)| c.extra_delay).min().unwrap();
+        // Stack-only flows sit essentially at the minimum base RTT.
+        assert!(min_extra < Duration::from_micros(5), "{min_extra}");
+        // 3x variation over 70..210: extra up to ~140 us.
+        assert!(max_extra > Duration::from_micros(100), "{max_extra}");
+        assert!(max_extra <= Duration::from_micros(140));
+    }
+
+    #[test]
+    fn higher_load_means_denser_arrivals() {
+        let lo = spec(0.1).mean_interarrival();
+        let hi = spec(0.9).mean_interarrival();
+        assert!(hi < lo);
+        // Ratio inverse to load ratio.
+        let ratio = lo.as_secs_f64() / hi.as_secs_f64();
+        assert!((ratio - 9.0).abs() < 0.01, "{ratio}");
+    }
+
+    #[test]
+    fn incast_burst_shape() {
+        let spec = IncastSpec::paper(
+            (0..16).map(NodeId).collect(),
+            NodeId(16),
+            100,
+            SimTime::from_secs(4),
+        );
+        let mut rng = Rng::seed_from_u64(6);
+        let flows = spec.generate(1_000, &mut rng);
+        assert_eq!(flows.len(), 100);
+        for (t, cmd) in &flows {
+            assert_eq!(*t, SimTime::from_secs(4));
+            assert!((3_000..=60_000).contains(&cmd.size));
+            assert_eq!(cmd.dst, NodeId(16));
+        }
+        // Senders cycle round-robin over the 16 servers.
+        assert_eq!(flows[0].1.src, NodeId(0));
+        assert_eq!(flows[16].1.src, NodeId(0));
+        assert_eq!(flows[17].1.src, NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in")]
+    fn zero_load_rejected() {
+        let _ = spec(0.0).mean_interarrival();
+    }
+}

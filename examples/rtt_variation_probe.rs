@@ -1,0 +1,41 @@
+//! RTT-variation probe (a miniature Table 1 / Figure 1): sample the
+//! processing-delay pipeline model for each component combination and
+//! print the statistics next to the paper's measurements.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example rtt_variation_probe
+//! ```
+
+use ecn_sharp::sim::Rng;
+use ecn_sharp::workload::{measure_case, Table1Case};
+
+fn main() {
+    println!("Table 1 probe: 3000 request-response RTTs per component chain\n");
+    println!(
+        "{:48} {:>8} {:>8} {:>8} {:>8}   (paper mean/std/p90/p99)",
+        "components", "mean", "std", "p90", "p99"
+    );
+    let mut rng = Rng::seed_from_u64(1);
+    let mut base_mean = None;
+    for case in Table1Case::all() {
+        let s = measure_case(case, 3_000, &mut rng);
+        let (pm, ps, p90, p99) = case.paper_row();
+        println!(
+            "{:48} {:>8.1} {:>8.1} {:>8.1} {:>8.1}   ({pm}/{ps}/{p90}/{p99})",
+            case.label(),
+            s.mean,
+            s.std,
+            s.p90,
+            s.p99
+        );
+        if base_mean.is_none() {
+            base_mean = Some(s.mean);
+        } else if case == Table1Case::LoadedStackSlbHypervisor {
+            println!(
+                "\nmean-RTT variation across cases: {:.2}x (paper: 2.68x)",
+                s.mean / base_mean.unwrap()
+            );
+        }
+    }
+}
