@@ -237,7 +237,10 @@ mod tests {
         }
         assert!(mark_times.len() >= 3, "marks: {mark_times:?}");
         // Inter-mark gaps shrink (interval / sqrt(count)).
-        let gaps: Vec<i64> = mark_times.windows(2).map(|w| (w[1] - w[0]) as i64).collect();
+        let gaps: Vec<i64> = mark_times
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as i64)
+            .collect();
         for pair in gaps.windows(2) {
             assert!(pair[1] <= pair[0] + 2, "gaps should shrink: {gaps:?}");
         }

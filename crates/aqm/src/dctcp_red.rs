@@ -11,7 +11,9 @@
 //! **DCTCP-RED-AVG** (paper §5.1). Construction helpers for both are
 //! provided.
 
-use crate::{admit_mark_or_drop, params, Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState};
+use crate::{
+    admit_mark_or_drop, params, Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState,
+};
 use ecnsharp_sim::{Duration, Rate, SimTime};
 
 /// Instantaneous single-threshold ECN marking on queue length.

@@ -201,7 +201,10 @@ mod tests {
             ect: true,
             enqueued_at: SimTime::from_micros(10),
         };
-        assert_eq!(p.sojourn(SimTime::from_micros(25)), Duration::from_micros(15));
+        assert_eq!(
+            p.sojourn(SimTime::from_micros(25)),
+            Duration::from_micros(15)
+        );
         assert_eq!(p.sojourn(SimTime::from_micros(5)), Duration::ZERO);
     }
 

@@ -52,7 +52,10 @@ pub struct Pie {
 impl Pie {
     /// Create from config with a deterministic seed for the marking dice.
     pub fn new(cfg: PieConfig, seed: u64) -> Self {
-        assert!(!cfg.t_update.is_zero(), "PIE update period must be positive");
+        assert!(
+            !cfg.t_update.is_zero(),
+            "PIE update period must be positive"
+        );
         Pie {
             cfg,
             prob: 0.0,
@@ -103,7 +106,10 @@ impl Pie {
         let err = (delay - target) / target;
         let derr = (delay - self.delay_old) / target;
         let mut p = self.prob + scale * (self.cfg.alpha * err + self.cfg.beta * derr);
-        // Exponential decay when the queue is idle.
+        // Exponential decay when the queue is idle. An empty queue yields
+        // an exact 0.0 delay (0 bytes / rate), so equality is the correct
+        // idle test here, not a tolerance.
+        #[allow(clippy::float_cmp)] // lint: allow(float-cmp) 0.0 is an exact idle sentinel
         if delay == 0.0 && self.delay_old == 0.0 {
             p *= 0.98;
         }
@@ -164,7 +170,12 @@ mod tests {
         for i in 2_000..6_000u64 {
             p.on_enqueue(SimTime::from_micros(i * 10), &q(0), &pkt(0));
         }
-        assert!(p.prob() < high, "prob should fall: {} -> {}", high, p.prob());
+        assert!(
+            p.prob() < high,
+            "prob should fall: {} -> {}",
+            high,
+            p.prob()
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! algorithm and the match-action pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ecnsharp_aqm::{Aqm, CoDel, DctcpRed, Pie, PieConfig, QueueState, Tcn};
 use ecnsharp_aqm::red::{Red, RedConfig};
+use ecnsharp_aqm::{Aqm, CoDel, DctcpRed, Pie, PieConfig, QueueState, Tcn};
 use ecnsharp_core::{EcnSharp, EcnSharpConfig};
 use ecnsharp_sim::{Duration, Rate, SimTime};
 use ecnsharp_tofino::{TofinoEcnSharp, WrapCmp};

@@ -12,3 +12,6 @@
 //!
 //! This lib target exists to document the crate; it intentionally exports
 //! nothing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

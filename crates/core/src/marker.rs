@@ -110,7 +110,7 @@ impl EcnSharp {
     /// state machine for one dequeued packet and return its decision.
     pub fn should_persistent_mark(&mut self, now: SimTime, sojourn: Duration) -> bool {
         let detected = self.is_persistent_queue_buildup(now, sojourn);
-        if self.marking_state {
+        let mark = if self.marking_state {
             if !detected {
                 self.marking_state = false;
                 false
@@ -118,8 +118,10 @@ impl EcnSharp {
                 // One more conservative mark; shrink the spacing so marking
                 // intensifies while the queue refuses to drain.
                 self.marking_count += 1;
-                self.marking_next +=
-                    self.cfg.pst_interval.div_f64((self.marking_count as f64).sqrt());
+                self.marking_next += self
+                    .cfg
+                    .pst_interval
+                    .div_f64((self.marking_count as f64).sqrt());
                 true
             } else {
                 false
@@ -132,6 +134,37 @@ impl EcnSharp {
             true
         } else {
             false
+        };
+        self.check_state_legality(now, mark);
+        mark
+    }
+
+    /// Algorithm 1 state legality, verified after every transition (debug
+    /// builds and `strict-invariants`; free otherwise).
+    fn check_state_legality(&self, now: SimTime, mark: bool) {
+        ecnsharp_sim::invariant!(
+            !self.marking_state || self.marking_count >= 1,
+            "in marking_state with marking_count == 0"
+        );
+        ecnsharp_sim::invariant!(
+            !self.marking_state || self.first_above_time.is_some(),
+            "in marking_state without a first_above_time"
+        );
+        ecnsharp_sim::invariant!(
+            !mark || self.marking_state,
+            "issued a conservative mark outside a marking episode"
+        );
+        if let Some(fat) = self.first_above_time {
+            ecnsharp_sim::invariant!(
+                fat <= now,
+                "first_above_time {fat} is in the future (now {now})"
+            );
+        }
+        if self.marking_state {
+            ecnsharp_sim::invariant!(
+                self.marking_next > SimTime::ZERO,
+                "marking episode active but marking_next never scheduled"
+            );
         }
     }
 
@@ -192,7 +225,11 @@ mod tests {
     fn instantaneous_marking_above_ins_target() {
         let mut m = marker();
         assert_eq!(m.decide(t(0), d(201)), MarkReason::Instantaneous);
-        assert_eq!(m.decide(t(1), d(200)), MarkReason::None, "not strictly above");
+        assert_eq!(
+            m.decide(t(1), d(200)),
+            MarkReason::None,
+            "not strictly above"
+        );
     }
 
     #[test]
@@ -210,8 +247,14 @@ mod tests {
         // sojourn 100 (>= pst_target 85, < ins 200) starting at t=0
         assert!(!m.should_persistent_mark(t(0), d(100))); // sets first_above_time
         assert!(!m.should_persistent_mark(t(100), d(100)));
-        assert!(!m.should_persistent_mark(t(200), d(100)), "now == fat+interval is not >");
-        assert!(m.should_persistent_mark(t(201), d(100)), "first conservative mark");
+        assert!(
+            !m.should_persistent_mark(t(200), d(100)),
+            "now == fat+interval is not >"
+        );
+        assert!(
+            m.should_persistent_mark(t(201), d(100)),
+            "first conservative mark"
+        );
         assert!(m.in_marking_state());
     }
 
@@ -306,13 +349,77 @@ mod tests {
         };
         // sojourn 300 us > ins_target
         assert_eq!(m.on_dequeue(t(300), &q, &mk(0, true)), DequeueVerdict::Mark);
-        assert_eq!(m.on_dequeue(t(600), &q, &mk(300, false)), DequeueVerdict::Drop);
+        assert_eq!(
+            m.on_dequeue(t(600), &q, &mk(300, false)),
+            DequeueVerdict::Drop
+        );
     }
 
     #[test]
     fn stats_start_zeroed() {
         let m = marker();
         assert_eq!(m.stats(), MarkStats::default());
+    }
+
+    /// The exact sqrt-shrink schedule across four consecutive marks, probed
+    /// at 1 µs resolution. With `pst_interval` = 200 µs and `first_above_time`
+    /// = 0: mark 1 fires at 201 (first t > fat + 200) and schedules
+    /// marking_next = 401; mark 2 at 402 bumps by 200/√2 ≈ 141.42 µs
+    /// (marking_next ≈ 542.42); mark 3 at 543 bumps by 200/√3 ≈ 115.47
+    /// (≈ 657.89); mark 4 at 658.
+    #[test]
+    fn sqrt_shrink_schedule_exact_times() {
+        let mut m = marker();
+        m.should_persistent_mark(t(0), d(100)); // sets first_above_time = 0
+        let mut marks = vec![];
+        for us in 1..700u64 {
+            if m.should_persistent_mark(t(us), d(100)) {
+                marks.push(us);
+            }
+        }
+        assert_eq!(marks, vec![201, 402, 543, 658]);
+    }
+
+    /// Exiting an episode resets `first_above_time`: re-entry needs another
+    /// full `pst_interval` of high sojourn, and the episode counter reflects
+    /// both episodes.
+    #[test]
+    fn episode_reentry_resets_first_above_time_and_counts() {
+        let mut m = marker();
+        m.should_persistent_mark(t(0), d(100));
+        assert!(m.should_persistent_mark(t(201), d(100)));
+        assert_eq!(m.stats().episodes, 1);
+        // Sojourn collapse ends the episode and clears first_above_time.
+        assert!(!m.should_persistent_mark(t(250), d(10)));
+        assert!(!m.in_marking_state());
+        // High again at t=300: detection restarts from scratch, so the
+        // second episode's first mark cannot land before 300 + 200.
+        assert!(!m.should_persistent_mark(t(300), d(100)));
+        assert!(
+            !m.should_persistent_mark(t(500), d(100)),
+            "500 == fat+interval is not >"
+        );
+        assert!(m.should_persistent_mark(t(501), d(100)));
+        assert_eq!(m.stats().episodes, 2);
+        assert!(m.in_marking_state());
+    }
+
+    /// `MarkReason::Both` only when the two conditions fire on the *same*
+    /// packet; adjacent packets where they fire separately report the
+    /// individual reasons.
+    #[test]
+    fn both_path_requires_same_packet_coincidence() {
+        let mut m = marker();
+        // Persistent machinery sees high sojourn from t=0 but below
+        // ins_target (200), so only Persistent can fire here.
+        assert_eq!(m.decide(t(0), d(150)), MarkReason::None);
+        assert_eq!(m.decide(t(201), d(150)), MarkReason::Persistent);
+        // Instantaneous-only while the episode waits for marking_next (401).
+        assert_eq!(m.decide(t(300), d(250)), MarkReason::Instantaneous);
+        // At t=402 both fire together on one packet.
+        assert_eq!(m.decide(t(402), d(250)), MarkReason::Both);
+        let s = m.stats();
+        assert_eq!((s.ins_marks, s.pst_marks, s.episodes), (2, 2, 1));
     }
 
     proptest! {
@@ -370,6 +477,26 @@ mod tests {
                 // first_above_time was set at t=0; interval is 200 us.
                 prop_assert!(first > 200, "marked at {first}us with gap {gap}");
             }
+        }
+
+        /// Determinism end-to-end: the same RNG seed drives the marker to
+        /// bit-identical `MarkStats`, using the simulator's own seeded
+        /// xoshiro RNG as the sojourn source (the workload shape the
+        /// experiments actually produce).
+        #[test]
+        fn prop_same_seed_same_markstats(seed in 0u64..u64::MAX, n in 50usize..400) {
+            let run = |seed: u64| {
+                let mut rng = ecnsharp_sim::Rng::seed_from_u64(seed);
+                let mut m = marker();
+                let mut now = SimTime::ZERO;
+                for _ in 0..n {
+                    now += rng.exp_duration(Duration::from_micros(20));
+                    let sojourn = rng.exp_duration(Duration::from_micros(120));
+                    m.decide(now, sojourn);
+                }
+                m.stats()
+            };
+            prop_assert_eq!(run(seed), run(seed));
         }
 
         /// Determinism: identical inputs yield identical decision streams.

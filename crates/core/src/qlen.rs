@@ -9,7 +9,9 @@
 //! ([`crate::EcnSharp`]).
 
 use crate::config::EcnSharpConfig;
-use ecnsharp_aqm::{admit_mark_or_drop, params, Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState};
+use ecnsharp_aqm::{
+    admit_mark_or_drop, params, Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState,
+};
 use ecnsharp_sim::{Rate, SimTime};
 
 /// ECN♯ driven by queue length instead of sojourn time.
@@ -93,8 +95,9 @@ impl EcnSharpQlen {
                 false
             } else if now > self.marking_next {
                 self.marking_count += 1;
-                self.marking_next +=
-                    self.pst_interval.div_f64((self.marking_count as f64).sqrt());
+                self.marking_next += self
+                    .pst_interval
+                    .div_f64((self.marking_count as f64).sqrt());
                 true
             } else {
                 false
@@ -184,9 +187,18 @@ mod tests {
     fn persistent_mark_after_interval_of_standing_queue() {
         let mut m = mk();
         // 150 KB standing queue: above pst (106 KB) but below ins (250 KB).
-        assert_eq!(m.on_enqueue(t(0), &qs(150_000), &pv()), EnqueueVerdict::Admit);
-        assert_eq!(m.on_enqueue(t(100), &qs(150_000), &pv()), EnqueueVerdict::Admit);
-        assert_eq!(m.on_enqueue(t(200), &qs(150_000), &pv()), EnqueueVerdict::Admit);
+        assert_eq!(
+            m.on_enqueue(t(0), &qs(150_000), &pv()),
+            EnqueueVerdict::Admit
+        );
+        assert_eq!(
+            m.on_enqueue(t(100), &qs(150_000), &pv()),
+            EnqueueVerdict::Admit
+        );
+        assert_eq!(
+            m.on_enqueue(t(200), &qs(150_000), &pv()),
+            EnqueueVerdict::Admit
+        );
         assert_eq!(
             m.on_enqueue(t(201), &qs(150_000), &pv()),
             EnqueueVerdict::AdmitMark,
@@ -201,8 +213,14 @@ mod tests {
         m.on_enqueue(t(201), &qs(150_000), &pv()); // marks, enters state
         assert_eq!(m.on_enqueue(t(250), &qs(0), &pv()), EnqueueVerdict::Admit);
         // Needs a fresh interval again.
-        assert_eq!(m.on_enqueue(t(260), &qs(150_000), &pv()), EnqueueVerdict::Admit);
-        assert_eq!(m.on_enqueue(t(460), &qs(150_000), &pv()), EnqueueVerdict::Admit);
+        assert_eq!(
+            m.on_enqueue(t(260), &qs(150_000), &pv()),
+            EnqueueVerdict::Admit
+        );
+        assert_eq!(
+            m.on_enqueue(t(460), &qs(150_000), &pv()),
+            EnqueueVerdict::Admit
+        );
         assert_eq!(
             m.on_enqueue(t(461), &qs(150_000), &pv()),
             EnqueueVerdict::AdmitMark

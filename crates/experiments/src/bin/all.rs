@@ -1,11 +1,18 @@
 //! Runs the complete reproduction suite (every table and figure) at the
 //! scale selected by ECNSHARP_SCALE, writing CSVs under results/.
+
+// Host-side harness: wall-clock progress timing never feeds the simulation.
+#![allow(clippy::disallowed_methods)]
+
 use ecnsharp_experiments::figures;
 fn main() {
     let scale = ecnsharp_experiments::Scale::from_env();
     let t0 = std::time::Instant::now();
     for (name, f) in [
-        ("table1", Box::new(move || figures::table1(scale)) as Box<dyn Fn() -> ecnsharp_stats::Table>),
+        (
+            "table1",
+            Box::new(move || figures::table1(scale)) as Box<dyn Fn() -> ecnsharp_stats::Table>,
+        ),
         ("fig2", Box::new(move || figures::fig2(scale))),
         ("fig3", Box::new(move || figures::fig3(scale))),
         ("fig5", Box::new(figures::fig5)),

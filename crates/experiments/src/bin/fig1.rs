@@ -9,7 +9,15 @@ fn main() {
     println!("Figure 1 — [Testbed] RTT variations (box-plot data; paper: up to 2.68x)");
     println!();
     let mut rng = Rng::seed_from_u64(0xF161);
-    let mut t = Table::new(&["case", "min_us", "q1_us", "median_us", "q3_us", "max_us", "paper_avg"]);
+    let mut t = Table::new(&[
+        "case",
+        "min_us",
+        "q1_us",
+        "median_us",
+        "q3_us",
+        "max_us",
+        "paper_avg",
+    ]);
     let mut means = Vec::new();
     for case in Table1Case::all() {
         let xs: Vec<f64> = (0..3_000)

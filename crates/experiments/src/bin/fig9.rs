@@ -2,7 +2,9 @@
 fn main() {
     let scale = ecnsharp_experiments::Scale::from_env();
     println!("Figure 9 — [Simulations] 128-host leaf-spine, web search, ECMP (normalized to DCTCP-RED-Tail)");
-    println!("paper headlines: overall avg -26.3%..-37.4%; short-flow avg at least -18.5%, up to -36.9%");
+    println!(
+        "paper headlines: overall avg -26.3%..-37.4%; short-flow avg at least -18.5%, up to -36.9%"
+    );
     println!();
     print!("{}", ecnsharp_experiments::figures::fig9(scale).render());
 }

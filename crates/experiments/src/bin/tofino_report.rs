@@ -2,5 +2,8 @@
 fn main() {
     println!("Section 4 — Tofino implementation: resource usage & time-emulation fidelity");
     println!();
-    print!("{}", ecnsharp_experiments::figures::tofino_report().render());
+    print!(
+        "{}",
+        ecnsharp_experiments::figures::tofino_report().render()
+    );
 }

@@ -21,14 +21,11 @@ fn save(table: &Table, name: &str) {
 
 /// Average an FCT scenario over `seeds` seeds.
 fn averaged_fct(base: &FctScenario, seeds: u64) -> FctBreakdown {
-    let runs: Vec<FctBreakdown> = parallel_map(
-        (0..seeds).collect::<Vec<u64>>(),
-        |&s| {
-            let mut sc = base.clone();
-            sc.seed = base.seed + s * 7919;
-            run_testbed_star(&sc).0
-        },
-    );
+    let runs: Vec<FctBreakdown> = parallel_map((0..seeds).collect::<Vec<u64>>(), |&s| {
+        let mut sc = base.clone();
+        sc.seed = base.seed + s * 7919;
+        run_testbed_star(&sc).0
+    });
     average_breakdowns(&runs)
 }
 
@@ -132,13 +129,8 @@ pub fn fig3(scale: Scale) -> Table {
     let rows = parallel_map(variations.clone(), |&n| {
         let rtt = RttVariation::paper_nx(n);
         let run = |scheme: Scheme| {
-            let mut sc = FctScenario::testbed(
-                scheme,
-                dists::web_search(),
-                0.5,
-                scale.flows(),
-                23 + n,
-            );
+            let mut sc =
+                FctScenario::testbed(scheme, dists::web_search(), 0.5, scale.flows(), 23 + n);
             sc.rtt = rtt;
             averaged_fct(&sc, scale.seeds())
         };
@@ -181,7 +173,10 @@ pub fn fig3(scale: Scale) -> Table {
 /// Fig. 5: flow-size CDF points for both workloads.
 pub fn fig5() -> Table {
     let mut t = Table::new(&["workload", "size_bytes", "cdf"]);
-    for (name, cdf) in [("web_search", dists::web_search()), ("data_mining", dists::data_mining())] {
+    for (name, cdf) in [
+        ("web_search", dists::web_search()),
+        ("data_mining", dists::data_mining()),
+    ] {
         for &(v, p) in cdf.points() {
             t.row(&[name.into(), format!("{v:.0}"), format!("{p:.3}")]);
         }
@@ -194,7 +189,12 @@ pub fn fig5() -> Table {
 // Figures 6 & 7: testbed FCT vs load, four schemes
 // ─────────────────────────────────────────────────────────────────────────
 
-fn testbed_fct_figure(name: &str, cdf: ecnsharp_workload::PiecewiseCdf, flows: usize, scale: Scale) -> Table {
+fn testbed_fct_figure(
+    name: &str,
+    cdf: ecnsharp_workload::PiecewiseCdf,
+    flows: usize,
+    scale: Scale,
+) -> Table {
     let loads = scale.loads();
     let schemes = Scheme::testbed_set();
     let mut jobs = Vec::new();
@@ -326,7 +326,13 @@ pub fn fig8(scale: Scale) -> Table {
 /// ECMP; overall and short-flow average FCT normalized to DCTCP-RED-Tail.
 pub fn fig9(scale: Scale) -> Table {
     let (spines, leaves, hpl, flows, loads): (usize, usize, usize, usize, Vec<f64>) = match scale {
-        Scale::Full => (8, 8, 16, 4_000, vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]),
+        Scale::Full => (
+            8,
+            8,
+            16,
+            4_000,
+            vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+        ),
         Scale::Mid => (8, 8, 16, 1_500, vec![0.3, 0.5, 0.7]),
         Scale::Quick => (2, 2, 4, 150, vec![0.3, 0.6]),
     };
@@ -338,13 +344,7 @@ pub fn fig9(scale: Scale) -> Table {
         }
     }
     let results = parallel_map(jobs, |(load, scheme)| {
-        let mut sc = FctScenario::testbed(
-            scheme.clone(),
-            dists::web_search(),
-            *load,
-            flows,
-            53,
-        );
+        let mut sc = FctScenario::testbed(scheme.clone(), dists::web_search(), *load, flows, 53);
         sc.rtt = RttVariation::sim_3x();
         run_leaf_spine(&sc, spines, leaves, hpl)
     });
@@ -388,7 +388,11 @@ pub fn fig10(scale: Scale) -> Table {
         Scale::Full => crate::scenario::IncastTimeline::Paper,
         Scale::Mid | Scale::Quick => crate::scenario::IncastTimeline::Compressed,
     };
-    let schemes = vec![Scheme::DctcpRedTail, Scheme::CoDelDrop, Scheme::EcnSharp(None)];
+    let schemes = vec![
+        Scheme::DctcpRedTail,
+        Scheme::CoDelDrop,
+        Scheme::EcnSharp(None),
+    ];
     let results = parallel_map(schemes.clone(), |scheme| {
         crate::scenario::run_incast_micro_with(scheme.clone(), fanout, 61, timeline)
     });
@@ -406,9 +410,16 @@ pub fn fig10(scale: Scale) -> Table {
         // Dump the raw series for plotting.
         let mut series = Table::new(&["time_s", "backlog_bytes", "backlog_pkts"]);
         for &(ts, b, p) in &r.series {
-            series.row(&[format!("{:.9}", ts.as_secs_f64()), b.to_string(), p.to_string()]);
+            series.row(&[
+                format!("{:.9}", ts.as_secs_f64()),
+                b.to_string(),
+                p.to_string(),
+            ]);
         }
-        save(&series, &format!("fig10_series_{}", scheme.label().replace('#', "sharp")));
+        save(
+            &series,
+            &format!("fig10_series_{}", scheme.label().replace('#', "sharp")),
+        );
         let paper_standing = match scheme {
             Scheme::DctcpRedTail => "182",
             Scheme::EcnSharp(_) => "8",
@@ -442,7 +453,11 @@ pub fn fig11(scale: Scale) -> Table {
         Scale::Mid => vec![50, 100, 150, 200],
         Scale::Quick => vec![25, 75],
     };
-    let schemes = vec![Scheme::DctcpRedTail, Scheme::CoDelDrop, Scheme::EcnSharp(None)];
+    let schemes = vec![
+        Scheme::DctcpRedTail,
+        Scheme::CoDelDrop,
+        Scheme::EcnSharp(None),
+    ];
     let mut jobs = Vec::new();
     for &f in &fanouts {
         for s in &schemes {
@@ -512,9 +527,12 @@ pub fn fig12(scale: Scale) -> Table {
     let jobs: Vec<(String, EcnSharpConfig, &'static str)> = cfgs
         .iter()
         .flat_map(|(n, c)| {
-            [("web_search", *c, n.clone()), ("data_mining", *c, n.clone())]
-                .into_iter()
-                .map(|(w, c, n)| (n, c, w))
+            [
+                ("web_search", *c, n.clone()),
+                ("data_mining", *c, n.clone()),
+            ]
+            .into_iter()
+            .map(|(w, c, n)| (n, c, w))
         })
         .collect();
     let results = parallel_map(jobs.clone(), |(_, cfg, workload)| {
@@ -526,12 +544,21 @@ pub fn fig12(scale: Scale) -> Table {
         let sc = FctScenario::testbed(Scheme::EcnSharp(Some(*cfg)), cdf, 0.6, flows, 71);
         averaged_fct(&sc, scale.seeds())
     });
-    let mut t = Table::new(&["setting", "workload", "overall_avg_us", "norm_to_rule_of_thumb"]);
+    let mut t = Table::new(&[
+        "setting",
+        "workload",
+        "overall_avg_us",
+        "norm_to_rule_of_thumb",
+    ]);
     // Index of the baseline rows.
     let base_ws = results[0].overall.avg;
     let base_dm = results[1].overall.avg;
     for ((name, _, workload), r) in jobs.iter().zip(&results) {
-        let base = if *workload == "web_search" { base_ws } else { base_dm };
+        let base = if *workload == "web_search" {
+            base_ws
+        } else {
+            base_dm
+        };
         t.row(&[
             name.clone(),
             workload.to_string(),
@@ -600,7 +627,11 @@ pub fn tofino_report() -> Table {
     let pipe = TofinoEcnSharp::new(params.ecnsharp(), 128, 0, WrapCmp::CorrectedLt);
     let r = pipe.resources();
     let mut t = Table::new(&["item", "ours", "paper"]);
-    t.row(&["match-action tables".into(), r.match_action_tables.to_string(), "7".into()]);
+    t.row(&[
+        "match-action tables".into(),
+        r.match_action_tables.to_string(),
+        "7".into(),
+    ]);
     t.row(&[
         "register arrays".into(),
         format!("{}x32-bit", r.reg32_arrays),

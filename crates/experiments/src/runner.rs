@@ -79,8 +79,13 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
-    let work: Mutex<std::vec::IntoIter<(usize, T)>> =
-        Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    let work: Mutex<std::vec::IntoIter<(usize, T)>> = Mutex::new(
+        items
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_iter(),
+    );
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|s| {
         for _ in 0..threads {

@@ -35,7 +35,13 @@ pub struct FctScenario {
 impl FctScenario {
     /// The paper's testbed defaults (§5.2): 10 Gbps, 3× RTT variation,
     /// web-search traffic, 1 MB port buffers.
-    pub fn testbed(scheme: Scheme, cdf: PiecewiseCdf, load: f64, n_flows: usize, seed: u64) -> Self {
+    pub fn testbed(
+        scheme: Scheme,
+        cdf: PiecewiseCdf,
+        load: f64,
+        n_flows: usize,
+        seed: u64,
+    ) -> Self {
         FctScenario {
             seed,
             scheme,
@@ -96,10 +102,7 @@ pub fn run_testbed_star(sc: &FctScenario) -> (FctBreakdown, ecnsharp_net::PortSt
         cdf: sc.cdf.clone(),
         load: sc.load,
         bottleneck: sc.rate,
-        pattern: Pattern::ManyToOne {
-            senders,
-            receiver,
-        },
+        pattern: Pattern::ManyToOne { senders, receiver },
         rtt: sc.rtt,
         class: 0,
         start: SimTime::ZERO,

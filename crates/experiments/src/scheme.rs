@@ -147,7 +147,9 @@ impl SchemeParams {
                 Box::new(CoDel::new_dropping(target, interval))
             }
             Scheme::Tcn(thr) => Box::new(Tcn::new(thr.unwrap_or_else(|| self.tcn()))),
-            Scheme::EcnSharp(cfg) => Box::new(EcnSharp::new(cfg.unwrap_or_else(|| self.ecnsharp()))),
+            Scheme::EcnSharp(cfg) => {
+                Box::new(EcnSharp::new(cfg.unwrap_or_else(|| self.ecnsharp())))
+            }
             Scheme::EcnSharpTofino => Box::new(TofinoEcnSharp::new(
                 self.ecnsharp(),
                 1,

@@ -12,7 +12,7 @@ use crate::node::{Node, NodeKind};
 use crate::port::{EgressPort, PortConfig, PortStats};
 use crate::trace::{TraceKind, Tracer};
 use ecnsharp_sim::{hash_mix, Duration, EventQueue, Rate, Rng, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A queue-length sample series attached to one port.
 #[derive(Debug, Clone)]
@@ -31,7 +31,10 @@ pub struct QueueMonitor {
 
 enum Event {
     /// Packet finished its wire journey and arrives at `node`.
-    Arrive { node: NodeId, pkt: crate::packet::Packet },
+    Arrive {
+        node: NodeId,
+        pkt: crate::packet::Packet,
+    },
     /// `node`'s `port` finished serializing its current packet.
     TxDone { node: NodeId, port: usize },
     /// Agent timer.
@@ -40,7 +43,10 @@ enum Event {
     FlowStart(FlowCmd),
     /// A packet emerges from a host's artificial processing delay and
     /// enters the NIC queue.
-    NicSend { node: NodeId, pkt: crate::packet::Packet },
+    NicSend {
+        node: NodeId,
+        pkt: crate::packet::Packet,
+    },
     /// Take a queue-monitor sample.
     Sample { id: usize },
 }
@@ -52,7 +58,7 @@ pub struct Network {
     rng: Rng,
     ecmp_salt: u64,
     /// Flows started but not yet completed: flow → (cmd, start time).
-    pending: HashMap<FlowId, (FlowCmd, SimTime)>,
+    pending: BTreeMap<FlowId, (FlowCmd, SimTime)>,
     records: Vec<FlowRecord>,
     monitors: Vec<QueueMonitor>,
     scratch: Vec<Action>,
@@ -71,7 +77,7 @@ impl Network {
             events: EventQueue::new(),
             rng,
             ecmp_salt,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             records: Vec::new(),
             monitors: Vec::new(),
             scratch: Vec::new(),
@@ -146,7 +152,13 @@ impl Network {
         let adj: Vec<Vec<(usize, NodeId)>> = self
             .nodes
             .iter()
-            .map(|node| node.ports.iter().enumerate().map(|(i, p)| (i, p.peer)).collect())
+            .map(|node| {
+                node.ports
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, p.peer))
+                    .collect()
+            })
             .collect();
         for node in &mut self.nodes {
             node.routes = vec![Vec::new(); n];
@@ -207,7 +219,9 @@ impl Network {
 
     /// Cumulative transmitted payload bytes per class on `node`'s `port`.
     pub fn tx_payload_per_class(&self, node: NodeId, port: usize) -> Vec<u64> {
-        self.nodes[node.0].ports[port].tx_payload_per_class().to_vec()
+        self.nodes[node.0].ports[port]
+            .tx_payload_per_class()
+            .to_vec()
     }
 
     /// The egress port of `node` facing `peer`, if any.
@@ -380,10 +394,8 @@ impl Network {
             let peer = p.peer;
             let delay = p.delay;
             let traced_pkt = self.tracer.is_some().then(|| tx.pkt.clone());
-            self.events.schedule(
-                now + tx.tx_time,
-                Event::TxDone { node, port },
-            );
+            self.events
+                .schedule(now + tx.tx_time, Event::TxDone { node, port });
             self.events.schedule(
                 now + tx.tx_time + delay,
                 Event::Arrive {
@@ -430,7 +442,8 @@ impl Network {
                     }
                 }
                 Action::SetTimer(at, key) => {
-                    self.events.schedule(at.max(now), Event::Timer { node, key });
+                    self.events
+                        .schedule(at.max(now), Event::Timer { node, key });
                 }
                 Action::FlowDone(flow, timeouts) => {
                     if let Some((cmd, start)) = self.pending.remove(&flow) {
@@ -466,8 +479,22 @@ mod tests {
         let b = net.add_host(Box::new(EchoAgent));
         let s = net.add_switch();
         let cfg = || PortConfig::fifo(1_000_000, Box::new(DropTail::new()));
-        net.connect(a, cfg(), s, cfg(), Rate::from_gbps(10), Duration::from_micros(1));
-        net.connect(b, cfg(), s, cfg(), Rate::from_gbps(10), Duration::from_micros(1));
+        net.connect(
+            a,
+            cfg(),
+            s,
+            cfg(),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+        );
+        net.connect(
+            b,
+            cfg(),
+            s,
+            cfg(),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+        );
         net.compute_routes();
         (net, a, b, s)
     }
@@ -530,8 +557,22 @@ mod tests {
         let b = net.add_host(Box::new(EchoAgent));
         let s = net.add_switch();
         let cfg = || PortConfig::fifo(1_000_000, Box::new(DropTail::new()));
-        net.connect(a, cfg(), s, cfg(), Rate::from_gbps(10), Duration::from_micros(1));
-        net.connect(b, cfg(), s, cfg(), Rate::from_gbps(10), Duration::from_micros(1));
+        net.connect(
+            a,
+            cfg(),
+            s,
+            cfg(),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+        );
+        net.connect(
+            b,
+            cfg(),
+            s,
+            cfg(),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+        );
         net.compute_routes();
         net.schedule_flow(
             SimTime::from_micros(10),
@@ -575,8 +616,22 @@ mod tests {
         let b = net.add_host(Box::new(EchoAgent));
         let s = net.add_switch();
         let cfg = || PortConfig::fifo(1_000_000, Box::new(DropTail::new()));
-        net.connect(a, cfg(), s, cfg(), Rate::from_gbps(10), Duration::from_micros(1));
-        net.connect(b, cfg(), s, cfg(), Rate::from_gbps(10), Duration::from_micros(1));
+        net.connect(
+            a,
+            cfg(),
+            s,
+            cfg(),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+        );
+        net.connect(
+            b,
+            cfg(),
+            s,
+            cfg(),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+        );
         net.compute_routes();
         net.schedule_flow(
             SimTime::ZERO,
@@ -617,16 +672,16 @@ mod tests {
         // 200 flows, 3 packets each.
         for f in 0..200u64 {
             for k in 0..3 {
-                inject(
-                    &mut net,
-                    a,
-                    Packet::data(FlowId(f), a, b, k * 1460, 1460),
-                );
+                inject(&mut net, a, Packet::data(FlowId(f), a, b, k * 1460, 1460));
             }
         }
         net.run_until_idle();
-        let v2 = net.port_stats(s1, net.port_towards(s1, s2).unwrap()).dequeued;
-        let v3 = net.port_stats(s1, net.port_towards(s1, s3).unwrap()).dequeued;
+        let v2 = net
+            .port_stats(s1, net.port_towards(s1, s2).unwrap())
+            .dequeued;
+        let v3 = net
+            .port_stats(s1, net.port_towards(s1, s3).unwrap())
+            .dequeued;
         assert_eq!(v2 + v3, 600);
         // Both paths used, roughly evenly.
         assert!(v2 > 150 && v3 > 150, "v2={v2} v3={v3}");
@@ -699,8 +754,22 @@ mod tests {
         let b = net.add_host(Box::new(NullAgent));
         let s = net.add_switch();
         let cfg = || PortConfig::fifo(1_000_000, Box::new(DropTail::new()));
-        net.connect(a, cfg(), s, cfg(), Rate::from_gbps(10), Duration::from_micros(1));
-        net.connect(b, cfg(), s, cfg(), Rate::from_gbps(10), Duration::from_micros(1));
+        net.connect(
+            a,
+            cfg(),
+            s,
+            cfg(),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+        );
+        net.connect(
+            b,
+            cfg(),
+            s,
+            cfg(),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+        );
         // compute_routes() deliberately not called.
         inject(&mut net, a, Packet::data(FlowId(1), a, b, 0, 100));
         net.run_until_idle();

@@ -99,6 +99,11 @@ pub struct EgressPort {
     /// Cumulative transmitted *payload* bytes per service class (goodput
     /// accounting for the scheduling experiments).
     pub(crate) tx_payload_per_class: Vec<u64>,
+    /// Wire bytes admitted to the queue (strict-invariants accounting).
+    pub(crate) accounted_in_bytes: u64,
+    /// Wire bytes removed from the queue — transmitted or dropped after
+    /// admission (strict-invariants accounting).
+    pub(crate) accounted_out_bytes: u64,
 }
 
 /// Outcome of asking a port for its next transmission.
@@ -110,7 +115,13 @@ pub(crate) struct TxStart {
 }
 
 impl EgressPort {
-    pub(crate) fn new(peer: NodeId, peer_port: usize, rate: Rate, delay: Duration, cfg: PortConfig) -> Self {
+    pub(crate) fn new(
+        peer: NodeId,
+        peer_port: usize,
+        rate: Rate,
+        delay: Duration,
+        cfg: PortConfig,
+    ) -> Self {
         EgressPort {
             peer,
             peer_port,
@@ -123,6 +134,8 @@ impl EgressPort {
             busy: false,
             stats: PortStats::default(),
             tx_payload_per_class: Vec::new(),
+            accounted_in_bytes: 0,
+            accounted_out_bytes: 0,
         }
     }
 
@@ -178,7 +191,9 @@ impl EgressPort {
             return false;
         }
         pkt.enqueued_at = now;
-        let verdict = self.aqm.on_enqueue(now, &self.queue_state(), &Self::view(&pkt));
+        let verdict = self
+            .aqm
+            .on_enqueue(now, &self.queue_state(), &Self::view(&pkt));
         match verdict {
             EnqueueVerdict::Drop => {
                 self.stats.aqm_enq_drops += 1;
@@ -194,17 +209,49 @@ impl EgressPort {
         let class = (pkt.class as usize).min(self.sched.classes() - 1);
         self.sched.enqueue(class, wire, pkt);
         self.stats.enqueued += 1;
+        if cfg!(feature = "strict-invariants") {
+            self.accounted_in_bytes += wire;
+            ecnsharp_sim::invariant!(
+                self.accounted_in_bytes == self.accounted_out_bytes + self.sched.backlog_bytes(),
+                "byte conservation broken after enqueue: in={} out={} backlog={}",
+                self.accounted_in_bytes,
+                self.accounted_out_bytes,
+                self.sched.backlog_bytes()
+            );
+        }
         true
     }
 
     /// Pull the next transmittable packet, applying dequeue-time AQM and
     /// fault injection. `dice` supplies deterministic uniform randoms for
     /// the fault injector. Returns `None` when the queue is empty.
-    pub(crate) fn next_tx(&mut self, now: SimTime, mut dice: impl FnMut() -> f64) -> Option<TxStart> {
+    pub(crate) fn next_tx(
+        &mut self,
+        now: SimTime,
+        mut dice: impl FnMut() -> f64,
+    ) -> Option<TxStart> {
         loop {
             let d = self.sched.dequeue()?;
             let mut pkt = d.item;
-            let verdict = self.aqm.on_dequeue(now, &self.queue_state(), &Self::view(&pkt));
+            if cfg!(feature = "strict-invariants") {
+                self.accounted_out_bytes += d.bytes;
+                ecnsharp_sim::invariant!(
+                    self.accounted_in_bytes
+                        == self.accounted_out_bytes + self.sched.backlog_bytes(),
+                    "byte conservation broken after dequeue: in={} out={} backlog={}",
+                    self.accounted_in_bytes,
+                    self.accounted_out_bytes,
+                    self.sched.backlog_bytes()
+                );
+                ecnsharp_sim::invariant!(
+                    now >= pkt.enqueued_at,
+                    "negative sojourn: dequeued at {now} but enqueued at {}",
+                    pkt.enqueued_at
+                );
+            }
+            let verdict = self
+                .aqm
+                .on_dequeue(now, &self.queue_state(), &Self::view(&pkt));
             match verdict {
                 DequeueVerdict::Drop => {
                     self.stats.aqm_deq_drops += 1;
@@ -240,7 +287,13 @@ mod tests {
     use ecnsharp_aqm::{DctcpRed, DropTail, Tcn};
 
     fn port(cfg: PortConfig) -> EgressPort {
-        EgressPort::new(NodeId(1), 0, Rate::from_gbps(10), Duration::from_micros(1), cfg)
+        EgressPort::new(
+            NodeId(1),
+            0,
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+            cfg,
+        )
     }
 
     fn pkt(payload: u64) -> Packet {
@@ -265,7 +318,7 @@ mod tests {
         ));
         assert!(p.enqueue(SimTime::ZERO, pkt(1460))); // occupancy 1538
         assert!(p.enqueue(SimTime::ZERO, pkt(1460))); // occupancy 3076
-        // Third packet pushes occupancy to 4614 > 3500: marked.
+                                                      // Third packet pushes occupancy to 4614 > 3500: marked.
         assert!(p.enqueue(SimTime::ZERO, pkt(1460)));
         assert_eq!(p.stats().enq_marks, 1);
         // The marked packet is the last one out.
@@ -325,7 +378,7 @@ mod tests {
         let tx = p.next_tx(SimTime::ZERO, &mut dice);
         assert!(tx.is_some());
         assert_eq!(p.stats().fault_drops, 2);
-        assert!(p.next_tx(SimTime::ZERO, &mut || 1.0).is_none() == false || true);
+        assert!(p.next_tx(SimTime::ZERO, &mut || 1.0).is_none());
     }
 
     #[test]

@@ -99,7 +99,14 @@ pub fn leaf_spine(
     }
     for &leaf in &leaves {
         for &spine in &spines {
-            net.connect(leaf, switch_port(), spine, switch_port(), fabric_rate, delay);
+            net.connect(
+                leaf,
+                switch_port(),
+                spine,
+                switch_port(),
+                fabric_rate,
+                delay,
+            );
         }
     }
     net.compute_routes();
@@ -147,7 +154,14 @@ pub fn dumbbell(
     let s1 = net.add_switch();
     let s2 = net.add_switch();
     net.connect(a, plain_port(), s1, plain_port(), edge_rate, delay);
-    let (p1, _) = net.connect(s1, bottleneck_port_cfg, s2, plain_port(), bottleneck_rate, delay);
+    let (p1, _) = net.connect(
+        s1,
+        bottleneck_port_cfg,
+        s2,
+        plain_port(),
+        bottleneck_rate,
+        delay,
+    );
     net.connect(s2, plain_port(), b, plain_port(), edge_rate, delay);
     net.compute_routes();
     Dumbbell {

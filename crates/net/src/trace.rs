@@ -152,8 +152,18 @@ mod tests {
     #[test]
     fn records_and_dumps() {
         let mut t = Tracer::new(10);
-        t.record(SimTime::from_micros(1), NodeId(2), TraceKind::Enqueue, &pkt(7, 0));
-        t.record(SimTime::from_micros(2), NodeId(2), TraceKind::Mark, &pkt(7, 1460));
+        t.record(
+            SimTime::from_micros(1),
+            NodeId(2),
+            TraceKind::Enqueue,
+            &pkt(7, 0),
+        );
+        t.record(
+            SimTime::from_micros(2),
+            NodeId(2),
+            TraceKind::Mark,
+            &pkt(7, 1460),
+        );
         assert_eq!(t.len(), 2);
         let dump = t.dump();
         assert!(dump.contains("ENQ"));
@@ -165,7 +175,12 @@ mod tests {
     fn ring_bounds_memory() {
         let mut t = Tracer::new(3);
         for k in 0..100u64 {
-            t.record(SimTime::from_micros(k), NodeId(0), TraceKind::Arrive, &pkt(1, k));
+            t.record(
+                SimTime::from_micros(k),
+                NodeId(0),
+                TraceKind::Arrive,
+                &pkt(1, k),
+            );
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.observed, 100);

@@ -137,8 +137,7 @@ proptest! {
 #[test]
 fn star_all_to_one_delivery() {
     for n in [2usize, 3, 8, 32] {
-        let counters: Vec<Arc<AtomicU64>> =
-            (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let counters: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let c2 = counters.clone();
         let mut topo = star(
             1,

@@ -1,0 +1,101 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A half-open length range for generated collections, mirroring
+/// `proptest::collection::SizeRange`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec length range");
+        SizeRange {
+            start: *r.start(),
+            end: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` (see [`vec`]).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span.max(1)) as usize;
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generate vectors whose length falls in `len` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_length_from_usize() {
+        let mut r = TestRng::for_test("vec-fixed", 3);
+        let s = vec(0u8..10, 4usize);
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut r).len(), 4);
+        }
+    }
+
+    #[test]
+    fn ranged_lengths_stay_in_bounds() {
+        let mut r = TestRng::for_test("vec-ranged", 3);
+        let s = vec(0u64..100, 1..9);
+        for _ in 0..200 {
+            let v = s.sample(&mut r);
+            assert!((1..9).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 100));
+        }
+    }
+
+    #[test]
+    fn nested_tuple_elements() {
+        let mut r = TestRng::for_test("vec-tuple", 3);
+        let s = vec((0usize..3, 60u64..1500), 1..20);
+        let v = s.sample(&mut r);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|&(c, b)| c < 3 && (60..1500).contains(&b)));
+    }
+}

@@ -106,26 +106,29 @@ impl<P: Send> Scheduler<P> for Dwrr<P> {
                 c.deficit += c.weight * quantum;
                 self.in_service = true;
             }
-            let head_bytes = c.q.front().expect("non-empty").0;
+            // Non-empty was checked above; a None head simply falls through
+            // to the deficit-carry branch instead of aborting the sim.
+            let head_bytes = c.q.front().map(|&(b, _)| b).unwrap_or(u64::MAX);
             if c.deficit >= head_bytes {
-                let (bytes, item) = c.q.pop_front().expect("non-empty");
-                c.deficit -= bytes;
-                c.bytes -= bytes;
-                self.total_bytes -= bytes;
-                self.total_pkts -= 1;
-                if c.q.is_empty() {
-                    // Standard DRR: an emptied class forfeits its deficit.
-                    c.deficit = 0;
-                    self.in_service = false;
-                    self.cursor = (idx + 1) % n;
+                if let Some((bytes, item)) = c.q.pop_front() {
+                    c.deficit -= bytes;
+                    c.bytes -= bytes;
+                    self.total_bytes -= bytes;
+                    self.total_pkts -= 1;
+                    if c.q.is_empty() {
+                        // Standard DRR: an emptied class forfeits its deficit.
+                        c.deficit = 0;
+                        self.in_service = false;
+                        self.cursor = (idx + 1) % n;
+                    }
+                    // Otherwise stay mid-service: the next call continues with
+                    // the remaining deficit, without a fresh grant.
+                    return Some(Dequeued {
+                        class: idx,
+                        bytes,
+                        item,
+                    });
                 }
-                // Otherwise stay mid-service: the next call continues with
-                // the remaining deficit, without a fresh grant.
-                return Some(Dequeued {
-                    class: idx,
-                    bytes,
-                    item,
-                });
             }
             // Deficit exhausted for this visit: carry it and move on.
             self.in_service = false;
@@ -272,7 +275,7 @@ mod tests {
                 d.enqueue(c, b, i as u32);
             }
             let n = d.backlog_pkts();
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for _ in 0..n {
                 let x = d.dequeue();
                 prop_assert!(x.is_some());

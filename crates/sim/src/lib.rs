@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod invariant;
 pub mod queue;
 pub mod rate;
 pub mod rng;

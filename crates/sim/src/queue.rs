@@ -43,6 +43,10 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    /// `(time, seq)` of the most recent pop, for the strict-invariants
+    /// total-order check: pop times never decrease, and among equal times
+    /// sequence numbers strictly increase (FIFO).
+    last_popped: Option<(SimTime, u64)>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -58,6 +62,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            last_popped: None,
         }
     }
 
@@ -73,16 +78,35 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Debug-panics when scheduling into the past; the engine never rewinds.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        crate::invariant!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Pop the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now, "time went backwards");
+        crate::invariant!(entry.time >= self.now, "time went backwards");
+        if cfg!(feature = "strict-invariants") {
+            if let Some((t, s)) = self.last_popped {
+                crate::invariant!(
+                    entry.time > t || (entry.time == t && entry.seq > s),
+                    "(time, seq) total order violated: popped ({}, {}) after ({t}, {s})",
+                    entry.time,
+                    entry.seq
+                );
+            }
+            self.last_popped = Some((entry.time, entry.seq));
+        }
         self.now = entry.time;
         Some((entry.time, entry.event))
     }

@@ -139,6 +139,9 @@ impl Rng {
     /// µ/σ), which is what delay-model calibration wants.
     pub fn lognormal_mean_std(&mut self, mean: f64, std: f64) -> f64 {
         debug_assert!(mean > 0.0 && std >= 0.0);
+        // std == 0.0 is a caller-supplied degenerate-distribution sentinel
+        // (constant value), not a computed quantity.
+        #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact degenerate-σ sentinel
         if std == 0.0 {
             return mean;
         }

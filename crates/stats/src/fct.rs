@@ -165,7 +165,11 @@ mod tests {
     fn p99_picks_tail() {
         let records: Vec<FlowRecord> = (0..100).map(|i| rec(i, 1_000, 100 + i)).collect();
         let b = FctBreakdown::from_records(&records);
-        assert!((b.overall.p99 * 1e6 - 198.0).abs() < 1.0, "{}", b.overall.p99);
+        assert!(
+            (b.overall.p99 * 1e6 - 198.0).abs() < 1.0,
+            "{}",
+            b.overall.p99
+        );
     }
 
     #[test]

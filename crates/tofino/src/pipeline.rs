@@ -277,8 +277,7 @@ mod tests {
 
     /// Run both implementations over the same trace; return their mark
     /// times (in ticks).
-    fn mark_times(
-        trace: &[(u64, u64)], // (now_ticks, sojourn_ticks)
+    fn mark_times(trace: &[(u64, u64)], // (now_ticks, sojourn_ticks)
     ) -> (Vec<u64>, Vec<u64>) {
         let mut hw = pipeline();
         let mut sw = EcnSharp::new(cfg());
@@ -312,7 +311,12 @@ mod tests {
         assert!(!sw.is_empty());
         assert_eq!(hw.first(), sw.first(), "episode entry must be tick-exact");
         let diff = (hw.len() as f64 - sw.len() as f64).abs() / sw.len() as f64;
-        assert!(diff < 0.05, "mark counts diverged: hw {} sw {}", hw.len(), sw.len());
+        assert!(
+            diff < 0.05,
+            "mark counts diverged: hw {} sw {}",
+            hw.len(),
+            sw.len()
+        );
         // Pairwise mark times stay within a small fraction of the base
         // interval.
         for (a, b) in hw.iter().zip(sw.iter()) {

@@ -9,7 +9,7 @@
 //! panics, so any pipeline organization bug fails unit tests immediately
 //! instead of silently diverging from what hardware would do.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A named array of 32-bit registers (one slot per switch port in the
 /// paper's deployment) enforcing single-access-per-pass.
@@ -21,7 +21,7 @@ pub struct RegisterArray {
 /// A set of register arrays plus per-pass access tracking.
 pub struct RegisterFile {
     arrays: Vec<RegisterArray>,
-    accessed_this_pass: HashSet<usize>,
+    accessed_this_pass: BTreeSet<usize>,
     passes: u64,
 }
 
@@ -34,7 +34,7 @@ impl RegisterFile {
     pub fn new() -> Self {
         RegisterFile {
             arrays: Vec::new(),
-            accessed_this_pass: HashSet::new(),
+            accessed_this_pass: BTreeSet::new(),
             passes: 0,
         }
     }

@@ -131,7 +131,10 @@ impl Sender {
     fn arm_rto(&mut self, ctx: &mut Ctx<'_>) {
         self.rto_epoch = self.rto_epoch.wrapping_add(1);
         let timeout = self.rtt.rto() * self.backoff as u64;
-        ctx.set_timer(timeout, timer_key(self.cmd.flow, TimerKind::Rto, self.rto_epoch));
+        ctx.set_timer(
+            timeout,
+            timer_key(self.cmd.flow, TimerKind::Rto, self.rto_epoch),
+        );
     }
 
     /// Cancel the timer logically (any pending firing becomes stale).
@@ -221,7 +224,8 @@ impl Sender {
                     self.cwnd += acked.min(self.mss()) as f64;
                 } else {
                     // Congestion avoidance: ~one MSS per RTT.
-                    self.cwnd += (self.mss() * self.mss()) as f64 / self.cwnd * (acked as f64 / self.mss() as f64).min(1.0);
+                    self.cwnd += (self.mss() * self.mss()) as f64 / self.cwnd
+                        * (acked as f64 / self.mss() as f64).min(1.0);
                 }
                 self.cwnd = self.cwnd.min(self.cfg.max_cwnd as f64);
             }
@@ -289,8 +293,8 @@ impl Sender {
                 }
                 self.timeouts += 1;
                 // Classic RTO reaction: collapse to one segment, go-back-N.
-                self.ssthresh = ((self.snd_nxt - self.snd_una) as f64 / 2.0)
-                    .max((2 * self.mss()) as f64);
+                self.ssthresh =
+                    ((self.snd_nxt - self.snd_una) as f64 / 2.0).max((2 * self.mss()) as f64);
                 self.cwnd = self.mss() as f64;
                 self.snd_nxt = self.snd_una;
                 self.dupacks = 0;
@@ -556,17 +560,28 @@ mod tests {
         // Ack the three IW segments: slow start adds 1 MSS per ACK.
         for (i, ack) in [1460u64, 2920, 4380].into_iter().enumerate() {
             let mut actions = Vec::new();
-            let mut ctx =
-                Ctx::detached(SimTime::from_micros(200 + i as u64), NodeId(0), &mut actions);
+            let mut ctx = Ctx::detached(
+                SimTime::from_micros(200 + i as u64),
+                NodeId(0),
+                &mut actions,
+            );
             s.on_ack(&mut ctx, &ack_pkt(ack, false, 100));
         }
-        assert!((s.cwnd - (cwnd0 + 3.0 * 1460.0)).abs() < 1.0, "cwnd {}", s.cwnd);
+        assert!(
+            (s.cwnd - (cwnd0 + 3.0 * 1460.0)).abs() < 1.0,
+            "cwnd {}",
+            s.cwnd
+        );
     }
 
     #[test]
     fn dctcp_alpha_decays_without_marks_and_rises_with() {
         let (mut s, _) = established(100_000_000);
-        assert_eq!(s.alpha, 1.0, "Linux-style init");
+        // Initialization assigns the literal 1.0; no arithmetic involved.
+        #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact literal assignment
+        {
+            assert_eq!(s.alpha, 1.0, "Linux-style init");
+        }
         // Several clean windows: alpha decays by (1-g) per window.
         let mut ack = 0u64;
         for k in 0..50u64 {
@@ -581,8 +596,7 @@ mod tests {
         for k in 0..300u64 {
             ack += 1460;
             let mut actions = Vec::new();
-            let mut ctx =
-                Ctx::detached(SimTime::from_micros(1_000 + k), NodeId(0), &mut actions);
+            let mut ctx = Ctx::detached(SimTime::from_micros(1_000 + k), NodeId(0), &mut actions);
             s.on_ack(&mut ctx, &ack_pkt(ack, true, 900));
         }
         assert!(s.alpha > low, "alpha should rise, got {}", s.alpha);
@@ -627,8 +641,7 @@ mod tests {
         // Three duplicate ACKs at 1460.
         for k in 0..3 {
             let mut actions = Vec::new();
-            let mut ctx =
-                Ctx::detached(SimTime::from_micros(310 + k), NodeId(0), &mut actions);
+            let mut ctx = Ctx::detached(SimTime::from_micros(310 + k), NodeId(0), &mut actions);
             s.on_ack(&mut ctx, &ack_pkt(1460, false, 0));
             let out = sent(&mut actions);
             if k < 2 {
@@ -649,7 +662,11 @@ mod tests {
         let mut ctx = Ctx::detached(SimTime::from_millis(50), NodeId(0), &mut actions);
         s.on_rto(&mut ctx);
         assert_eq!(s.timeouts, 1);
-        assert_eq!(s.cwnd, 1460.0, "cwnd collapses to one segment");
+        // RTO assigns cwnd = mss as f64 exactly; no arithmetic involved.
+        #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact literal assignment
+        {
+            assert_eq!(s.cwnd, 1460.0, "cwnd collapses to one segment");
+        }
         let out = sent(&mut actions);
         assert_eq!(out.len(), 1, "go-back-N resends from snd_una");
         assert_eq!(out[0].seq, 0);

@@ -4,14 +4,14 @@
 use crate::config::TcpConfig;
 use crate::conn::{parse_timer_key, Receiver, Sender, SenderState, TimerKind};
 use ecnsharp_net::{Agent, Ctx, FlowCmd, FlowId, Packet};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A host's transport stack: any number of concurrent sending and
 /// receiving flows.
 pub struct TcpStack {
     cfg: TcpConfig,
-    senders: HashMap<FlowId, Sender>,
-    receivers: HashMap<FlowId, Receiver>,
+    senders: BTreeMap<FlowId, Sender>,
+    receivers: BTreeMap<FlowId, Receiver>,
 }
 
 impl TcpStack {
@@ -19,8 +19,8 @@ impl TcpStack {
     pub fn new(cfg: TcpConfig) -> Self {
         TcpStack {
             cfg,
-            senders: HashMap::new(),
-            receivers: HashMap::new(),
+            senders: BTreeMap::new(),
+            receivers: BTreeMap::new(),
         }
     }
 
@@ -54,9 +54,10 @@ impl Agent for TcpStack {
             // SYN or data: for one of our receivers (created on demand —
             // the SYN usually creates it, but a retransmitted first data
             // segment must not crash a fresh receiver).
-            let r = self.receivers.entry(pkt.flow).or_insert_with(|| {
-                Receiver::new(pkt.flow, pkt.dst, pkt.src, pkt.class, self.cfg)
-            });
+            let r = self
+                .receivers
+                .entry(pkt.flow)
+                .or_insert_with(|| Receiver::new(pkt.flow, pkt.dst, pkt.src, pkt.class, self.cfg));
             r.on_packet(ctx, &pkt);
         }
     }
@@ -193,7 +194,8 @@ mod tests {
             TcpConfig::dctcp(),
         );
         let (a, b, s1, bp) = (d.a, d.b, d.s1, d.bottleneck_port);
-        d.net.schedule_flow(SimTime::ZERO, flow(1, a, b, 100_000_000));
+        d.net
+            .schedule_flow(SimTime::ZERO, flow(1, a, b, 100_000_000));
         d.net.add_queue_monitor(
             s1,
             bp,
@@ -228,8 +230,10 @@ mod tests {
             || PortConfig::fifo(1_000_000, Box::new(DctcpRed::with_threshold(60_000))),
         );
         let (h0, h1, h2) = (s.hosts[0], s.hosts[1], s.hosts[2]);
-        s.net.schedule_flow(SimTime::ZERO, flow(1, h0, h2, 20_000_000));
-        s.net.schedule_flow(SimTime::ZERO, flow(2, h1, h2, 20_000_000));
+        s.net
+            .schedule_flow(SimTime::ZERO, flow(1, h0, h2, 20_000_000));
+        s.net
+            .schedule_flow(SimTime::ZERO, flow(2, h1, h2, 20_000_000));
         s.net.run_until_idle();
         let recs = s.net.records();
         assert_eq!(recs.len(), 2);
@@ -263,7 +267,8 @@ mod tests {
             TcpConfig::dctcp(),
         );
         let (a, b, s1, bp) = (d.a, d.b, d.s1, d.bottleneck_port);
-        d.net.schedule_flow(SimTime::ZERO, flow(1, a, b, 50_000_000));
+        d.net
+            .schedule_flow(SimTime::ZERO, flow(1, a, b, 50_000_000));
         d.net.add_queue_monitor(
             s1,
             bp,
@@ -275,8 +280,8 @@ mod tests {
         let m = &d.net.monitors()[0];
         // 50 us sojourn at 10 Gbps ≈ 62.5 KB; queue must stay well below
         // an unmarked BDP-sized standing queue.
-        let avg_q: f64 = m.samples.iter().map(|&(_, b, _)| b as f64).sum::<f64>()
-            / m.samples.len() as f64;
+        let avg_q: f64 =
+            m.samples.iter().map(|&(_, b, _)| b as f64).sum::<f64>() / m.samples.len() as f64;
         assert!(avg_q < 150_000.0, "avg queue {avg_q} bytes");
         assert!(d.net.port_stats(s1, bp).deq_marks > 0);
     }
@@ -333,7 +338,8 @@ mod tests {
                 cfg,
             );
             let (a, b) = (d.a, d.b);
-            d.net.schedule_flow(SimTime::ZERO, flow(1, a, b, 30_000_000));
+            d.net
+                .schedule_flow(SimTime::ZERO, flow(1, a, b, 30_000_000));
             d.net.run_until_idle();
             let r = &d.net.records()[0];
             (r.size * 8) as f64 / r.fct().as_secs_f64() / 1e9

@@ -96,7 +96,9 @@ impl Table1Case {
             Table1Case::StackSlb => "Networking Stack + SLB",
             Table1Case::StackHypervisor => "Networking Stack + Hypervisor",
             Table1Case::StackSlbHypervisor => "Networking Stack + SLB + Hypervisor",
-            Table1Case::LoadedStackSlbHypervisor => "Networking Stack(high load) + SLB + Hypervisor",
+            Table1Case::LoadedStackSlbHypervisor => {
+                "Networking Stack(high load) + SLB + Hypervisor"
+            }
         }
     }
 
@@ -136,7 +138,9 @@ pub struct RttSampleStats {
 /// Run one Table-1 "experiment": `n` request-response probes.
 pub fn measure_case(case: Table1Case, n: usize, rng: &mut Rng) -> RttSampleStats {
     assert!(n >= 2);
-    let mut xs: Vec<f64> = (0..n).map(|_| case.sample_rtt(rng).as_micros_f64()).collect();
+    let mut xs: Vec<f64> = (0..n)
+        .map(|_| case.sample_rtt(rng).as_micros_f64())
+        .collect();
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mean = xs.iter().sum::<f64>() / n as f64;
     let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;

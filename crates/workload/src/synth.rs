@@ -61,7 +61,8 @@ impl SizeDist {
                     // α = 1: mean = ln(h/l) · l·h/(h−l)
                     (h * l) / (h - l) * (h / l).ln()
                 } else {
-                    (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+                    (l.powf(a) / (1.0 - (l / h).powf(a)))
+                        * (a / (a - 1.0))
                         * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
                 }
             }
@@ -90,6 +91,8 @@ mod tests {
     use super::*;
 
     #[test]
+    // (10 + 20) / 2 is exact in f64.
+    #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact small-integer mean
     fn fixed_and_uniform() {
         let mut rng = Rng::seed_from_u64(1);
         assert_eq!(SizeDist::Fixed(777).sample(&mut rng), 777);

@@ -60,7 +60,12 @@ impl TrafficSpec {
 
     /// Generate `n_flows` scheduled flow commands with ids starting at
     /// `first_id`. Deterministic given `rng`'s state.
-    pub fn generate(&self, n_flows: usize, first_id: u64, rng: &mut Rng) -> Vec<(SimTime, FlowCmd)> {
+    pub fn generate(
+        &self,
+        n_flows: usize,
+        first_id: u64,
+        rng: &mut Rng,
+    ) -> Vec<(SimTime, FlowCmd)> {
         let mean_gap = self.mean_interarrival();
         let mut t = self.start;
         let mut out = Vec::with_capacity(n_flows);

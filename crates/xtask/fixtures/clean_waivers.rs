@@ -1,0 +1,35 @@
+//! Clean fixture: every waivable rule present but properly waived, plus
+//! look-alike tokens that must NOT trigger (`Instantaneous`,
+//! `should_panic`, tuple field access, strings, comments).
+
+use std::collections::HashMap; // lint: allow(hash-collections) membership-only, never iterated
+
+/// Times host execution of a figure binary, not simulated time.
+/// lint: allow(wall-clock) host-side harness timing
+pub fn host_elapsed(t0: std::time::Instant) -> u64 {
+    t0.elapsed().as_nanos() as u64 // lint: allow(wall-clock) host-side harness timing
+}
+
+/// Length is checked by the caller; waiver documents it.
+// lint: allow(hash-collections) membership-only, never iterated
+pub fn checked_head(queue: &[u64], lookup: &HashMap<u64, u64>) -> u64 {
+    // lint: allow(hash-collections) membership-only, never iterated
+    let _present = lookup.contains_key(&0);
+    // lint: allow(hot-path-panic) caller guarantees non-empty
+    let head = queue.first().unwrap();
+    *head
+}
+
+/// Comparing against a sentinel NaN-free constant, reviewed and waived.
+pub fn is_disabled(p: f64) -> bool {
+    // lint: allow(float-cmp) 0.0 is an exact sentinel, never computed
+    p == 0.0
+}
+
+/// Near-misses that must stay silent: `Instantaneous` is not `Instant`,
+/// `should_panic` is not `panic!`, `"Instant::now"` is a string, and
+/// `pair.0 == other.0` compares integers.
+pub fn near_misses(pair: (u64, u64), other: (u64, u64)) -> bool {
+    let _s = "Instant::now and thread_rng live in strings";
+    pair.0 == other.0
+}

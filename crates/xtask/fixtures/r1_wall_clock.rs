@@ -1,0 +1,12 @@
+//! Seeded R1 violation: wall-clock time in a sim-facing crate.
+
+/// Reads the host clock, which differs run to run: the event queue's
+/// `SimTime` is the only legal clock in simulation code.
+pub fn measure() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// `SystemTime` is just as illegal.
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

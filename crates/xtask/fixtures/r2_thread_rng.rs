@@ -1,0 +1,8 @@
+//! Seeded R2 violation: ambient OS-seeded randomness. Unwaivable — every
+//! random draw must flow through the seeded `ecnsharp_sim::Rng`.
+
+/// Draws from an ambient generator whose seed comes from the OS.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::random::<f64>() + rng.gen::<f64>()
+}

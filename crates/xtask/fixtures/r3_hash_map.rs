@@ -1,0 +1,17 @@
+//! Seeded R3 violation: default-hasher collections in sim-facing
+//! production code iterate in nondeterministic order.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Iterating this map reorders flow processing between runs.
+pub fn tally(flows: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    let mut seen = HashSet::new();
+    for &f in flows {
+        if seen.insert(f) {
+            *m.entry(f).or_insert(0) += 1;
+        }
+    }
+    m
+}

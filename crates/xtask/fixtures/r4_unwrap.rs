@@ -1,0 +1,12 @@
+//! Seeded R4 violation: panic-capable calls on the per-packet hot path.
+
+/// An unwrap in a dequeue loop aborts the entire figure run on the first
+/// malformed state instead of surfacing a typed error.
+pub fn head(queue: &[u64]) -> u64 {
+    let first = queue.first().unwrap();
+    let second = queue.get(1).expect("second element");
+    if *first > *second {
+        panic!("inverted queue");
+    }
+    *first
+}

@@ -1,0 +1,12 @@
+//! Seeded R5 violation: exact equality on floating-point expressions.
+
+/// Marking probabilities are continuous; exact comparison is always a
+/// latent bug.
+pub fn saturated(p: f64) -> bool {
+    p == 1.0
+}
+
+/// The cast form is just as wrong.
+pub fn same_load(bytes: u64, target: f64) -> bool {
+    bytes as f64 != target
+}

@@ -1,0 +1,4 @@
+// Seeded R6 violation: a crate root missing the mandatory
+// #![forbid(unsafe_code)] and #![warn(missing_docs)] inner attributes.
+
+pub fn undocumented() {}

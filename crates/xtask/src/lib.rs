@@ -1,0 +1,187 @@
+//! # xtask
+//!
+//! Workspace automation for the ECN♯ reproduction. The interesting part
+//! is a custom source-level static-analysis pass (`cargo xtask lint`)
+//! enforcing the simulator's determinism contract:
+//!
+//! | rule | scope | enforces |
+//! |------|-------|----------|
+//! | R1 `wall-clock` | sim-facing crates | no `std::time::Instant`/`SystemTime` |
+//! | R2 (unwaivable) | whole workspace | no `thread_rng`/`rand::random`/`OsRng` |
+//! | R3 `hash-collections` | sim-facing, non-test | no default-hasher `HashMap`/`HashSet` |
+//! | R4 `hot-path-panic` | AQM/marker/port/queue hot paths | no `.unwrap()`/`.expect()`/`panic!` family |
+//! | R5 `float-cmp` | whole workspace | no `==`/`!=` on float expressions |
+//! | R6 (unwaivable) | every crate root | `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
+//!
+//! Waive a finding with `// lint: allow(<slug>) <reason>` on the line or
+//! the line above. `cargo xtask selftest` proves each rule fires on a
+//! seeded violation fixture (see `fixtures/`), and `cargo xtask ci` chains
+//! fmt → clippy → lint → selftest → build → tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+pub mod selftest;
+
+pub use rules::{check_file, check_lib_headers, Rule, Violation};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How the linter treats one file, derived from its workspace path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate participates in simulation results (R1/R3 apply).
+    pub sim_facing: bool,
+    /// File is on the per-packet hot path (R4 applies).
+    pub hot_path: bool,
+    /// Whole file is test/bench code (R3/R4 relaxed).
+    pub test_file: bool,
+}
+
+/// Crates whose code feeds simulation results: wall-clock and iteration-
+/// order nondeterminism here silently breaks reproducibility.
+pub const SIM_FACING_CRATES: [&str; 9] = [
+    "sim",
+    "net",
+    "transport",
+    "aqm",
+    "core",
+    "sched",
+    "workload",
+    "stats",
+    "tofino",
+];
+
+/// Files on the per-packet hot path, where a panic aborts a whole figure
+/// run: every AQM decision site, the marker state machine, the scheduler
+/// dequeue loop, the egress port, and the event queue itself.
+pub const HOT_PATH_PREFIXES: [&str; 5] = [
+    "crates/aqm/src/",
+    "crates/core/src/",
+    "crates/sched/src/",
+    "crates/net/src/port.rs",
+    "crates/sim/src/queue.rs",
+];
+
+/// Classify a workspace-relative path (forward slashes). Returns `None`
+/// for files the linter skips entirely (the fixtures, generated output).
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") || rel.starts_with("crates/xtask/fixtures/") {
+        return None;
+    }
+    let sim_facing = SIM_FACING_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/")));
+    let hot_path = HOT_PATH_PREFIXES.iter().any(|p| rel.starts_with(p));
+    let test_file = rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/examples/");
+    Some(FileClass {
+        sim_facing,
+        hot_path,
+        test_file,
+    })
+}
+
+/// Walk the workspace and lint every Rust source file, including the R6
+/// crate-root header check.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut violations = Vec::new();
+    for rel in &files {
+        let Some(class) = classify(rel) else { continue };
+        let source = fs::read_to_string(root.join(rel))?;
+        violations.extend(check_file(rel, &source, &class));
+        if rel.ends_with("/src/lib.rs") || rel == "src/lib.rs" {
+            violations.extend(check_lib_headers(rel, &source));
+        }
+    }
+    Ok(violations)
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 5] = ["target", ".git", ".github", "results", "fixtures"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root, derived from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(manifest)
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        let c = classify("crates/core/src/marker.rs").unwrap();
+        assert!(c.sim_facing && c.hot_path && !c.test_file);
+        let c = classify("crates/net/src/network.rs").unwrap();
+        assert!(c.sim_facing && !c.hot_path);
+        let c = classify("crates/net/src/port.rs").unwrap();
+        assert!(c.hot_path);
+        let c = classify("crates/experiments/src/bin/all.rs").unwrap();
+        assert!(!c.sim_facing && !c.hot_path);
+        let c = classify("crates/net/tests/topology_prop.rs").unwrap();
+        assert!(c.sim_facing && c.test_file);
+        assert!(classify("crates/xtask/fixtures/r1_wall_clock.rs").is_none());
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn workspace_is_lint_clean() {
+        let violations = lint_workspace(&workspace_root()).expect("walk workspace");
+        assert!(
+            violations.is_empty(),
+            "workspace must be lint-clean:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn selftest_passes() {
+        selftest::run(&workspace_root()).expect("selftest");
+    }
+}

@@ -1,0 +1,493 @@
+//! The determinism lint rules (R1-R6) and the per-file checking engine.
+//!
+//! Every rule reports [`Violation`]s carrying the rule id, a waiver slug
+//! (where waiving is permitted), and the offending location. A waiver is
+//! a comment `// lint: allow(<slug>) <reason>` on the violating line or
+//! the line directly above it.
+
+use crate::scan::{find_word, has_word, scan_lines, waiver_slugs};
+use crate::FileClass;
+use std::fmt;
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: no wall-clock (`std::time::Instant` / `SystemTime`) in
+    /// sim-facing crates.
+    WallClock,
+    /// R2: no ambient randomness (`thread_rng`, `rand::random`, `OsRng`).
+    NondeterministicRng,
+    /// R3: no default-hasher `HashMap`/`HashSet` in sim-facing production
+    /// code.
+    HashCollections,
+    /// R4: no `.unwrap()`/`.expect()`/`panic!`-family in AQM/marker/port
+    /// hot paths without a waiver.
+    HotPathPanic,
+    /// R5: no `==`/`!=` on floating-point expressions.
+    FloatCmp,
+    /// R6: every crate's `lib.rs` forbids unsafe code and warns on
+    /// missing docs.
+    LintHeaders,
+}
+
+impl Rule {
+    /// Short rule id used in reports ("R1".."R6").
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "R1",
+            Rule::NondeterministicRng => "R2",
+            Rule::HashCollections => "R3",
+            Rule::HotPathPanic => "R4",
+            Rule::FloatCmp => "R5",
+            Rule::LintHeaders => "R6",
+        }
+    }
+
+    /// Waiver slug accepted in `lint: allow(<slug>)` comments; `None`
+    /// when the rule cannot be waived.
+    pub fn waiver_slug(self) -> Option<&'static str> {
+        match self {
+            Rule::WallClock => Some("wall-clock"),
+            Rule::NondeterministicRng => None,
+            Rule::HashCollections => Some("hash-collections"),
+            Rule::HotPathPanic => Some("hot-path-panic"),
+            Rule::FloatCmp => Some("float-cmp"),
+            Rule::LintHeaders => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One reported lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}\n    | {}",
+            self.rule, self.path, self.line, self.message, self.excerpt
+        )
+    }
+}
+
+/// Check one file's source against every applicable rule.
+pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Violation> {
+    let lines = scan_lines(source);
+    let raw: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+
+    // Waivers: slugs active on each line (declared there or the line above).
+    let waivers: Vec<Vec<String>> = lines.iter().map(|l| waiver_slugs(&l.comment)).collect();
+    let waived = |idx: usize, rule: Rule| -> bool {
+        let Some(slug) = rule.waiver_slug() else {
+            return false;
+        };
+        let mut active = waivers[idx].iter();
+        if active.any(|s| s == slug) {
+            return true;
+        }
+        idx > 0 && waivers[idx - 1].iter().any(|s| s == slug)
+    };
+
+    // Heuristic test-section detection: everything at or below the first
+    // `#[cfg(test)]` is test code (the workspace convention keeps test
+    // modules at the end of each file).
+    let mut first_test_line = usize::MAX;
+    for (i, l) in lines.iter().enumerate() {
+        if l.code.contains("#[cfg(test)]") {
+            first_test_line = i;
+            break;
+        }
+    }
+
+    let mut push = |rule: Rule, idx: usize, message: String| {
+        out.push(Violation {
+            rule,
+            path: path.to_string(),
+            line: idx + 1,
+            message,
+            excerpt: raw.get(idx).map_or(String::new(), |s| s.trim().to_string()),
+        });
+    };
+
+    for (idx, l) in lines.iter().enumerate() {
+        let in_test = class.test_file || idx >= first_test_line;
+        let code = l.code.as_str();
+
+        // ── R1: wall clock ────────────────────────────────────────────
+        if class.sim_facing {
+            for word in ["Instant", "SystemTime"] {
+                if has_word(code, word) && !waived(idx, Rule::WallClock) {
+                    push(
+                        Rule::WallClock,
+                        idx,
+                        format!(
+                            "`{word}` is wall-clock time; simulations must use \
+                             `SimTime` from the event queue"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ── R2: ambient randomness (workspace-wide, unwaivable) ───────
+        for word in ["thread_rng", "OsRng", "from_entropy"] {
+            if has_word(code, word) {
+                push(
+                    Rule::NondeterministicRng,
+                    idx,
+                    format!("`{word}` draws OS entropy; all randomness must flow through the seeded `ecnsharp_sim::Rng`"),
+                );
+            }
+        }
+        if code.contains("rand::random") {
+            push(
+                Rule::NondeterministicRng,
+                idx,
+                "`rand::random` draws from an ambient generator; use the seeded `ecnsharp_sim::Rng`".to_string(),
+            );
+        }
+
+        // ── R3: default-hasher collections ────────────────────────────
+        if class.sim_facing && !in_test {
+            for word in ["HashMap", "HashSet"] {
+                if has_word(code, word) && !waived(idx, Rule::HashCollections) {
+                    push(
+                        Rule::HashCollections,
+                        idx,
+                        format!(
+                            "`{word}` iterates in nondeterministic order; use \
+                             BTreeMap/BTreeSet/Vec or waive with \
+                             `// lint: allow(hash-collections) <reason>`"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ── R4: panics in hot paths ───────────────────────────────────
+        if class.hot_path && !in_test {
+            let panicky: [(&str, bool); 6] = [
+                (".unwrap()", false),
+                (".expect(", false),
+                ("panic!", true),
+                ("unreachable!", true),
+                ("todo!", true),
+                ("unimplemented!", true),
+            ];
+            for (tok, word_check) in panicky {
+                let hit = if word_check {
+                    let bare = tok.trim_end_matches('!');
+                    find_word(code, bare)
+                        .map(|p| code[p + bare.len()..].starts_with('!'))
+                        .unwrap_or(false)
+                } else {
+                    code.contains(tok)
+                };
+                if hit && !waived(idx, Rule::HotPathPanic) {
+                    push(
+                        Rule::HotPathPanic,
+                        idx,
+                        format!(
+                            "`{tok}` can abort the per-packet hot path; return a \
+                             typed error, use an invariant!, or waive with \
+                             `// lint: allow(hot-path-panic) <reason>`",
+                            tok = tok.trim_start_matches('.')
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ── R5: float equality ────────────────────────────────────────
+        for op_pos in float_eq_positions(code) {
+            if !waived(idx, Rule::FloatCmp) {
+                push(
+                    Rule::FloatCmp,
+                    idx,
+                    format!(
+                        "`{}` on a floating-point expression; compare with an \
+                         epsilon or restructure",
+                        &code[op_pos..op_pos + 2]
+                    ),
+                );
+            }
+        }
+    }
+
+    out
+}
+
+/// R6: check a crate's `lib.rs` for the mandatory inner attributes.
+pub fn check_lib_headers(path: &str, source: &str) -> Vec<Violation> {
+    let lines = scan_lines(source);
+    let mut missing = Vec::new();
+    for attr in ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"] {
+        let present = lines
+            .iter()
+            .any(|l| l.code.replace(' ', "").contains(&attr.replace(' ', "")));
+        if !present {
+            missing.push(attr);
+        }
+    }
+    missing
+        .into_iter()
+        .map(|attr| Violation {
+            rule: Rule::LintHeaders,
+            path: path.to_string(),
+            line: 1,
+            message: format!("crate root is missing the mandatory `{attr}` attribute"),
+            excerpt: source.lines().next().unwrap_or("").trim().to_string(),
+        })
+        .collect()
+}
+
+/// Byte positions of `==`/`!=` operators whose operands look
+/// floating-point (float literal, `f32`/`f64` token, or `as f..` cast).
+fn float_eq_positions(code: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let two = &code[i..i + 2];
+        if (two == "==" || two == "!=")
+            && (i == 0 || !matches!(b[i - 1], b'=' | b'<' | b'>' | b'!'))
+            && (i + 2 >= b.len() || b[i + 2] != b'=')
+        {
+            let left = operand_before(code, i);
+            let right = operand_after(code, i + 2);
+            if looks_float(&left) || looks_float(&right) {
+                out.push(i);
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Scan backwards from the operator to approximate the left operand.
+fn operand_before(code: &str, op: usize) -> String {
+    let b = code.as_bytes();
+    let mut depth = 0i32;
+    let mut start = op;
+    while start > 0 {
+        let c = b[start - 1];
+        match c {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            b',' | b';' | b'{' | b'}' | b'&' | b'|' | b'<' | b'>' | b'=' | b'!' if depth == 0 => {
+                break
+            }
+            _ => {}
+        }
+        start -= 1;
+    }
+    code[start..op].to_string()
+}
+
+/// Scan forwards from the operator to approximate the right operand.
+fn operand_after(code: &str, from: usize) -> String {
+    let b = code.as_bytes();
+    let mut depth = 0i32;
+    let mut end = from;
+    while end < b.len() {
+        let c = b[end];
+        match c {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            b',' | b';' | b'{' | b'}' | b'&' | b'|' | b'<' | b'>' | b'=' | b'!' if depth == 0 => {
+                break
+            }
+            _ => {}
+        }
+        end += 1;
+    }
+    code[from..end].to_string()
+}
+
+/// Does an operand snippet look like a floating-point expression?
+fn looks_float(operand: &str) -> bool {
+    // Substring on purpose: catches `as f64`, `f64::` paths and the
+    // `_f64` naming convention alike.
+    if operand.contains("f64") || operand.contains("f32") {
+        return true;
+    }
+    // Float literal: digit '.' digit, not preceded by an identifier
+    // character or another dot (which would be tuple/field access).
+    let b = operand.as_bytes();
+    for i in 0..b.len() {
+        if b[i] == b'.'
+            && i > 0
+            && b[i - 1].is_ascii_digit()
+            && i + 1 < b.len()
+            && b[i + 1].is_ascii_digit()
+        {
+            // Walk back over the integer part to its first digit.
+            let mut j = i - 1;
+            while j > 0 && b[j - 1].is_ascii_digit() {
+                j -= 1;
+            }
+            let prev = if j == 0 { None } else { Some(b[j - 1]) };
+            let is_field_access =
+                matches!(prev, Some(c) if c == b'.' || c.is_ascii_alphanumeric() || c == b'_');
+            if !is_field_access {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_class() -> FileClass {
+        FileClass {
+            sim_facing: true,
+            hot_path: false,
+            test_file: false,
+        }
+    }
+
+    fn hot_class() -> FileClass {
+        FileClass {
+            sim_facing: true,
+            hot_path: true,
+            test_file: false,
+        }
+    }
+
+    fn rules_of(v: &[Violation]) -> Vec<Rule> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn r1_fires_on_instant_but_not_instantaneous() {
+        let v = check_file("x.rs", "let t = std::time::Instant::now();", &sim_class());
+        assert_eq!(rules_of(&v), vec![Rule::WallClock]);
+        let ok = check_file("x.rs", "let r = MarkReason::Instantaneous;", &sim_class());
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn r1_waivable() {
+        let src = "// lint: allow(wall-clock) host-side timing\nlet t = Instant::now();";
+        assert!(check_file("x.rs", src, &sim_class()).is_empty());
+    }
+
+    #[test]
+    fn r2_fires_everywhere_and_is_unwaivable() {
+        let src = "// lint: allow(nondeterministic-rng) nice try\nlet x = rand::thread_rng();";
+        let class = FileClass {
+            sim_facing: false,
+            hot_path: false,
+            test_file: false,
+        };
+        let v = check_file("x.rs", src, &class);
+        assert!(rules_of(&v).contains(&Rule::NondeterministicRng));
+    }
+
+    #[test]
+    fn r3_respects_waiver_and_test_code() {
+        let v = check_file("x.rs", "use std::collections::HashMap;", &sim_class());
+        assert_eq!(rules_of(&v), vec![Rule::HashCollections]);
+        let waived =
+            "use std::collections::HashMap; // lint: allow(hash-collections) membership only";
+        assert!(check_file("x.rs", waived, &sim_class()).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { use std::collections::HashSet; }";
+        assert!(check_file("x.rs", test_src, &sim_class()).is_empty());
+    }
+
+    #[test]
+    fn r4_only_in_hot_paths() {
+        let src = "let v = xs.last().unwrap();";
+        assert!(check_file("x.rs", src, &sim_class()).is_empty());
+        let v = check_file("x.rs", src, &hot_class());
+        assert_eq!(rules_of(&v), vec![Rule::HotPathPanic]);
+        let waived = "let v = xs.last().unwrap(); // lint: allow(hot-path-panic) len checked above";
+        assert!(check_file("x.rs", waived, &hot_class()).is_empty());
+    }
+
+    #[test]
+    fn r4_panic_word_boundary() {
+        let src = "#[should_panic(expected = \"boom\")]";
+        assert!(check_file("x.rs", src, &hot_class()).is_empty());
+        let v = check_file("x.rs", "panic!(\"boom\");", &hot_class());
+        assert_eq!(rules_of(&v), vec![Rule::HotPathPanic]);
+    }
+
+    #[test]
+    fn r5_detects_float_eq_variants() {
+        for src in [
+            "if a == 1.0 { }",
+            "if x as f64 == y { }",
+            "let b = p != 0.25;",
+            "if ratio_f64() == target_f64() { }",
+        ] {
+            let v = check_file("x.rs", src, &sim_class());
+            assert_eq!(rules_of(&v), vec![Rule::FloatCmp], "src: {src}");
+        }
+    }
+
+    #[test]
+    fn r5_ignores_int_eq_and_tuple_access() {
+        for src in [
+            "if a == 1 { }",
+            "assert!(pair.0 == other.0);",
+            "if v[0].1 == w.1 { }",
+            "let ge = a >= 1; let arrow = match x { _ => 2 };",
+        ] {
+            assert!(
+                check_file("x.rs", src, &sim_class()).is_empty(),
+                "src: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn r5_ignores_strings_and_comments() {
+        let src = "// a == 1.0 in prose\nlet s = \"x == 1.0\";";
+        assert!(check_file("x.rs", src, &sim_class()).is_empty());
+    }
+
+    #[test]
+    fn r6_header_check() {
+        let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}";
+        assert!(check_lib_headers("lib.rs", good).is_empty());
+        let bad = "pub fn f() {}";
+        let v = check_lib_headers("lib.rs", bad);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.rule == Rule::LintHeaders));
+    }
+}

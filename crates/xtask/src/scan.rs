@@ -1,0 +1,281 @@
+//! Line-level preprocessing for the lint pass: a lightweight Rust lexer
+//! that separates each line into *code text* (string/char literals and
+//! comments blanked out) and *comment text* (where waivers live).
+//!
+//! The lexer is deliberately approximate — it understands line comments,
+//! nested block comments, string/raw-string/char literals and skips
+//! lifetimes — which is exactly enough for word-boundary token matching
+//! to be reliable on this workspace's sources.
+
+/// One source line after lexing.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedLine {
+    /// The line with comments and literal contents replaced by spaces.
+    pub code: String,
+    /// Concatenated comment text of the line (line + block comments).
+    pub comment: String,
+}
+
+/// Lexer state carried across lines.
+#[derive(Debug, Clone, Copy, Default)]
+struct LexState {
+    /// Depth of nested `/* */` comments (rust block comments nest).
+    block_comment_depth: u32,
+    /// Inside a raw string: number of `#` in its delimiter, if any.
+    raw_string_hashes: Option<u32>,
+}
+
+/// Lex a whole file into per-line code/comment views.
+pub fn scan_lines(source: &str) -> Vec<ScannedLine> {
+    let mut state = LexState::default();
+    source
+        .lines()
+        .map(|line| scan_line(line, &mut state))
+        .collect()
+}
+
+fn scan_line(line: &str, state: &mut LexState) -> ScannedLine {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        // ── continue multi-line constructs ──────────────────────────────
+        if state.block_comment_depth > 0 {
+            if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                state.block_comment_depth -= 1;
+                code.push_str("  ");
+                i += 2;
+            } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                state.block_comment_depth += 1;
+                code.push_str("  ");
+                i += 2;
+            } else {
+                comment.push(bytes[i]);
+                code.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = state.raw_string_hashes {
+            // Look for `"###...` with the right number of hashes.
+            if bytes[i] == '"' {
+                let mut ok = true;
+                for k in 0..hashes as usize {
+                    if bytes.get(i + 1 + k) != Some(&'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    state.raw_string_hashes = None;
+                    for _ in 0..=hashes as usize {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+            }
+            code.push(' ');
+            i += 1;
+            continue;
+        }
+
+        let c = bytes[i];
+        match c {
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments) — rest of line.
+                comment.push_str(&bytes[i..].iter().collect::<String>());
+                while i < bytes.len() {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                state.block_comment_depth += 1;
+                code.push_str("  ");
+                i += 2;
+            }
+            '"' => {
+                // Ordinary string literal: skip to unescaped closing quote.
+                code.push(' ');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        code.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                // Unterminated ordinary strings continuing across lines are
+                // not used in this workspace; treat line end as terminator.
+            }
+            'r' if bytes.get(i + 1) == Some(&'"')
+                || (bytes.get(i + 1) == Some(&'#') && !is_ident_char_before(&bytes, i)) =>
+            {
+                // Raw string r"..." or r#"..."# (only when `r` starts a token).
+                if is_ident_char_before(&bytes, i) {
+                    code.push(c);
+                    i += 1;
+                    continue;
+                }
+                let mut hashes = 0u32;
+                let mut j = i + 1;
+                while bytes.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&'"') {
+                    state.raw_string_hashes = Some(hashes);
+                    for _ in i..=j {
+                        code.push(' ');
+                    }
+                    i = j + 1;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\x'`, `'a'` are literals;
+                // `'static` is a lifetime.
+                if bytes.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: skip to closing quote.
+                    code.push(' ');
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != '\'' {
+                        code.push(' ');
+                        i += 1;
+                    }
+                    code.push(' ');
+                    i += 1;
+                } else if bytes.get(i + 2) == Some(&'\'') {
+                    code.push_str("   ");
+                    i += 3;
+                } else {
+                    code.push(c); // lifetime tick; harmless in code text
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    ScannedLine { code, comment }
+}
+
+fn is_ident_char_before(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// Does `code` contain `word` as a standalone identifier (not a substring
+/// of a longer identifier)?
+pub fn has_word(code: &str, word: &str) -> bool {
+    find_word(code, word).is_some()
+}
+
+/// Find the byte offset of `word` as a standalone identifier in `code`.
+pub fn find_word(code: &str, word: &str) -> Option<usize> {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident_byte(b[start - 1]);
+        let after_ok = end >= b.len() || !is_ident_byte(b[end]);
+        if before_ok && after_ok {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Waiver slugs declared on a comment via `lint: allow(<slug>)`.
+pub fn waiver_slugs(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        let after = &rest[pos + "lint: allow(".len()..];
+        if let Some(close) = after.find(')') {
+            out.push(after[..close].trim().to_string());
+            rest = &after[close..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_comments_but_keeps_them_as_comment_text() {
+        let s = scan_lines("let x = 1; // HashMap here");
+        assert!(!s[0].code.contains("HashMap"));
+        assert!(s[0].comment.contains("HashMap"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let s = scan_lines(r#"println!("Instant::now inside a string");"#);
+        assert!(!s[0].code.contains("Instant"));
+        assert!(s[0].code.contains("println!"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let src = "a /* outer /* inner */ still comment */ b\nc /* open\nclose */ d";
+        let s = scan_lines(src);
+        assert!(s[0].code.contains('a') && s[0].code.contains('b'));
+        assert!(!s[0].code.contains("still"));
+        assert!(s[1].code.contains('c') && !s[1].code.contains("open"));
+        assert!(!s[2].code.contains("close") && s[2].code.contains('d'));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan_lines("let c = 'x'; fn f<'a>(v: &'a str) {}");
+        assert!(!s[0].code.contains('x') || s[0].code.contains("fn f"));
+        assert!(s[0].code.contains("&'a str") || s[0].code.contains("'a"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scan_lines(r##"let q = r#"thread_rng in raw"#; let y = 2;"##);
+        assert!(!s[0].code.contains("thread_rng"));
+        assert!(s[0].code.contains("let y = 2"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("use std::time::Instant;", "Instant"));
+        assert!(!has_word("MarkReason::Instantaneous", "Instant"));
+        assert!(!has_word("should_panic", "panic"));
+    }
+
+    #[test]
+    fn waiver_parsing() {
+        let slugs = waiver_slugs("// lint: allow(hash-collections) membership only");
+        assert_eq!(slugs, vec!["hash-collections".to_string()]);
+        let two = waiver_slugs("lint: allow(a) and lint: allow(b)");
+        assert_eq!(two, vec!["a".to_string(), "b".to_string()]);
+        assert!(waiver_slugs("plain comment").is_empty());
+    }
+}

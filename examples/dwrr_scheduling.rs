@@ -15,7 +15,10 @@ use ecn_sharp::sim::Duration;
 fn main() {
     println!("DWRR 2:1:1 with ECN# marking (long flows join at 0s / 0.5s / 1.0s)\n");
     let r = run_dwrr(Scheme::EcnSharp(None), 21);
-    println!("{:>7} {:>12} {:>12} {:>12}", "t", "class0_gbps", "class1_gbps", "class2_gbps");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12}",
+        "t", "class0_gbps", "class1_gbps", "class2_gbps"
+    );
     for (t, g) in r.checkpoints.iter().zip(&r.goodput) {
         println!(
             "{:>6.1}s {:>12.2} {:>12.2} {:>12.2}",

@@ -64,9 +64,13 @@ fn run(label: &str, make_aqm: impl Fn() -> Box<dyn Aqm>) {
         );
     }
     let bport = topo.net.port_towards(topo.switch, receiver).unwrap();
-    topo.net
-        .add_queue_monitor(topo.switch, bport, Duration::from_micros(100),
-                           SimTime::from_millis(100), SimTime::from_millis(200));
+    topo.net.add_queue_monitor(
+        topo.switch,
+        bport,
+        Duration::from_micros(100),
+        SimTime::from_millis(100),
+        SimTime::from_millis(200),
+    );
     topo.net.run_until(SimTime::from_millis(220));
 
     let probes: Vec<_> = topo
@@ -91,7 +95,9 @@ fn main() {
     println!("ECN# quickstart: short-flow latency under RTT variation (3x, 70..210 us)\n");
     // Current practice: instantaneous threshold from the 90th-pct RTT
     // (K = 10 Gbps x 200 us = 250 KB).
-    run("DCTCP-RED-Tail", || Box::new(DctcpRed::with_threshold(250_000)));
+    run("DCTCP-RED-Tail", || {
+        Box::new(DctcpRed::with_threshold(250_000))
+    });
     // ECN#: same instantaneous threshold as sojourn time, plus the
     // persistent-queue detector (pst_target 20 us, pst_interval 200 us).
     run("ECN#", || {

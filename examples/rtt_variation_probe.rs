@@ -29,13 +29,15 @@ fn main() {
             s.p90,
             s.p99
         );
-        if base_mean.is_none() {
-            base_mean = Some(s.mean);
-        } else if case == Table1Case::LoadedStackSlbHypervisor {
-            println!(
-                "\nmean-RTT variation across cases: {:.2}x (paper: 2.68x)",
-                s.mean / base_mean.unwrap()
-            );
+        match base_mean {
+            None => base_mean = Some(s.mean),
+            Some(base) if case == Table1Case::LoadedStackSlbHypervisor => {
+                println!(
+                    "\nmean-RTT variation across cases: {:.2}x (paper: 2.68x)",
+                    s.mean / base
+                );
+            }
+            Some(_) => {}
         }
     }
 }

@@ -16,13 +16,7 @@ use ecnsharp_aqm::{Aqm, DropTail};
 #[test]
 fn whole_experiment_is_deterministic() {
     let run = || {
-        let sc = FctScenario::testbed(
-            Scheme::EcnSharp(None),
-            dists::web_search(),
-            0.5,
-            80,
-            1234,
-        );
+        let sc = FctScenario::testbed(Scheme::EcnSharp(None), dists::web_search(), 0.5, 80, 1234);
         let (fct, stats) = run_testbed_star(&sc);
         (
             (fct.overall.avg * 1e18) as u64,
@@ -39,13 +33,7 @@ fn whole_experiment_is_deterministic() {
 #[test]
 fn different_seeds_differ() {
     let run = |seed| {
-        let sc = FctScenario::testbed(
-            Scheme::DctcpRedTail,
-            dists::web_search(),
-            0.5,
-            60,
-            seed,
-        );
+        let sc = FctScenario::testbed(Scheme::DctcpRedTail, dists::web_search(), 0.5, 60, seed);
         (run_testbed_star(&sc).0.overall.avg * 1e15) as u64
     };
     assert_ne!(run(1), run(2));
