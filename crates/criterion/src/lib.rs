@@ -58,6 +58,7 @@ impl Criterion {
         println!("\n== {name} ==");
         BenchmarkGroup {
             _c: self,
+            name: name.to_string(),
             throughput: None,
             sample_size: 20,
         }
@@ -70,6 +71,7 @@ impl Criterion {
 /// A group of benchmarks sharing throughput/sample settings.
 pub struct BenchmarkGroup<'a> {
     _c: &'a mut Criterion,
+    name: String,
     throughput: Option<Throughput>,
     sample_size: u32,
 }
@@ -100,7 +102,7 @@ impl BenchmarkGroup<'_> {
             samples_ns: Vec::new(),
         };
         f(&mut b);
-        b.report(id, self.throughput);
+        b.report(&self.name, id, self.throughput);
         self
     }
 
@@ -144,7 +146,7 @@ impl Bencher {
         }
     }
 
-    fn report(&mut self, id: &str, throughput: Option<Throughput>) {
+    fn report(&mut self, group: &str, id: &str, throughput: Option<Throughput>) {
         if self.samples_ns.is_empty() {
             println!("{id:<32} (no samples)");
             return;
@@ -168,6 +170,52 @@ impl Bencher {
             median,
             self.samples_ns.len(),
         );
+        self.emit_machine_line(group, id, median, throughput);
+    }
+
+    /// When `ECNSHARP_BENCH_JSON` names a file, append one JSON object per
+    /// benchmark (JSON-lines) so harnesses like `cargo xtask bench` can
+    /// collate results without parsing the human-readable output.
+    fn emit_machine_line(
+        &self,
+        group: &str,
+        id: &str,
+        median_ns: u128,
+        throughput: Option<Throughput>,
+    ) {
+        let Ok(path) = std::env::var("ECNSHARP_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let (elements, bytes) = match throughput {
+            Some(Throughput::Elements(n)) => (n.to_string(), "null".into()),
+            Some(Throughput::Bytes(n)) => ("null".into(), n.to_string()),
+            None => ("null".into(), "null".to_string()),
+        };
+        let line = format!(
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"samples\":{},\"elements\":{},\"bytes\":{}}}\n",
+            group.escape_default(),
+            id.escape_default(),
+            median_ns,
+            self.samples_ns.len(),
+            elements,
+            bytes,
+        );
+        use std::io::Write;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path);
+        match file {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(line.as_bytes()) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not open {path}: {e}"),
+        }
     }
 }
 
@@ -225,6 +273,24 @@ mod tests {
         );
         assert_eq!(setups, 4);
         assert_eq!(b.samples_ns.len(), 3);
+    }
+
+    #[test]
+    fn machine_readable_lines_when_env_set() {
+        let path =
+            std::env::temp_dir().join(format!("bench-json-test-{}.jsonl", std::process::id()));
+        std::env::set_var("ECNSHARP_BENCH_JSON", &path);
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("mr");
+        g.throughput(Throughput::Elements(100)).sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        std::env::remove_var("ECNSHARP_BENCH_JSON");
+        let s = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(s.contains("\"group\":\"mr\""), "{s}");
+        assert!(s.contains("\"bench\":\"noop\""), "{s}");
+        assert!(s.contains("\"elements\":100"), "{s}");
     }
 
     #[test]

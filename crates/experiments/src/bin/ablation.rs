@@ -38,7 +38,7 @@ fn variants(params: &SchemeParams) -> Vec<(&'static str, Scheme)> {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let (flows, fanout, timeline) = match scale {
         Scale::Full => (1_200, 100, IncastTimeline::Paper),
         Scale::Mid => (600, 100, IncastTimeline::Compressed),

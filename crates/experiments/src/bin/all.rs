@@ -4,9 +4,9 @@
 // Host-side harness: wall-clock progress timing never feeds the simulation.
 #![allow(clippy::disallowed_methods)]
 
-use ecnsharp_experiments::figures;
+use ecnsharp_experiments::{figures, perf};
 fn main() {
-    let scale = ecnsharp_experiments::Scale::from_env();
+    let scale = ecnsharp_experiments::Scale::from_env_or_exit();
     let t0 = std::time::Instant::now();
     for (name, f) in [
         (
@@ -27,9 +27,10 @@ fn main() {
         ("tofino", Box::new(figures::tofino_report)),
     ] {
         println!("================ {name} ================");
-        let t = std::time::Instant::now();
-        print!("{}", f().render());
-        println!("[{name} done in {:.1}s]\n", t.elapsed().as_secs_f64());
+        let t = perf::timed(|| f());
+        print!("{}", t.result.render());
+        eprintln!("{}", t.report(name));
+        println!("[{name} done in {:.1}s]\n", t.wall_secs);
     }
     println!("full suite finished in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -1,8 +1,10 @@
 //! Regenerates Figure 11: query FCT vs incast fanout.
 fn main() {
-    let scale = ecnsharp_experiments::Scale::from_env();
+    let scale = ecnsharp_experiments::Scale::from_env_or_exit();
     println!("Figure 11 — [Simulations] query-flow completion time vs concurrent senders");
     println!("paper headlines: CoDel collapses (losses) at ~100 senders; ECN# survives to ~175 (1.75x more)");
     println!();
-    print!("{}", ecnsharp_experiments::figures::fig11(scale).render());
+    let t = ecnsharp_experiments::perf::timed(|| ecnsharp_experiments::figures::fig11(scale));
+    print!("{}", t.result.render());
+    eprintln!("{}", t.report("fig11"));
 }

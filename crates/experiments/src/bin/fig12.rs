@@ -1,8 +1,10 @@
 //! Regenerates Figure 12: ECN# parameter sensitivity.
 fn main() {
-    let scale = ecnsharp_experiments::Scale::from_env();
+    let scale = ecnsharp_experiments::Scale::from_env_or_exit();
     println!("Figure 12 — [Simulations] parameter sensitivity (pst_interval 100-250us, pst_target 6-18us)");
     println!("paper headline: overall-FCT variation <1% (web search), <0.2% (data mining)");
     println!();
-    print!("{}", ecnsharp_experiments::figures::fig12(scale).render());
+    let t = ecnsharp_experiments::perf::timed(|| ecnsharp_experiments::figures::fig12(scale));
+    print!("{}", t.result.render());
+    eprintln!("{}", t.report("fig12"));
 }

@@ -1,8 +1,10 @@
 //! Regenerates Figure 7: testbed FCT statistics, data-mining workload.
 fn main() {
-    let scale = ecnsharp_experiments::Scale::from_env();
+    let scale = ecnsharp_experiments::Scale::from_env_or_exit();
     println!("Figure 7 — [Testbed] FCT, data mining workload (normalized to DCTCP-RED-Tail)");
     println!("paper headlines: ECN# short-flow avg up to -31.2%, p99 up to -37.6%; large flows comparable to RED-Tail");
     println!();
-    print!("{}", ecnsharp_experiments::figures::fig7(scale).render());
+    let t = ecnsharp_experiments::perf::timed(|| ecnsharp_experiments::figures::fig7(scale));
+    print!("{}", t.result.render());
+    eprintln!("{}", t.report("fig7"));
 }

@@ -1,10 +1,12 @@
 //! Regenerates Figure 9: large-scale leaf-spine simulations.
 fn main() {
-    let scale = ecnsharp_experiments::Scale::from_env();
+    let scale = ecnsharp_experiments::Scale::from_env_or_exit();
     println!("Figure 9 — [Simulations] 128-host leaf-spine, web search, ECMP (normalized to DCTCP-RED-Tail)");
     println!(
         "paper headlines: overall avg -26.3%..-37.4%; short-flow avg at least -18.5%, up to -36.9%"
     );
     println!();
-    print!("{}", ecnsharp_experiments::figures::fig9(scale).render());
+    let t = ecnsharp_experiments::perf::timed(|| ecnsharp_experiments::figures::fig9(scale));
+    print!("{}", t.result.render());
+    eprintln!("{}", t.report("fig9"));
 }

@@ -1,9 +1,11 @@
 //! Regenerates Table 1 / Figure 1: RTT statistics per processing-component
 //! combination (network stack / SLB / hypervisor / load).
 fn main() {
-    let scale = ecnsharp_experiments::Scale::from_env();
+    let scale = ecnsharp_experiments::Scale::from_env_or_exit();
     println!("Table 1 / Figure 1 — [Testbed] RTT statistics (synthetic processing-delay pipeline vs paper measurements)");
     println!("paper headline: up to 2.68x mean-RTT variation across component combinations");
     println!();
-    print!("{}", ecnsharp_experiments::figures::table1(scale).render());
+    let t = ecnsharp_experiments::perf::timed(|| ecnsharp_experiments::figures::table1(scale));
+    print!("{}", t.result.render());
+    eprintln!("{}", t.report("table1"));
 }

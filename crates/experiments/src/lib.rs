@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perf;
 pub mod runner;
 pub mod scenario;
 pub mod scheme;

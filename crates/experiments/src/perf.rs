@@ -1,0 +1,188 @@
+//! Run-wide engine performance accounting for the figure binaries.
+//!
+//! Every scenario run absorbs its network's [`ecnsharp_net::PerfCounters`]
+//! into a process-global accumulator on completion (atomics, so the
+//! [`crate::parallel_map`] worker threads can report concurrently), and the
+//! binaries wrap their figure computation in [`timed`] to print an
+//! engine-rate line: events processed, ns/event, and — the number the
+//! ROADMAP cares about — simulated seconds per wall-clock second.
+//!
+//! Reading (or not reading) these counters cannot change simulation
+//! results: the accumulator is written after a run finishes and is never
+//! consulted by the engine. `tests/determinism.rs` in this crate pins that
+//! property.
+
+// Host-side instrumentation: wall-clock here measures the harness itself
+// and never feeds the simulation.
+// lint: allow(wall-clock) host-side throughput reporting only
+#![allow(clippy::disallowed_methods)]
+
+use ecnsharp_net::Network;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static EVENTS_PUSHED: AtomicU64 = AtomicU64::new(0);
+static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
+static PEAK_PENDING: AtomicU64 = AtomicU64::new(0);
+static PACKETS_FORWARDED: AtomicU64 = AtomicU64::new(0);
+static CE_MARKS: AtomicU64 = AtomicU64::new(0);
+static DROPS: AtomicU64 = AtomicU64::new(0);
+static SIM_NANOS: AtomicU64 = AtomicU64::new(0);
+static RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Fold a finished run's counters into the process-global accumulator.
+/// Called by every `run_*` scenario just before it returns.
+pub fn absorb(net: &Network) {
+    let c = net.perf();
+    EVENTS_PUSHED.fetch_add(c.events_pushed, Ordering::Relaxed);
+    EVENTS_POPPED.fetch_add(c.events_popped, Ordering::Relaxed);
+    PEAK_PENDING.fetch_max(c.peak_pending, Ordering::Relaxed);
+    PACKETS_FORWARDED.fetch_add(c.packets_forwarded, Ordering::Relaxed);
+    CE_MARKS.fetch_add(c.ce_marks, Ordering::Relaxed);
+    DROPS.fetch_add(c.drops, Ordering::Relaxed);
+    SIM_NANOS.fetch_add(net.now().as_nanos(), Ordering::Relaxed);
+    RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Totals absorbed since the last [`reset`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Events scheduled, summed over runs.
+    pub events_pushed: u64,
+    /// Events processed, summed over runs.
+    pub events_popped: u64,
+    /// Largest pending-event peak of any single run.
+    pub peak_pending: u64,
+    /// Packets put on a wire (hop-counted), summed over runs.
+    pub packets_forwarded: u64,
+    /// CE marks applied, summed over runs.
+    pub ce_marks: u64,
+    /// Packets dropped, summed over runs.
+    pub drops: u64,
+    /// Simulated nanoseconds, summed over runs.
+    pub sim_nanos: u64,
+    /// Number of absorbed runs.
+    pub runs: u64,
+}
+
+/// Read the accumulator.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        events_pushed: EVENTS_PUSHED.load(Ordering::Relaxed),
+        events_popped: EVENTS_POPPED.load(Ordering::Relaxed),
+        peak_pending: PEAK_PENDING.load(Ordering::Relaxed),
+        packets_forwarded: PACKETS_FORWARDED.load(Ordering::Relaxed),
+        ce_marks: CE_MARKS.load(Ordering::Relaxed),
+        drops: DROPS.load(Ordering::Relaxed),
+        sim_nanos: SIM_NANOS.load(Ordering::Relaxed),
+        runs: RUNS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the accumulator (start of a timed section).
+pub fn reset() {
+    EVENTS_PUSHED.store(0, Ordering::Relaxed);
+    EVENTS_POPPED.store(0, Ordering::Relaxed);
+    PEAK_PENDING.store(0, Ordering::Relaxed);
+    PACKETS_FORWARDED.store(0, Ordering::Relaxed);
+    CE_MARKS.store(0, Ordering::Relaxed);
+    DROPS.store(0, Ordering::Relaxed);
+    SIM_NANOS.store(0, Ordering::Relaxed);
+    RUNS.store(0, Ordering::Relaxed);
+}
+
+/// Outcome of a [`timed`] section: the callee's result plus the rate
+/// report.
+pub struct Timed<R> {
+    /// What the wrapped closure returned.
+    pub result: R,
+    /// Wall-clock seconds spent.
+    pub wall_secs: f64,
+    /// Engine counters absorbed during the section.
+    pub perf: Snapshot,
+}
+
+impl<R> Timed<R> {
+    /// Events processed per wall-clock second (0 when nothing ran).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.perf.events_popped as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated seconds per wall-clock second, the headline engine rate.
+    pub fn sim_secs_per_wall_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.perf.sim_nanos as f64 / 1e9 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line human-readable rate report for a figure binary.
+    pub fn report(&self, name: &str) -> String {
+        let p = &self.perf;
+        let ns_per_event = if p.events_popped > 0 {
+            self.wall_secs * 1e9 / p.events_popped as f64
+        } else {
+            0.0
+        };
+        format!(
+            "[perf] {name}: wall {:.2}s | {} events ({:.1}M ev/s, {:.0} ns/ev) | \
+             sim {:.3}s over {} runs ({:.2} sim-s/wall-s) | {} pkts fwd, {} CE marks, {} drops",
+            self.wall_secs,
+            p.events_popped,
+            self.events_per_sec() / 1e6,
+            ns_per_event,
+            p.sim_nanos as f64 / 1e9,
+            p.runs,
+            self.sim_secs_per_wall_sec(),
+            p.packets_forwarded,
+            p.ce_marks,
+            p.drops,
+        )
+    }
+}
+
+/// Reset the accumulator, run `f`, and return its result together with the
+/// wall time and the engine counters it generated. The figure binaries use
+/// this so every invocation reports sim-seconds-per-wall-second.
+pub fn timed<R>(f: impl FnOnce() -> R) -> Timed<R> {
+    reset();
+    let t0 = Instant::now();
+    let result = f();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    Timed {
+        result,
+        wall_secs,
+        perf: snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_reports_engine_rate() {
+        // A tiny real run: the quick incast micro scenario.
+        let t = timed(|| {
+            crate::run_incast_micro_with(
+                crate::Scheme::DctcpRedTail,
+                4,
+                1,
+                crate::IncastTimeline::Compressed,
+            )
+        });
+        assert!(t.perf.runs >= 1);
+        assert!(t.perf.events_popped > 0);
+        assert!(t.perf.events_pushed >= t.perf.events_popped);
+        assert!(t.perf.sim_nanos > 0);
+        assert!(t.perf.packets_forwarded > 0);
+        let line = t.report("test");
+        assert!(line.contains("sim-s/wall-s"), "{line}");
+        assert!(line.contains("[perf] test:"), "{line}");
+    }
+}

@@ -16,13 +16,42 @@ pub enum Scale {
     Quick,
 }
 
+impl std::str::FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Scale, String> {
+        match s {
+            "quick" => Ok(Scale::Quick),
+            "mid" => Ok(Scale::Mid),
+            "full" => Ok(Scale::Full),
+            other => Err(format!(
+                "unrecognized ECNSHARP_SCALE value {other:?} (expected \"quick\", \"mid\" or \"full\")"
+            )),
+        }
+    }
+}
+
 impl Scale {
-    /// Read from the `ECNSHARP_SCALE` environment variable (default full).
-    pub fn from_env() -> Scale {
-        match std::env::var("ECNSHARP_SCALE").as_deref() {
-            Ok("quick") => Scale::Quick,
-            Ok("mid") => Scale::Mid,
-            _ => Scale::Full,
+    /// Read from the `ECNSHARP_SCALE` environment variable. Unset means
+    /// [`Scale::Full`]; anything else must parse exactly — a typo like
+    /// `ful` is an error, not a silent full-scale run.
+    pub fn from_env() -> Result<Scale, String> {
+        match std::env::var("ECNSHARP_SCALE") {
+            Ok(v) => v.parse(),
+            Err(std::env::VarError::NotPresent) => Ok(Scale::Full),
+            Err(e) => Err(format!("unreadable ECNSHARP_SCALE: {e}")),
+        }
+    }
+
+    /// [`Scale::from_env`] for binaries: print the error and exit 2 instead
+    /// of silently running at the wrong scale.
+    pub fn from_env_or_exit() -> Scale {
+        match Scale::from_env() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
         }
     }
 
@@ -134,5 +163,19 @@ mod tests {
         assert!(Scale::Full.flows() > Scale::Quick.flows());
         assert!(Scale::Full.seeds() >= 1);
         assert!(!Scale::Quick.loads().is_empty());
+    }
+
+    #[test]
+    fn scale_parses_known_values_and_rejects_typos() {
+        assert_eq!("quick".parse::<Scale>(), Ok(Scale::Quick));
+        assert_eq!("mid".parse::<Scale>(), Ok(Scale::Mid));
+        assert_eq!("full".parse::<Scale>(), Ok(Scale::Full));
+        for bad in ["ful", "QUICK", "", "medium", "quick "] {
+            let err = bad.parse::<Scale>().unwrap_err();
+            assert!(
+                err.contains("ECNSHARP_SCALE"),
+                "error should name the knob: {err}"
+            );
+        }
     }
 }

@@ -117,6 +117,7 @@ pub fn run_testbed_star(sc: &FctScenario) -> (FctBreakdown, ecnsharp_net::PortSt
         .port_towards(topo.switch, receiver)
         .expect("receiver port");
     let stats = topo.net.port_stats(topo.switch, bport);
+    crate::perf::absorb(&topo.net);
     (FctBreakdown::from_records(topo.net.records()), stats)
 }
 
@@ -175,6 +176,7 @@ pub fn run_leaf_spine(
         topo.net.schedule_flow(at, cmd);
     }
     topo.net.run_until_idle();
+    crate::perf::absorb(&topo.net);
     FctBreakdown::from_records(topo.net.records())
 }
 
@@ -325,6 +327,7 @@ pub fn run_incast_micro_with(
         .map(|&(_, _, p)| p as f64)
         .collect();
     let standing_pkts = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
+    crate::perf::absorb(&topo.net);
     IncastResult {
         standing_pkts,
         queue: QueueSummary::from_monitor(monitor),
@@ -437,6 +440,7 @@ pub fn run_dwrr(scheme: Scheme, seed: u64) -> DwrrResult {
         .cloned()
         .collect();
     assert!(!probes.is_empty(), "no probes completed");
+    crate::perf::absorb(&topo.net);
     DwrrResult {
         goodput,
         checkpoints,

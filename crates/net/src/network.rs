@@ -10,9 +10,32 @@ use crate::agent::{Action, Agent, Ctx, FlowCmd, FlowRecord};
 use crate::ids::{FlowId, NodeId};
 use crate::node::{Node, NodeKind};
 use crate::port::{EgressPort, PortConfig, PortStats};
-use crate::trace::{TraceKind, Tracer};
+use crate::trace::TraceKind;
+#[cfg(feature = "packet-trace")]
+use crate::trace::Tracer;
 use ecnsharp_sim::{hash_mix, Duration, EventQueue, Rate, Rng, SimTime};
 use std::collections::BTreeMap;
+
+/// Aggregate engine counters of one run, cheap enough to maintain
+/// unconditionally and only assembled when asked for — reading them cannot
+/// perturb the simulation (asserted by the determinism regression test in
+/// `ecnsharp-experiments`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Events scheduled into the queue over the run.
+    pub events_pushed: u64,
+    /// Events popped (processed) over the run.
+    pub events_popped: u64,
+    /// Peak number of simultaneously pending events.
+    pub peak_pending: u64,
+    /// Packets handed to a wire, summed over every port (hop-counted: one
+    /// packet crossing three links counts three times).
+    pub packets_forwarded: u64,
+    /// CE marks applied, summed over every port.
+    pub ce_marks: u64,
+    /// Packets dropped (tail, AQM, fault), summed over every port.
+    pub drops: u64,
+}
 
 /// A queue-length sample series attached to one port.
 #[derive(Debug, Clone)]
@@ -63,6 +86,7 @@ pub struct Network {
     monitors: Vec<QueueMonitor>,
     scratch: Vec<Action>,
     steps: u64,
+    #[cfg(feature = "packet-trace")]
     tracer: Option<Tracer>,
 }
 
@@ -82,12 +106,14 @@ impl Network {
             monitors: Vec::new(),
             scratch: Vec::new(),
             steps: 0,
+            #[cfg(feature = "packet-trace")]
             tracer: None,
         }
     }
 
     /// Enable packet tracing with a bounded ring of `capacity` events
     /// (optionally restricted to `flow`). Disabled by default.
+    #[cfg(feature = "packet-trace")]
     pub fn enable_trace(&mut self, capacity: usize, flow: Option<FlowId>) {
         let mut t = Tracer::new(capacity);
         t.flow_filter = flow;
@@ -95,15 +121,19 @@ impl Network {
     }
 
     /// The tracer, if enabled.
+    #[cfg(feature = "packet-trace")]
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
     }
 
     #[inline]
     fn trace(&mut self, at: SimTime, node: NodeId, kind: TraceKind, pkt: &crate::packet::Packet) {
+        #[cfg(feature = "packet-trace")]
         if let Some(t) = self.tracer.as_mut() {
             t.record(at, node, kind, pkt);
         }
+        #[cfg(not(feature = "packet-trace"))]
+        let _ = (at, node, kind, pkt);
     }
 
     // ── topology construction ──────────────────────────────────────────
@@ -254,6 +284,28 @@ impl Network {
         &self.monitors
     }
 
+    /// Engine performance counters accumulated so far: event-queue traffic
+    /// plus per-port packet/mark/drop totals. Assembled on demand; calling
+    /// this (or not) has no effect on the simulation.
+    pub fn perf(&self) -> PerfCounters {
+        let q = self.events.perf();
+        let mut c = PerfCounters {
+            events_pushed: q.pushed,
+            events_popped: q.popped,
+            peak_pending: q.peak_pending,
+            ..PerfCounters::default()
+        };
+        for node in &self.nodes {
+            for p in &node.ports {
+                let s = p.stats();
+                c.packets_forwarded += s.dequeued;
+                c.ce_marks += s.total_marks();
+                c.drops += s.total_drops();
+            }
+        }
+        c
+    }
+
     // ── driving ────────────────────────────────────────────────────────
 
     /// Schedule `cmd` to start at `at`.
@@ -393,6 +445,10 @@ impl Network {
             p.busy = true;
             let peer = p.peer;
             let delay = p.delay;
+            // Clone only if this packet will actually be recorded — the
+            // common (untraced) path moves the packet straight into the
+            // Arrive event without copying.
+            #[cfg(feature = "packet-trace")]
             let traced_pkt = self.tracer.is_some().then(|| tx.pkt.clone());
             self.events
                 .schedule(now + tx.tx_time, Event::TxDone { node, port });
@@ -403,6 +459,7 @@ impl Network {
                     pkt: tx.pkt,
                 },
             );
+            #[cfg(feature = "packet-trace")]
             if let Some(pkt) = traced_pkt {
                 self.trace(now, node, TraceKind::TxStart, &pkt);
             }
@@ -731,6 +788,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "packet-trace")]
     fn tracing_records_packet_lifecycle() {
         let (mut net, a, b, _s) = two_hosts();
         net.enable_trace(1000, Some(FlowId(3)));

@@ -24,10 +24,13 @@ pub struct PortConfig {
 impl PortConfig {
     /// A FIFO port with the given buffer and AQM, no fault injection.
     pub fn fifo(capacity_bytes: u64, aqm: Box<dyn Aqm>) -> Self {
+        // Pre-size for a buffer's worth of MTU packets (wire MTU ≈ 1538 B)
+        // so steady-state queueing never grows the deque.
+        let pkts = (capacity_bytes / 1538).clamp(16, 4096) as usize;
         PortConfig {
             capacity_bytes,
             aqm,
-            sched: Box::new(Fifo::new()),
+            sched: Box::new(Fifo::with_capacity(pkts)),
             fault_drop_p: 0.0,
         }
     }
@@ -122,6 +125,9 @@ impl EgressPort {
         delay: Duration,
         cfg: PortConfig,
     ) -> Self {
+        // Pre-size the per-class goodput counters so the dequeue path never
+        // reallocates them.
+        let classes = cfg.sched.classes();
         EgressPort {
             peer,
             peer_port,
@@ -133,7 +139,7 @@ impl EgressPort {
             fault_drop_p: cfg.fault_drop_p,
             busy: false,
             stats: PortStats::default(),
-            tx_payload_per_class: Vec::new(),
+            tx_payload_per_class: vec![0; classes],
             accounted_in_bytes: 0,
             accounted_out_bytes: 0,
         }
@@ -266,6 +272,9 @@ impl EgressPort {
             }
             self.stats.dequeued += 1;
             let class = d.class;
+            // Pre-sized in `new()` to the scheduler's class count; the
+            // resize only fires if a scheduler dequeues an out-of-range
+            // class it never advertised.
             if self.tx_payload_per_class.len() <= class {
                 self.tx_payload_per_class.resize(class + 1, 0);
             }

@@ -41,7 +41,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy for `Vec<T>` with element strategy `S` (see [`vec`]).
+/// Strategy for `Vec<T>` with element strategy `S` (see [`fn@vec`]).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

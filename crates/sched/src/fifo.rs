@@ -18,6 +18,14 @@ impl<P> Fifo<P> {
             bytes: 0,
         }
     }
+
+    /// Create an empty FIFO with room for `n` packets before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        Fifo {
+            q: VecDeque::with_capacity(n),
+            bytes: 0,
+        }
+    }
 }
 
 impl<P> Default for Fifo<P> {

@@ -1,7 +1,7 @@
 //! Runtime invariant layer.
 //!
-//! [`invariant!`](crate::invariant) is the workspace's single switch for
-//! internal-consistency checks on simulation hot paths:
+//! [`invariant!`](macro@crate::invariant) is the workspace's single switch
+//! for internal-consistency checks on simulation hot paths:
 //!
 //! - **default debug builds** — behaves like `debug_assert!`, so unit
 //!   tests catch violations for free;

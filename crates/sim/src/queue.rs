@@ -4,10 +4,47 @@
 //! same instant, insertion order wins. This total order makes every
 //! simulation run deterministic — a property the integration tests assert
 //! end-to-end (same seed ⇒ bit-identical flow completion times).
+//!
+//! # Implementation: calendar lanes in front of a heap
+//!
+//! Almost every event a packet simulator schedules lands a few link-delays
+//! into the future (serialization ≈ 1.2 µs, propagation 1–5 µs); only RTO
+//! timers and experiment bookkeeping reach further out. The queue exploits
+//! that skew with a calendar-queue front end:
+//!
+//! - the near future (`LANE_COUNT` buckets of `1 << LANE_BITS` ns each,
+//!   ≈ 1 ms of horizon) is a ring of *lanes*; scheduling into it is an
+//!   O(1) `Vec::push`, and an occupancy bitmap finds the next non-empty
+//!   lane with a couple of word scans;
+//! - events beyond the horizon fall back to a [`BinaryHeap`];
+//! - the lane whose bucket is being drained (the *current* batch) is kept
+//!   sorted by `(time, seq)` descending, so popping the earliest event is
+//!   a `Vec::pop`. When the batch empties, the next bucket is chosen as
+//!   the earlier of the next occupied lane and the heap head; heap events
+//!   that have come inside that bucket are merged in before the sort.
+//!
+//! The observable order is exactly the `(time, seq)` total order of the
+//! plain-heap implementation — the `strict-invariants` feature rechecks it
+//! on every pop — and the unit + property tests below drive lane
+//! boundaries, cursor wraparound and the heap fallback explicitly.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// log2 of the lane width in nanoseconds (1024 ns per lane).
+const LANE_BITS: u32 = 10;
+/// Number of near-future lanes (must be a power of two).
+const LANE_COUNT: usize = 1024;
+const LANE_MASK: u64 = LANE_COUNT as u64 - 1;
+/// Words in the lane-occupancy bitmap.
+const WORDS: usize = LANE_COUNT / 64;
+
+/// Absolute calendar bucket of a timestamp.
+#[inline]
+fn bucket(t: SimTime) -> u64 {
+    t.as_nanos() >> LANE_BITS
+}
 
 struct Entry<E> {
     time: SimTime,
@@ -38,11 +75,45 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Scheduling/pop counters of one [`EventQueue`].
+///
+/// Maintained unconditionally — each is a single integer add (plus one
+/// compare for the peak) per operation, noise next to the queue work
+/// itself — and never read by the engine, so whether a caller looks at
+/// them cannot perturb a run. The determinism regression test in
+/// `tests/` asserts exactly that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueuePerf {
+    /// Events scheduled over the queue's lifetime.
+    pub pushed: u64,
+    /// Events popped over the queue's lifetime.
+    pub popped: u64,
+    /// Highest number of simultaneously pending events observed.
+    pub peak_pending: u64,
+}
+
 /// A time-ordered event queue with FIFO tie-breaking.
 pub struct EventQueue<E> {
+    /// Entries of the bucket currently being drained (`cursor`), sorted
+    /// by `(time, seq)` **descending** so the earliest is at the back.
+    current: Vec<(SimTime, u64, E)>,
+    /// Absolute bucket index `current` belongs to. All pending lane
+    /// entries have strictly greater buckets; the heap head's bucket is
+    /// also strictly greater whenever `current` is non-empty.
+    cursor: u64,
+    /// Near-future ring: slot `b & LANE_MASK` holds bucket `b`'s events
+    /// (unsorted) for buckets within `(cursor, cursor + LANE_COUNT)`.
+    lanes: Vec<Vec<(SimTime, u64, E)>>,
+    /// One bit per lane slot: slot non-empty.
+    occupied: [u64; WORDS],
+    /// Total entries across all lanes (excluding `current` and the heap).
+    lanes_len: usize,
+    /// Far-future fallback (beyond the lane horizon at scheduling time).
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    len: usize,
+    perf: QueuePerf,
     /// `(time, seq)` of the most recent pop, for the strict-invariants
     /// total-order check: pop times never decrease, and among equal times
     /// sequence numbers strictly increase (FIFO).
@@ -59,11 +130,26 @@ impl<E> EventQueue<E> {
     /// Create an empty queue positioned at t = 0.
     pub fn new() -> Self {
         EventQueue {
+            current: Vec::new(),
+            cursor: 0,
+            lanes: (0..LANE_COUNT).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            lanes_len: 0,
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            len: 0,
+            perf: QueuePerf::default(),
             last_popped: None,
         }
+    }
+
+    /// Create an empty queue with room for `n` in-flight events in the
+    /// drain batch before reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut q = Self::new();
+        q.current.reserve(n);
+        q
     }
 
     /// Current simulation time: the timestamp of the last popped event (or
@@ -71,6 +157,12 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Scheduling/pop/peak counters so far (see [`QueuePerf`]).
+    #[inline]
+    pub fn perf(&self) -> QueuePerf {
+        self.perf
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -85,50 +177,163 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            time: at,
-            seq,
-            event,
-        });
+        let b = bucket(at);
+        if b <= self.cursor {
+            // The bucket being drained (b < cursor is impossible for
+            // at >= now; handled identically for robustness): insert into
+            // the sorted batch. The batch is descending, so everything
+            // ordered after the new entry shifts right.
+            let idx = self.current.partition_point(|e| (e.0, e.1) > (at, seq));
+            self.current.insert(idx, (at, seq, event));
+        } else if b - self.cursor < LANE_COUNT as u64 {
+            let slot = (b & LANE_MASK) as usize;
+            if self.lanes[slot].is_empty() {
+                self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+            }
+            self.lanes[slot].push((at, seq, event));
+            self.lanes_len += 1;
+        } else {
+            self.heap.push(Entry {
+                time: at,
+                seq,
+                event,
+            });
+        }
+        self.len += 1;
+        self.perf.pushed += 1;
+        if self.len as u64 > self.perf.peak_pending {
+            self.perf.peak_pending = self.len as u64;
+        }
+    }
+
+    /// Absolute bucket of the earliest non-empty lane, scanning the
+    /// occupancy bitmap in ring order from just past the cursor. `None`
+    /// when every lane is empty.
+    fn next_occupied_bucket(&self) -> Option<u64> {
+        if self.lanes_len == 0 {
+            return None;
+        }
+        let start = ((self.cursor + 1) & LANE_MASK) as usize;
+        let (sw, sb) = (start >> 6, start & 63);
+        // Bits at/above `sb` of the start word cover slots start..word end.
+        let w = self.occupied[sw] >> sb;
+        let slot = if w != 0 {
+            start + w.trailing_zeros() as usize
+        } else {
+            let mut found = None;
+            for i in 1..=WORDS {
+                let wi = (sw + i) % WORDS;
+                let mut word = self.occupied[wi];
+                if i == WORDS {
+                    // Back at the start word: only slots before `start`.
+                    word &= (1u64 << sb).wrapping_sub(1);
+                }
+                if word != 0 {
+                    found = Some((wi << 6) + word.trailing_zeros() as usize);
+                    break;
+                }
+            }
+            found?
+        };
+        // Ring distance from the slot just past the cursor.
+        let delta = (slot + LANE_COUNT - start) as u64 & LANE_MASK;
+        Some(self.cursor + 1 + delta)
+    }
+
+    /// Refill `current` with the earliest pending bucket's events (lanes
+    /// and/or heap), advancing the cursor. Caller guarantees `len > 0`.
+    fn refill(&mut self) {
+        let heap_bucket = self.heap.peek().map(|e| bucket(e.time));
+        let lane_bucket = self.next_occupied_bucket();
+        let b = match (lane_bucket, heap_bucket) {
+            (Some(lb), Some(hb)) => lb.min(hb),
+            (Some(lb), None) => lb,
+            (None, Some(hb)) => hb,
+            (None, None) => return,
+        };
+        self.cursor = b;
+        if lane_bucket == Some(b) {
+            let slot = (b & LANE_MASK) as usize;
+            std::mem::swap(&mut self.current, &mut self.lanes[slot]);
+            self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+            self.lanes_len -= self.current.len();
+        }
+        while let Some(head) = self.heap.peek() {
+            if bucket(head.time) != b {
+                break;
+            }
+            if let Some(Entry { time, seq, event }) = self.heap.pop() {
+                self.current.push((time, seq, event));
+            }
+        }
+        // Descending, so the earliest (time, seq) pops from the back.
+        self.current
+            .sort_unstable_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
     }
 
     /// Pop the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        crate::invariant!(entry.time >= self.now, "time went backwards");
+        if self.current.is_empty() {
+            if self.len == 0 {
+                return None;
+            }
+            self.refill();
+        }
+        let (time, seq, event) = self.current.pop()?;
+        self.len -= 1;
+        self.perf.popped += 1;
+        crate::invariant!(time >= self.now, "time went backwards");
         if cfg!(feature = "strict-invariants") {
             if let Some((t, s)) = self.last_popped {
                 crate::invariant!(
-                    entry.time > t || (entry.time == t && entry.seq > s),
-                    "(time, seq) total order violated: popped ({}, {}) after ({t}, {s})",
-                    entry.time,
-                    entry.seq
+                    time > t || (time == t && seq > s),
+                    "(time, seq) total order violated: popped ({time}, {seq}) after ({t}, {s})"
                 );
             }
-            self.last_popped = Some((entry.time, entry.seq));
+            self.last_popped = Some((time, seq));
         }
-        self.now = entry.time;
-        Some((entry.time, entry.event))
+        self.now = time;
+        Some((time, event))
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        if let Some(&(t, _, _)) = self.current.last() {
+            return Some(t);
+        }
+        let heap_t = self.heap.peek().map(|e| e.time);
+        let lane_t = self.next_occupied_bucket().and_then(|b| {
+            let slot = (b & LANE_MASK) as usize;
+            self.lanes[slot].iter().map(|e| e.0).min()
+        });
+        match (lane_t, heap_t) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Drop all pending events (used when tearing a run down early).
     pub fn clear(&mut self) {
+        self.current.clear();
         self.heap.clear();
+        if self.lanes_len > 0 {
+            for lane in &mut self.lanes {
+                lane.clear();
+            }
+        }
+        self.occupied = [0; WORDS];
+        self.lanes_len = 0;
+        self.len = 0;
     }
 }
 
@@ -190,10 +395,14 @@ mod tests {
         assert!(q.is_empty());
         q.schedule(SimTime::from_nanos(1), ());
         q.schedule(SimTime::from_nanos(2), ());
-        assert_eq!(q.len(), 2);
+        // One near (lane), one at the current bucket, one far (heap).
+        q.schedule(SimTime::from_nanos(5_000), ());
+        q.schedule(SimTime::from_millis(50), ());
+        assert_eq!(q.len(), 4);
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]
@@ -214,6 +423,141 @@ mod tests {
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_nanos(4));
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn perf_counters_track_traffic() {
+        let mut q = EventQueue::new();
+        for k in 0..10u64 {
+            q.schedule(SimTime::from_nanos(k * 100), k);
+        }
+        assert_eq!(q.perf().pushed, 10);
+        assert_eq!(q.perf().peak_pending, 10);
+        while q.pop().is_some() {}
+        let p = q.perf();
+        assert_eq!(p.popped, 10);
+        assert_eq!(p.peak_pending, 10);
+    }
+
+    // ── calendar-specific edge cases ──────────────────────────────────
+
+    /// One lane is 1024 ns wide: events straddling a lane boundary, in
+    /// adversarial insertion order, must still pop in time order.
+    #[test]
+    fn ordering_across_lane_boundaries() {
+        let mut q = EventQueue::new();
+        let times = [1023u64, 1025, 1024, 1, 2047, 2048, 0, 1022];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut popped: Vec<u64> = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            popped.push(t.as_nanos());
+        }
+        let mut want = times.to_vec();
+        want.sort_unstable();
+        assert_eq!(popped, want);
+    }
+
+    /// Same-time events in the same lane keep FIFO order even when other
+    /// lanes interleave.
+    #[test]
+    fn fifo_within_a_lane_bucket() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(2_000), "b0");
+        q.schedule(SimTime::from_nanos(1_500), "a0");
+        q.schedule(SimTime::from_nanos(1_500), "a1");
+        q.schedule(SimTime::from_nanos(2_000), "b1");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a0", "a1", "b0", "b1"]);
+    }
+
+    /// Advance the cursor many times around the lane ring: slots are
+    /// reused for buckets LANE_COUNT apart without mixing them up.
+    #[test]
+    fn cursor_wraparound_reuses_slots() {
+        let mut q = EventQueue::new();
+        let width = 1u64 << LANE_BITS;
+        let ring_span = width * LANE_COUNT as u64;
+        // Three full ring revolutions, two events per revolution that map
+        // to the same slot.
+        let mut scheduled = Vec::new();
+        for rev in 0..3u64 {
+            for k in 0..2u64 {
+                let t = rev * ring_span + k * width * 7 + 13;
+                scheduled.push(t);
+            }
+        }
+        // Schedule the nearest first so every later one is in range of the
+        // not-yet-advanced cursor only via the heap, then pop interleaved.
+        for &t in &scheduled {
+            q.schedule(SimTime::from_nanos(t), t);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            assert_eq!(t.as_nanos(), e);
+            popped.push(e);
+            // Interleave: schedule one future event mid-drain, still after
+            // `now`, exercising in-flight inserts while the ring wraps.
+            if popped.len() == 2 {
+                let extra = t.as_nanos() + ring_span + 1;
+                q.schedule(SimTime::from_nanos(extra), extra);
+                scheduled.push(extra);
+            }
+        }
+        scheduled.sort_unstable();
+        assert_eq!(popped, scheduled);
+    }
+
+    /// Events beyond the lane horizon take the heap fallback and merge
+    /// back in time order when the cursor reaches them.
+    #[test]
+    fn heap_fallback_beyond_horizon() {
+        let mut q = EventQueue::new();
+        let horizon = (1u64 << LANE_BITS) * LANE_COUNT as u64;
+        // Far events first (heap), then near events (lanes).
+        q.schedule(SimTime::from_nanos(3 * horizon), "far2");
+        q.schedule(SimTime::from_nanos(2 * horizon + 5), "far1");
+        q.schedule(SimTime::from_nanos(100), "near1");
+        q.schedule(SimTime::from_nanos(horizon - 1), "near2");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["near1", "near2", "far1", "far2"]);
+    }
+
+    /// A heap event and a lane event in the *same* bucket (possible when
+    /// the far event was scheduled before the cursor advanced) interleave
+    /// correctly, including FIFO on exact ties.
+    #[test]
+    fn heap_and_lane_merge_within_bucket() {
+        let mut q = EventQueue::new();
+        let horizon = (1u64 << LANE_BITS) * LANE_COUNT as u64;
+        let far = 2 * horizon + 500;
+        q.schedule(SimTime::from_nanos(far), "heap-first"); // beyond horizon ⇒ heap
+        q.schedule(SimTime::from_nanos(10), "near");
+        q.pop(); // "near": cursor at bucket 0 still, heap event pending
+                 // Drain to the far bucket via an intermediate event, then add a
+                 // lane event in the same bucket as the heap one.
+        q.schedule(SimTime::from_nanos(horizon), "mid");
+        q.pop(); // "mid": cursor advanced; `far` now within lane horizon
+        q.schedule(SimTime::from_nanos(far), "lane-second"); // same time, later seq
+        q.schedule(SimTime::from_nanos(far - 1), "lane-earlier");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["lane-earlier", "heap-first", "lane-second"]);
+    }
+
+    /// Scheduling into the bucket currently being drained inserts in
+    /// order (the ACK-turnaround pattern: tx_time shorter than one lane).
+    #[test]
+    fn insert_into_current_bucket_mid_drain() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), 1);
+        q.schedule(SimTime::from_nanos(300), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        // now = 100; bucket 0 is being drained. Insert between and after.
+        q.schedule(SimTime::from_nanos(200), 2);
+        q.schedule(SimTime::from_nanos(400), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 3, 4]);
     }
 
     proptest! {
@@ -253,6 +597,40 @@ mod tests {
                 seen[idx] = true;
             }
             prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        /// Same properties at calendar scale: times spanning several lane
+        /// widths, the full ring, and the heap horizon, with interleaved
+        /// pops.
+        #[test]
+        fn prop_total_order_across_horizons(
+            times in proptest::collection::vec(0u64..3_000_000_000, 1..300),
+            pop_every in 2usize..6,
+        ) {
+            let mut q = EventQueue::new();
+            let mut popped: Vec<(u64, usize)> = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                // Never schedule into the past relative to `now`.
+                let at = t.max(q.now().as_nanos());
+                q.schedule(SimTime::from_nanos(at), i);
+                if i % pop_every == 0 {
+                    if let Some((pt, pi)) = q.pop() {
+                        popped.push((pt.as_nanos(), pi));
+                    }
+                }
+            }
+            while let Some((pt, pi)) = q.pop() {
+                popped.push((pt.as_nanos(), pi));
+            }
+            prop_assert_eq!(popped.len(), times.len());
+            for w in popped.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            }
+            let mut seen = vec![false; times.len()];
+            for &(_, i) in &popped {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
         }
     }
 }

@@ -16,8 +16,8 @@ impl PiecewiseCdf {
     /// be 1.0; a leading `(v0, 0.0)` anchor is required.
     ///
     /// # Panics
-    /// On malformed input (unsorted, probabilities outside [0,1], missing
-    /// anchors).
+    /// On malformed input (unsorted, probabilities outside `[0, 1]`,
+    /// missing anchors).
     pub fn new(points: &[(f64, f64)]) -> Self {
         assert!(points.len() >= 2, "need at least two CDF points");
         // The anchor must be given as literal 0.0, not merely close to it.

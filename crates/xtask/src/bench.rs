@@ -1,0 +1,351 @@
+//! `cargo xtask bench` — the standing benchmark harness.
+//!
+//! Runs the three `ecnsharp-bench` targets (`engine`, `aqm_cost`,
+//! `figures`) with `ECNSHARP_BENCH_JSON` pointed at a scratch file, then
+//! collates the criterion shim's JSON-lines into `BENCH_sim.json` at the
+//! workspace root: median ns/iter, derived events/sec and ns/event, wall
+//! seconds per quick-scale figure, and a machine fingerprint. The file is
+//! committed as the perf baseline; `cargo xtask bench-diff old new`
+//! compares two of them.
+//!
+//! Everything is hand-rolled JSON (one bench entry per line) so the
+//! workspace stays registry-free and the file diffs cleanly in review.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// One collated benchmark result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark group (e.g. `event_queue`).
+    pub group: String,
+    /// Benchmark id within the group (e.g. `push_pop_10k`).
+    pub bench: String,
+    /// Median wall nanoseconds per iteration.
+    pub median_ns: u64,
+    /// Timed samples taken.
+    pub samples: u64,
+    /// Logical elements processed per iteration, when annotated.
+    pub elements: Option<u64>,
+    /// Bytes processed per iteration, when annotated.
+    pub bytes: Option<u64>,
+}
+
+impl BenchEntry {
+    /// Elements per second (events/sec for the engine benches).
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        match (self.elements, self.median_ns) {
+            (Some(n), m) if m > 0 => Some(n as f64 * 1e9 / m as f64),
+            _ => None,
+        }
+    }
+
+    /// Nanoseconds per element (ns/event for the engine benches).
+    pub fn ns_per_element(&self) -> Option<f64> {
+        self.elements
+            .filter(|&n| n > 0)
+            .map(|n| self.median_ns as f64 / n as f64)
+    }
+
+    fn to_json_line(&self) -> String {
+        let mut s = format!(
+            "    {{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"samples\":{}",
+            self.group, self.bench, self.median_ns, self.samples
+        );
+        match self.elements {
+            Some(n) => {
+                let _ = write!(
+                    s,
+                    ",\"elements\":{n},\"events_per_sec\":{:.0},\"ns_per_event\":{:.2}",
+                    self.rate_per_sec().unwrap_or(0.0),
+                    self.ns_per_element().unwrap_or(0.0)
+                );
+            }
+            None => s.push_str(",\"elements\":null"),
+        }
+        match self.bytes {
+            Some(n) => {
+                let _ = write!(s, ",\"bytes\":{n}");
+            }
+            None => s.push_str(",\"bytes\":null"),
+        }
+        let _ = write!(s, ",\"wall_secs\":{:.6}}}", self.median_ns as f64 / 1e9);
+        s
+    }
+}
+
+// ── minimal JSON-line field extraction (registry-free, format is ours) ──
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Parse one shim-emitted (or BENCH_sim.json) bench line.
+pub fn parse_bench_line(line: &str) -> Option<BenchEntry> {
+    Some(BenchEntry {
+        group: json_str_field(line, "group")?,
+        bench: json_str_field(line, "bench")?,
+        median_ns: json_u64_field(line, "median_ns")?,
+        samples: json_u64_field(line, "samples").unwrap_or(0),
+        elements: json_u64_field(line, "elements"),
+        bytes: json_u64_field(line, "bytes"),
+    })
+}
+
+/// Parse every bench entry out of a `BENCH_sim.json` (or raw JSON-lines)
+/// file body.
+pub fn parse_bench_file(body: &str) -> Vec<BenchEntry> {
+    body.lines().filter_map(parse_bench_line).collect()
+}
+
+// ── machine fingerprint ────────────────────────────────────────────────
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn rustc_version() -> String {
+    Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Render the collated `BENCH_sim.json` body. Deliberately carries no
+/// timestamp: two runs on the same machine and tree diff clean.
+pub fn render_bench_json(entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"machine\": {{\"cpu\": \"{}\", \"cores\": {}, \"rustc\": \"{}\"}},",
+        cpu_model().escape_default(),
+        cores(),
+        rustc_version().escape_default()
+    );
+    out.push_str("  \"benches\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&e.to_json_line());
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn cargo() -> Command {
+    Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string()))
+}
+
+/// Run the standing benches and write `BENCH_sim.json` at `root`.
+/// Returns false on any failure.
+pub fn run(root: &Path) -> bool {
+    let scratch: PathBuf = root.join("target").join("bench_raw.jsonl");
+    let _ = std::fs::create_dir_all(scratch.parent().expect("target dir"));
+    let _ = std::fs::remove_file(&scratch);
+    for target in ["engine", "aqm_cost", "figures"] {
+        println!("bench: running `cargo bench -p ecnsharp-bench --bench {target}` ...");
+        let status = cargo()
+            .args(["bench", "-p", "ecnsharp-bench", "--bench", target])
+            .env("ECNSHARP_BENCH_JSON", &scratch)
+            .current_dir(root)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("bench: `{target}` failed ({s})");
+                return false;
+            }
+            Err(e) => {
+                eprintln!("bench: could not launch cargo: {e}");
+                return false;
+            }
+        }
+    }
+    let raw = match std::fs::read_to_string(&scratch) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench: no shim output at {}: {e}", scratch.display());
+            return false;
+        }
+    };
+    let entries = parse_bench_file(&raw);
+    if entries.is_empty() {
+        eprintln!("bench: shim output parsed to zero entries");
+        return false;
+    }
+    let out_path = root.join("BENCH_sim.json");
+    let body = render_bench_json(&entries);
+    if let Err(e) = std::fs::write(&out_path, body) {
+        eprintln!("bench: could not write {}: {e}", out_path.display());
+        return false;
+    }
+    println!(
+        "\nbench: wrote {} ({} entries)",
+        out_path.display(),
+        entries.len()
+    );
+    for e in &entries {
+        match e.rate_per_sec() {
+            Some(r) => println!(
+                "  {}/{}: {} ns median, {:.2} M/s",
+                e.group,
+                e.bench,
+                e.median_ns,
+                r / 1e6
+            ),
+            None => println!("  {}/{}: {} ns median", e.group, e.bench, e.median_ns),
+        }
+    }
+    true
+}
+
+/// `cargo xtask bench-diff old.json new.json` — per-bench comparison.
+pub fn diff(old_path: &str, new_path: &str) -> bool {
+    let read = |p: &str| -> Option<Vec<BenchEntry>> {
+        match std::fs::read_to_string(p) {
+            Ok(s) => Some(parse_bench_file(&s)),
+            Err(e) => {
+                eprintln!("bench-diff: cannot read {p}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(old), Some(new)) = (read(old_path), read(new_path)) else {
+        return false;
+    };
+    if old.is_empty() || new.is_empty() {
+        eprintln!("bench-diff: no bench entries parsed");
+        return false;
+    }
+    println!(
+        "{:<34} {:>14} {:>14} {:>9}",
+        "bench", "old ns", "new ns", "speedup"
+    );
+    let mut matched = 0usize;
+    for n in &new {
+        let Some(o) = old
+            .iter()
+            .find(|o| o.group == n.group && o.bench == n.bench)
+        else {
+            println!(
+                "{:<34} {:>14} {:>14} {:>9}",
+                format!("{}/{}", n.group, n.bench),
+                "-",
+                n.median_ns,
+                "new"
+            );
+            continue;
+        };
+        matched += 1;
+        let speedup = if n.median_ns > 0 {
+            o.median_ns as f64 / n.median_ns as f64
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:<34} {:>14} {:>14} {:>8.2}x",
+            format!("{}/{}", n.group, n.bench),
+            o.median_ns,
+            n.median_ns,
+            speedup
+        );
+    }
+    for o in &old {
+        if !new.iter().any(|n| n.group == o.group && n.bench == o.bench) {
+            println!(
+                "{:<34} {:>14} {:>14} {:>9}",
+                format!("{}/{}", o.group, o.bench),
+                o.median_ns,
+                "-",
+                "gone"
+            );
+        }
+    }
+    println!(
+        "\nbench-diff: {matched} matched entr{}",
+        if matched == 1 { "y" } else { "ies" }
+    );
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_line() {
+        let line = r#"{"group":"event_queue","bench":"push_pop_10k","median_ns":697502,"samples":20,"elements":10000,"bytes":null}"#;
+        let e = parse_bench_line(line).expect("parses");
+        assert_eq!(e.group, "event_queue");
+        assert_eq!(e.bench, "push_pop_10k");
+        assert_eq!(e.median_ns, 697_502);
+        assert_eq!(e.samples, 20);
+        assert_eq!(e.elements, Some(10_000));
+        assert_eq!(e.bytes, None);
+        let rate = e.rate_per_sec().expect("has elements");
+        assert!((rate - 14_336_876.0).abs() < 1_000.0, "{rate}");
+    }
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let entries = vec![
+            BenchEntry {
+                group: "event_queue".into(),
+                bench: "push_pop_10k".into(),
+                median_ns: 700_000,
+                samples: 20,
+                elements: Some(10_000),
+                bytes: None,
+            },
+            BenchEntry {
+                group: "figures_quick".into(),
+                bench: "fig2".into(),
+                median_ns: 3_000_000_000,
+                samples: 10,
+                elements: None,
+                bytes: None,
+            },
+        ];
+        let body = render_bench_json(&entries);
+        assert!(body.contains("\"machine\""));
+        assert!(body.contains("\"events_per_sec\""));
+        assert!(body.contains("\"wall_secs\""));
+        let parsed = parse_bench_file(&body);
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn ignores_non_bench_lines() {
+        let body = "{\n  \"machine\": {\"cpu\": \"x\", \"cores\": 4, \"rustc\": \"y\"},\n  \"benches\": [\n  ]\n}\n";
+        assert!(parse_bench_file(body).is_empty());
+    }
+}

@@ -6,7 +6,11 @@
 //!   non-zero exit on any finding.
 //! - `selftest` — prove each rule fires on its seeded fixture violation.
 //! - `ci` — fmt-check → clippy → lint → selftest → release build →
-//!   tests (default features, then `strict-invariants`).
+//!   tests (default features, then `strict-invariants`) → rustdoc gate
+//!   (`cargo doc --no-deps` with `-Dwarnings`, then `cargo test --doc`).
+//! - `bench` — run the standing `ecnsharp-bench` targets and collate
+//!   `BENCH_sim.json` at the workspace root (see PERFORMANCE.md).
+//! - `bench-diff <old> <new>` — compare two `BENCH_sim.json` files.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +35,16 @@ fn main() -> ExitCode {
         Some("lint") => exit_for(lint()),
         Some("selftest") => exit_for(selftest()),
         Some("ci") => ci(),
+        Some("bench") => exit_for(xtask::bench::run(&xtask::workspace_root())),
+        Some("bench-diff") => match (args.get(1), args.get(2)) {
+            (Some(old), Some(new)) => exit_for(xtask::bench::diff(old, new)),
+            _ => {
+                eprintln!(
+                    "usage: cargo xtask bench-diff <old BENCH_sim.json> <new BENCH_sim.json>"
+                );
+                ExitCode::FAILURE
+            }
+        },
         Some("help") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -47,9 +61,11 @@ fn print_help() {
     println!(
         "cargo xtask <command>\n\n\
          commands:\n  \
-         lint      determinism lint pass (rules R1-R6) over the workspace\n  \
-         selftest  verify each lint rule fires on its seeded fixture\n  \
-         ci        fmt-check -> clippy -> lint -> selftest -> build -> tests"
+         lint        determinism lint pass (rules R1-R6) over the workspace\n  \
+         selftest    verify each lint rule fires on its seeded fixture\n  \
+         ci          fmt-check -> clippy -> lint -> selftest -> build -> tests -> rustdoc gate\n  \
+         bench       run engine/aqm_cost/figures benches, write BENCH_sim.json\n  \
+         bench-diff  compare two BENCH_sim.json files (old new)"
     );
 }
 
@@ -197,6 +213,23 @@ fn ci() -> ExitCode {
                     "-q",
                 ]);
                 run_step("test (strict-invariants)", c, true)
+            }),
+        ),
+        (
+            "doc",
+            Box::new(|| {
+                let mut c = cargo();
+                c.args(["doc", "--workspace", "--no-deps"]);
+                c.env("RUSTDOCFLAGS", "-Dwarnings");
+                run_step("doc --no-deps (-Dwarnings)", c, true)
+            }),
+        ),
+        (
+            "test --doc",
+            Box::new(|| {
+                let mut c = cargo();
+                c.args(["test", "--workspace", "--doc", "-q"]);
+                run_step("test --doc", c, true)
             }),
         ),
     ];
