@@ -36,6 +36,58 @@ fn bench_event_queue(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_timer_wheel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timer_wheel");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    // The RTO pattern: every flow re-arms its timer on each ACK, and almost
+    // no deadline ever fires. Measures the O(1) cancel+re-arm path.
+    g.bench_function("rearm_churn_10k", |b| {
+        let mut rng = Rng::seed_from_u64(2);
+        let deadlines: Vec<u64> = (0..n).map(|_| rng.range_u64(1_000, 10_000_000)).collect();
+        b.iter_batched(
+            || deadlines.clone(),
+            |deadlines| {
+                let mut q: EventQueue<usize> = EventQueue::new();
+                const FLOWS: usize = 64;
+                let mut tokens = [None; FLOWS];
+                for (i, after) in deadlines.into_iter().enumerate() {
+                    let slot = i % FLOWS;
+                    tokens[slot] =
+                        Some(q.rearm_timer(tokens[slot], SimTime::from_nanos(after), slot));
+                }
+                let mut sum = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    sum += e;
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Same-tick incast burst: thousands of events landing in one bucket,
+    // exercising the refill fast path (single-run reverse, no sort).
+    g.bench_function("same_tick_burst_10k", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let mut q: EventQueue<usize> = EventQueue::new();
+                let t = SimTime::from_nanos(2_000);
+                for i in 0..n as usize {
+                    q.schedule(t, i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    sum += e;
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn transfer(d: &mut Dumbbell, bytes: u64) {
     let (a, b) = (d.a, d.b);
     d.net.schedule_flow(
@@ -81,5 +133,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_timer_wheel,
+    bench_end_to_end
+);
 criterion_main!(benches);

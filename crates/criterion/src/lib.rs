@@ -153,11 +153,15 @@ impl Bencher {
         }
         self.samples_ns.sort_unstable();
         let median = self.samples_ns[self.samples_ns.len() / 2];
+        // Sub-microsecond medians are clock-quantization noise; a derived
+        // rate from them is meaningless (and used to print absurd numbers
+        // for the cheapest AQM benches), so elide it below the floor.
+        const RATE_FLOOR_NS: u128 = 1_000;
         let rate = match throughput {
-            Some(Throughput::Elements(n)) if median > 0 => {
+            Some(Throughput::Elements(n)) if median >= RATE_FLOOR_NS => {
                 format!("  {:>10.1} Melem/s", n as f64 / median as f64 * 1e3)
             }
-            Some(Throughput::Bytes(n)) if median > 0 => {
+            Some(Throughput::Bytes(n)) if median >= RATE_FLOOR_NS => {
                 format!(
                     "  {:>10.1} MiB/s",
                     n as f64 / median as f64 * 1e9 / (1 << 20) as f64

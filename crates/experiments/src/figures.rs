@@ -255,9 +255,12 @@ pub fn fig6(scale: Scale) -> Table {
     testbed_fct_figure("fig6", dists::web_search(), scale.flows(), scale)
 }
 
-/// Fig. 7: same as Fig. 6 with the data-mining workload.
+/// Fig. 7: same as Fig. 6 with the data-mining workload. Quick-scale runs
+/// cap the flow count: the heavy tail makes even 60 data-mining flows the
+/// slowest smoke run by far, and the smoke sweep only checks plumbing.
 pub fn fig7(scale: Scale) -> Table {
-    testbed_fct_figure("fig7", dists::data_mining(), scale.flows_dm(), scale)
+    let flows = scale.cap_quick(scale.flows_dm(), 40);
+    testbed_fct_figure("fig7", dists::data_mining(), flows, scale)
 }
 
 // ─────────────────────────────────────────────────────────────────────────
@@ -536,10 +539,12 @@ pub fn fig12(scale: Scale) -> Table {
         })
         .collect();
     let results = parallel_map(jobs.clone(), |(_, cfg, workload)| {
+        // Quick-scale caps: the 18-setting × 2-workload sweep is the widest
+        // figure; uncapped it dominates the smoke sweep's wall time.
         let (cdf, flows) = if *workload == "web_search" {
-            (dists::web_search(), scale.flows())
+            (dists::web_search(), scale.cap_quick(scale.flows(), 80))
         } else {
-            (dists::data_mining(), scale.flows_dm())
+            (dists::data_mining(), scale.cap_quick(scale.flows_dm(), 30))
         };
         let sc = FctScenario::testbed(Scheme::EcnSharp(Some(*cfg)), cdf, 0.6, flows, 71);
         averaged_fct(&sc, scale.seeds())

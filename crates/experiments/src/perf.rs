@@ -29,6 +29,10 @@ static CE_MARKS: AtomicU64 = AtomicU64::new(0);
 static DROPS: AtomicU64 = AtomicU64::new(0);
 static SIM_NANOS: AtomicU64 = AtomicU64::new(0);
 static RUNS: AtomicU64 = AtomicU64::new(0);
+static TIMERS_ARMED: AtomicU64 = AtomicU64::new(0);
+static TIMERS_CANCELLED: AtomicU64 = AtomicU64::new(0);
+static TIMERS_FIRED: AtomicU64 = AtomicU64::new(0);
+static TIMERS_STALE_SUPPRESSED: AtomicU64 = AtomicU64::new(0);
 
 /// Fold a finished run's counters into the process-global accumulator.
 /// Called by every `run_*` scenario just before it returns.
@@ -42,6 +46,10 @@ pub fn absorb(net: &Network) {
     DROPS.fetch_add(c.drops, Ordering::Relaxed);
     SIM_NANOS.fetch_add(net.now().as_nanos(), Ordering::Relaxed);
     RUNS.fetch_add(1, Ordering::Relaxed);
+    TIMERS_ARMED.fetch_add(c.timers_armed, Ordering::Relaxed);
+    TIMERS_CANCELLED.fetch_add(c.timers_cancelled, Ordering::Relaxed);
+    TIMERS_FIRED.fetch_add(c.timers_fired, Ordering::Relaxed);
+    TIMERS_STALE_SUPPRESSED.fetch_add(c.timers_stale_suppressed, Ordering::Relaxed);
 }
 
 /// Totals absorbed since the last [`reset`].
@@ -63,6 +71,15 @@ pub struct Snapshot {
     pub sim_nanos: u64,
     /// Number of absorbed runs.
     pub runs: u64,
+    /// Wheel timer arms (including re-arms), summed over runs.
+    pub timers_armed: u64,
+    /// Wheel timers cancelled before firing, summed over runs.
+    pub timers_cancelled: u64,
+    /// Wheel timers that fired, summed over runs.
+    pub timers_fired: u64,
+    /// Stale timers suppressed by in-place re-arm — queue events the
+    /// legacy backend would have pushed and popped for nothing.
+    pub timers_stale_suppressed: u64,
 }
 
 /// Read the accumulator.
@@ -76,6 +93,10 @@ pub fn snapshot() -> Snapshot {
         drops: DROPS.load(Ordering::Relaxed),
         sim_nanos: SIM_NANOS.load(Ordering::Relaxed),
         runs: RUNS.load(Ordering::Relaxed),
+        timers_armed: TIMERS_ARMED.load(Ordering::Relaxed),
+        timers_cancelled: TIMERS_CANCELLED.load(Ordering::Relaxed),
+        timers_fired: TIMERS_FIRED.load(Ordering::Relaxed),
+        timers_stale_suppressed: TIMERS_STALE_SUPPRESSED.load(Ordering::Relaxed),
     }
 }
 
@@ -89,6 +110,10 @@ pub fn reset() {
     DROPS.store(0, Ordering::Relaxed);
     SIM_NANOS.store(0, Ordering::Relaxed);
     RUNS.store(0, Ordering::Relaxed);
+    TIMERS_ARMED.store(0, Ordering::Relaxed);
+    TIMERS_CANCELLED.store(0, Ordering::Relaxed);
+    TIMERS_FIRED.store(0, Ordering::Relaxed);
+    TIMERS_STALE_SUPPRESSED.store(0, Ordering::Relaxed);
 }
 
 /// Outcome of a [`timed`] section: the callee's result plus the rate
@@ -131,7 +156,8 @@ impl<R> Timed<R> {
         };
         format!(
             "[perf] {name}: wall {:.2}s | {} events ({:.1}M ev/s, {:.0} ns/ev) | \
-             sim {:.3}s over {} runs ({:.2} sim-s/wall-s) | {} pkts fwd, {} CE marks, {} drops",
+             sim {:.3}s over {} runs ({:.2} sim-s/wall-s) | {} pkts fwd, {} CE marks, {} drops | \
+             timers: {} armed, {} cancelled, {} fired, {} stale-suppressed",
             self.wall_secs,
             p.events_popped,
             self.events_per_sec() / 1e6,
@@ -142,6 +168,10 @@ impl<R> Timed<R> {
             p.packets_forwarded,
             p.ce_marks,
             p.drops,
+            p.timers_armed,
+            p.timers_cancelled,
+            p.timers_fired,
+            p.timers_stale_suppressed,
         )
     }
 }

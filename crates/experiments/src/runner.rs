@@ -82,6 +82,17 @@ impl Scale {
         }
     }
 
+    /// Cap a flow count at [`Scale::Quick`] only; mid and full scale pass
+    /// `n` through untouched. Used by figures whose quick runs would
+    /// otherwise dominate the smoke sweep's wall time (fig7's data-mining
+    /// load sweep, fig12's fabric comparison).
+    pub fn cap_quick(self, n: usize, cap: usize) -> usize {
+        match self {
+            Scale::Quick => n.min(cap),
+            Scale::Mid | Scale::Full => n,
+        }
+    }
+
     /// Load sweep for the testbed figures.
     pub fn loads(self) -> Vec<f64> {
         match self {
@@ -108,6 +119,11 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
+    if threads == 1 {
+        // Single-core host: skip the worker thread and mutex traffic and
+        // run the jobs inline, in order.
+        return items.iter().map(&f).collect();
+    }
     let work: Mutex<std::vec::IntoIter<(usize, T)>> = Mutex::new(
         items
             .into_iter()
@@ -163,6 +179,14 @@ mod tests {
         assert!(Scale::Full.flows() > Scale::Quick.flows());
         assert!(Scale::Full.seeds() >= 1);
         assert!(!Scale::Quick.loads().is_empty());
+    }
+
+    #[test]
+    fn cap_quick_only_touches_quick_scale() {
+        assert_eq!(Scale::Quick.cap_quick(60, 40), 40);
+        assert_eq!(Scale::Quick.cap_quick(30, 40), 30);
+        assert_eq!(Scale::Mid.cap_quick(200, 40), 200);
+        assert_eq!(Scale::Full.cap_quick(400, 40), 400);
     }
 
     #[test]

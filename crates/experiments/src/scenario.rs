@@ -7,7 +7,7 @@ use ecnsharp_net::{FlowId, NodeId, PortConfig};
 use ecnsharp_sched::Dwrr;
 use ecnsharp_sim::{Duration, Rate, Rng, SimTime};
 use ecnsharp_stats::{FctBreakdown, QueueSummary};
-use ecnsharp_transport::{TcpConfig, TcpStack};
+use ecnsharp_transport::{TcpConfig, TcpStack, TimerBackend};
 use ecnsharp_workload::{IncastSpec, Pattern, PiecewiseCdf, RttVariation, TrafficSpec};
 
 /// Common knobs of an FCT experiment.
@@ -66,13 +66,21 @@ fn nic_port() -> PortConfig {
 }
 
 /// Endpoint transport used by every scenario. `ECNSHARP_DELACK` overrides
-/// the delayed-ACK count (calibration experiments).
+/// the delayed-ACK count (calibration experiments); `ECNSHARP_TIMER_BACKEND`
+/// (`wheel` | `legacy`) selects the timer backend — the equivalence test
+/// uses it to prove both produce byte-identical figures.
 fn endpoint_tcp() -> TcpConfig {
     let mut cfg = TcpConfig::dctcp();
     if let Ok(v) = std::env::var("ECNSHARP_DELACK") {
         if let Ok(n) = v.parse::<u32>() {
             cfg.delack_count = n.max(1);
         }
+    }
+    if let Ok(v) = std::env::var("ECNSHARP_TIMER_BACKEND") {
+        cfg.timer_backend = match v.as_str() {
+            "legacy" => TimerBackend::Legacy,
+            _ => TimerBackend::Wheel,
+        };
     }
     cfg
 }

@@ -59,8 +59,17 @@ pub enum Action {
     /// Transmit a packet from this host's NIC, after an artificial
     /// processing delay (the netem knob; [`Duration::ZERO`] for none).
     Send(Packet, Duration),
-    /// Fire [`Agent::on_timer`] with `key` at absolute time `at`.
+    /// Fire [`Agent::on_timer`] with `key` at absolute time `at`
+    /// (one-shot, not cancellable — see [`Ctx::set_timer`]).
     SetTimer(SimTime, u64),
+    /// Arm (or re-arm) the cancellable timer identified by `key` on this
+    /// node to fire [`Agent::on_timer`] at absolute time `at`. Backed by
+    /// the engine's hierarchical timer wheel: a previously armed timer
+    /// with the same key is silently replaced without ever reaching the
+    /// event queue's pop path.
+    ArmTimer(SimTime, u64),
+    /// Cancel the armed timer identified by `key` on this node, if any.
+    CancelTimer(u64),
     /// Report a flow as complete (FCT bookkeeping) with a timeout count.
     FlowDone(FlowId, u32),
 }
@@ -91,13 +100,30 @@ impl<'a> Ctx<'a> {
         self.actions.push(Action::Send(pkt, delay));
     }
 
-    /// Request a timer callback `after` from now, tagged with `key`.
+    /// Request a one-shot timer callback `after` from now, tagged with
+    /// `key`.
     ///
-    /// Timers are not cancellable; agents implement cancellation by tagging
-    /// timers with epochs and ignoring stale ones (the idiomatic pattern in
-    /// event-driven stacks — no tombstone bookkeeping in the hot queue).
+    /// These timers are not cancellable; agents using them implement
+    /// cancellation by tagging timers with epochs and ignoring stale ones.
+    /// That lazy pattern pushes one soon-to-be-garbage event through the
+    /// queue per re-arm — prefer [`Ctx::arm_timer`]/[`Ctx::cancel_timer`],
+    /// which re-arm in place on the engine's timer wheel. `set_timer` is
+    /// kept for the legacy transport backend and as the equivalence
+    /// baseline the determinism tests compare the wheel against.
     pub fn set_timer(&mut self, after: Duration, key: u64) {
         self.actions.push(Action::SetTimer(self.now + after, key));
+    }
+
+    /// Arm — or re-arm, replacing any pending deadline — the cancellable
+    /// timer `key` to fire `after` from now. Re-arming never pushes a
+    /// stale event through the queue (see [`Action::ArmTimer`]).
+    pub fn arm_timer(&mut self, after: Duration, key: u64) {
+        self.actions.push(Action::ArmTimer(self.now + after, key));
+    }
+
+    /// Cancel the pending cancellable timer `key`, if armed.
+    pub fn cancel_timer(&mut self, key: u64) {
+        self.actions.push(Action::CancelTimer(key));
     }
 
     /// Report that `flow` has completed (sender-side, last byte acked).

@@ -35,5 +35,5 @@ pub use agent::{Action, Agent, Ctx, EchoAgent, FlowCmd, FlowRecord, NullAgent};
 pub use ids::{FlowId, NodeId, PortId};
 pub use network::{Network, PerfCounters, QueueMonitor};
 pub use packet::{Ecn, Flags, Packet};
-pub use port::{EgressPort, PortConfig, PortStats};
+pub use port::{EgressPort, PortConfig, PortSched, PortStats};
 pub use trace::{TraceEvent, TraceKind, Tracer};

@@ -13,7 +13,7 @@ use crate::port::{EgressPort, PortConfig, PortStats};
 use crate::trace::TraceKind;
 #[cfg(feature = "packet-trace")]
 use crate::trace::Tracer;
-use ecnsharp_sim::{hash_mix, Duration, EventQueue, Rate, Rng, SimTime};
+use ecnsharp_sim::{hash_mix, Duration, EventQueue, Rate, Rng, SimTime, TimerToken};
 use std::collections::BTreeMap;
 
 /// Aggregate engine counters of one run, cheap enough to maintain
@@ -35,6 +35,15 @@ pub struct PerfCounters {
     pub ce_marks: u64,
     /// Packets dropped (tail, AQM, fault), summed over every port.
     pub drops: u64,
+    /// Cancellable timer arms (including re-arms) on the engine's wheel.
+    pub timers_armed: u64,
+    /// Live timers explicitly cancelled before firing.
+    pub timers_cancelled: u64,
+    /// Timers that reached their deadline and were delivered.
+    pub timers_fired: u64,
+    /// Live timers displaced by a re-arm — stale events the legacy
+    /// epoch-filtering path would have pushed through the queue.
+    pub timers_stale_suppressed: u64,
 }
 
 /// A queue-length sample series attached to one port.
@@ -82,6 +91,9 @@ pub struct Network {
     ecmp_salt: u64,
     /// Flows started but not yet completed: flow → (cmd, start time).
     pending: BTreeMap<FlowId, (FlowCmd, SimTime)>,
+    /// Live cancellable timers: `(node, key)` → wheel token. Entries are
+    /// removed when the timer fires, is cancelled, or is replaced.
+    timer_tokens: BTreeMap<(NodeId, u64), TimerToken>,
     records: Vec<FlowRecord>,
     monitors: Vec<QueueMonitor>,
     scratch: Vec<Action>,
@@ -102,6 +114,7 @@ impl Network {
             rng,
             ecmp_salt,
             pending: BTreeMap::new(),
+            timer_tokens: BTreeMap::new(),
             records: Vec::new(),
             monitors: Vec::new(),
             scratch: Vec::new(),
@@ -222,6 +235,9 @@ impl Network {
                 self.nodes[u].routes[dst] = hops;
             }
         }
+        for node in &mut self.nodes {
+            node.rebuild_flat_routes();
+        }
     }
 
     // ── accessors ──────────────────────────────────────────────────────
@@ -293,6 +309,10 @@ impl Network {
             events_pushed: q.pushed,
             events_popped: q.popped,
             peak_pending: q.peak_pending,
+            timers_armed: q.timers_armed,
+            timers_cancelled: q.timers_cancelled,
+            timers_fired: q.timers_fired,
+            timers_stale_suppressed: q.timers_stale_suppressed,
             ..PerfCounters::default()
         };
         for node in &self.nodes {
@@ -372,9 +392,16 @@ impl Network {
                 self.nodes[node.0].ports[port].busy = false;
                 self.kick(now, node, port);
             }
-            Event::Timer { node, key } => self.agent_callback(now, node, |agent, ctx| {
-                agent.on_timer(ctx, key);
-            }),
+            Event::Timer { node, key } => {
+                // A wheel-armed timer that fires is spent: drop its token
+                // so a later cancel/re-arm for the key starts fresh.
+                // (One-shot `SetTimer` events share the variant and have
+                // no token; the remove is then a no-op.)
+                self.timer_tokens.remove(&(node, key));
+                self.agent_callback(now, node, |agent, ctx| {
+                    agent.on_timer(ctx, key);
+                })
+            }
             Event::FlowStart(cmd) => {
                 let src = cmd.src;
                 self.pending.insert(cmd.flow, (cmd.clone(), now));
@@ -410,9 +437,13 @@ impl Network {
                 });
             }
             NodeKind::Switch => {
-                let hops = self.nodes[node.0]
-                    .routes
-                    .get(pkt.dst.0)
+                // Forwarding uses the flattened route mirror: two
+                // contiguous-array reads instead of a Vec<Vec<_>> chase.
+                let sw = &self.nodes[node.0];
+                let hops = sw
+                    .route_off
+                    .get(pkt.dst.0..pkt.dst.0 + 2)
+                    .map(|w| &sw.route_hops[w[0] as usize..w[1] as usize])
                     .filter(|h| !h.is_empty())
                     .unwrap_or_else(|| {
                         panic!(
@@ -421,11 +452,21 @@ impl Network {
                         )
                     });
                 let port = if hops.len() == 1 {
-                    hops[0]
+                    hops[0] as usize
                 } else {
                     // Flow-consistent ECMP: all packets of a flow take the
                     // same path; different flows spread across the fan.
-                    hops[(hash_mix(pkt.flow.0 ^ self.ecmp_salt) % hops.len() as u64) as usize]
+                    // Fan-outs are powers of two in every standard fabric,
+                    // where the reduction is a mask instead of a 64-bit
+                    // division (same result either way).
+                    let h = hash_mix(pkt.flow.0 ^ self.ecmp_salt);
+                    let n = hops.len() as u64;
+                    let idx = if n.is_power_of_two() {
+                        h & (n - 1)
+                    } else {
+                        h % n
+                    };
+                    hops[idx as usize] as usize
                 };
                 self.trace(now, node, TraceKind::Enqueue, &pkt);
                 self.nodes[node.0].ports[port].enqueue(now, pkt);
@@ -501,6 +542,31 @@ impl Network {
                 Action::SetTimer(at, key) => {
                     self.events
                         .schedule(at.max(now), Event::Timer { node, key });
+                }
+                Action::ArmTimer(at, key) => {
+                    // Entry API: one tree descent per arm instead of a
+                    // get + insert pair (this is the per-ACK hot path).
+                    use std::collections::btree_map::Entry;
+                    let at = at.max(now);
+                    match self.timer_tokens.entry((node, key)) {
+                        Entry::Occupied(mut o) => {
+                            let prev = Some(*o.get());
+                            *o.get_mut() =
+                                self.events
+                                    .rearm_timer(prev, at, Event::Timer { node, key });
+                        }
+                        Entry::Vacant(v) => {
+                            v.insert(
+                                self.events
+                                    .rearm_timer(None, at, Event::Timer { node, key }),
+                            );
+                        }
+                    }
+                }
+                Action::CancelTimer(key) => {
+                    if let Some(tok) = self.timer_tokens.remove(&(node, key)) {
+                        self.events.cancel_timer(tok);
+                    }
                 }
                 Action::FlowDone(flow, timeouts) => {
                     if let Some((cmd, start)) = self.pending.remove(&flow) {

@@ -25,6 +25,12 @@ pub struct Node {
     /// [`crate::Network::compute_routes`]. Hosts leave this empty and
     /// always use port 0.
     pub routes: Vec<Vec<usize>>,
+    /// Flattened mirror of `routes` for the per-packet forwarding lookup:
+    /// the fan for `dst` is `route_hops[route_off[dst] .. route_off[dst+1]]`.
+    /// Two small contiguous arrays replace a `Vec<Vec<_>>` pointer chase on
+    /// the hottest switch path; rebuilt alongside `routes`.
+    pub(crate) route_off: Vec<u32>,
+    pub(crate) route_hops: Vec<u16>,
 }
 
 impl Node {
@@ -33,6 +39,8 @@ impl Node {
             kind: NodeKind::Host { agent },
             ports: Vec::new(),
             routes: Vec::new(),
+            route_off: Vec::new(),
+            route_hops: Vec::new(),
         }
     }
 
@@ -41,6 +49,24 @@ impl Node {
             kind: NodeKind::Switch,
             ports: Vec::new(),
             routes: Vec::new(),
+            route_off: Vec::new(),
+            route_hops: Vec::new(),
+        }
+    }
+
+    /// Rebuild the flattened forwarding mirror from `routes`.
+    pub(crate) fn rebuild_flat_routes(&mut self) {
+        self.route_off.clear();
+        self.route_hops.clear();
+        self.route_off.reserve(self.routes.len() + 1);
+        self.route_off.push(0);
+        for hops in &self.routes {
+            for &h in hops {
+                self.route_hops
+                    .push(u16::try_from(h).expect("port index fits u16"));
+            }
+            self.route_off
+                .push(u32::try_from(self.route_hops.len()).expect("route table fits u32"));
         }
     }
 

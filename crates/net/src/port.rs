@@ -5,8 +5,62 @@
 use crate::ids::NodeId;
 use crate::packet::{Ecn, Packet};
 use ecnsharp_aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState};
-use ecnsharp_sched::{Fifo, Scheduler};
+use ecnsharp_sched::{Dequeued, Fifo, Scheduler};
 use ecnsharp_sim::{Duration, Rate, SimTime};
+
+/// The scheduler slot of a port. Almost every port in every experiment is
+/// a plain FIFO, and its enqueue/dequeue/backlog calls sit on the
+/// per-packet hot path — so the FIFO case is stored inline and statically
+/// dispatched, with a boxed trait object as the escape hatch for the
+/// multi-class schedulers (DWRR in §5.4).
+pub enum PortSched {
+    /// Inline single-queue FIFO (static dispatch).
+    Fifo(Fifo<Packet>),
+    /// Any other scheduler, behind the [`Scheduler`] trait.
+    Dyn(Box<dyn Scheduler<Packet>>),
+}
+
+impl PortSched {
+    #[inline]
+    fn classes(&self) -> usize {
+        match self {
+            PortSched::Fifo(_) => 1,
+            PortSched::Dyn(s) => s.classes(),
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, class: usize, bytes: u64, item: Packet) {
+        match self {
+            PortSched::Fifo(f) => f.enqueue(class, bytes, item),
+            PortSched::Dyn(s) => s.enqueue(class, bytes, item),
+        }
+    }
+
+    #[inline]
+    fn dequeue(&mut self) -> Option<Dequeued<Packet>> {
+        match self {
+            PortSched::Fifo(f) => f.dequeue(),
+            PortSched::Dyn(s) => s.dequeue(),
+        }
+    }
+
+    #[inline]
+    fn backlog_bytes(&self) -> u64 {
+        match self {
+            PortSched::Fifo(f) => Scheduler::backlog_bytes(f),
+            PortSched::Dyn(s) => s.backlog_bytes(),
+        }
+    }
+
+    #[inline]
+    fn backlog_pkts(&self) -> u64 {
+        match self {
+            PortSched::Fifo(f) => Scheduler::backlog_pkts(f),
+            PortSched::Dyn(s) => s.backlog_pkts(),
+        }
+    }
+}
 
 /// Static configuration of an egress port.
 pub struct PortConfig {
@@ -15,7 +69,7 @@ pub struct PortConfig {
     /// AQM policy instance.
     pub aqm: Box<dyn Aqm>,
     /// Packet scheduler instance.
-    pub sched: Box<dyn Scheduler<Packet>>,
+    pub sched: PortSched,
     /// Probability of dropping an outgoing packet on the wire (fault
     /// injection; 0.0 disables). Deterministically seeded by the network.
     pub fault_drop_p: f64,
@@ -30,14 +84,14 @@ impl PortConfig {
         PortConfig {
             capacity_bytes,
             aqm,
-            sched: Box::new(Fifo::with_capacity(pkts)),
+            sched: PortSched::Fifo(Fifo::with_capacity(pkts)),
             fault_drop_p: 0.0,
         }
     }
 
     /// Replace the scheduler (e.g. DWRR for the §5.4 experiment).
     pub fn with_sched(mut self, sched: Box<dyn Scheduler<Packet>>) -> Self {
-        self.sched = sched;
+        self.sched = PortSched::Dyn(sched);
         self
     }
 
@@ -94,7 +148,7 @@ pub struct EgressPort {
     pub delay: Duration,
     pub(crate) capacity_bytes: u64,
     pub(crate) aqm: Box<dyn Aqm>,
-    pub(crate) sched: Box<dyn Scheduler<Packet>>,
+    pub(crate) sched: PortSched,
     pub(crate) fault_drop_p: f64,
     /// Is a packet currently being serialized?
     pub(crate) busy: bool,

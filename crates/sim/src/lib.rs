@@ -33,8 +33,10 @@ pub mod queue;
 pub mod rate;
 pub mod rng;
 pub mod time;
+pub mod wheel;
 
 pub use queue::EventQueue;
 pub use rate::{bytes, Rate};
 pub use rng::{hash_mix, Rng};
 pub use time::{Duration, SimTime};
+pub use wheel::{TimerToken, TimerWheel};

@@ -29,11 +29,13 @@
 //! boundaries, cursor wraparound and the heap fallback explicitly.
 
 use crate::time::SimTime;
+use crate::wheel::{Cancelled, TimerToken, TimerWheel};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// log2 of the lane width in nanoseconds (1024 ns per lane).
-const LANE_BITS: u32 = 10;
+/// log2 of the lane width in nanoseconds (1024 ns per lane). Shared with
+/// the timer wheel, whose level-0 slots are exactly one lane wide.
+pub(crate) const LANE_BITS: u32 = 10;
 /// Number of near-future lanes (must be a power of two).
 const LANE_COUNT: usize = 1024;
 const LANE_MASK: u64 = LANE_COUNT as u64 - 1;
@@ -90,6 +92,58 @@ pub struct QueuePerf {
     pub popped: u64,
     /// Highest number of simultaneously pending events observed.
     pub peak_pending: u64,
+    /// Timer arms, including re-arms (see [`EventQueue::rearm_timer`]).
+    pub timers_armed: u64,
+    /// Live timers explicitly cancelled before firing.
+    pub timers_cancelled: u64,
+    /// Timers that reached their deadline and were delivered as events.
+    pub timers_fired: u64,
+    /// Live timers displaced by a re-arm — each one a stale event that an
+    /// epoch-filtering design would have pushed through (and popped from)
+    /// the queue.
+    pub timers_stale_suppressed: u64,
+}
+
+/// Sub-run bookkeeping for one lane: how many ascending `(time, seq)`
+/// insertion runs the slot holds and where the first one ends, so the
+/// refill sort can be skipped (one run) or replaced by a linear two-run
+/// merge. Same-tick bursts — incast fan-in scheduling hundreds of events
+/// at one instant — are the single-run common case.
+#[derive(Debug, Clone, Copy)]
+struct LaneMeta {
+    /// Ascending insertion runs currently in the slot.
+    runs: u32,
+    /// Length of the first run (the split point for the two-run merge).
+    first_run_len: u32,
+    /// `(time, seq)` of the most recently pushed entry.
+    last: (SimTime, u64),
+}
+
+impl Default for LaneMeta {
+    fn default() -> Self {
+        LaneMeta {
+            runs: 0,
+            first_run_len: 0,
+            last: (SimTime::ZERO, 0),
+        }
+    }
+}
+
+/// One calendar slot: its pending entries plus the run bookkeeping,
+/// co-located so the per-schedule slot access touches a single cache
+/// region (the `Vec` header and the meta share a line).
+struct Lane<E> {
+    entries: Vec<(SimTime, u64, E)>,
+    meta: LaneMeta,
+}
+
+impl<E> Default for Lane<E> {
+    fn default() -> Self {
+        Lane {
+            entries: Vec::new(),
+            meta: LaneMeta::default(),
+        }
+    }
 }
 
 /// A time-ordered event queue with FIFO tie-breaking.
@@ -97,19 +151,36 @@ pub struct EventQueue<E> {
     /// Entries of the bucket currently being drained (`cursor`), sorted
     /// by `(time, seq)` **descending** so the earliest is at the back.
     current: Vec<(SimTime, u64, E)>,
+    /// Events scheduled *into* the draining bucket mid-drain (the ACK
+    /// turnaround pattern: a sub-lane tx-done lands in the same bucket).
+    /// A sorted-`Vec::insert` into `current` would memmove O(batch) per
+    /// arrival, so these overlay entries live in a small min-heap instead;
+    /// [`pop`] takes whichever of `current.last()` / `inbox.peek()` is
+    /// earlier, preserving the exact `(time, seq)` total order.
+    ///
+    /// [`pop`]: EventQueue::pop
+    inbox: BinaryHeap<Entry<E>>,
     /// Absolute bucket index `current` belongs to. All pending lane
     /// entries have strictly greater buckets; the heap head's bucket is
     /// also strictly greater whenever `current` is non-empty.
     cursor: u64,
     /// Near-future ring: slot `b & LANE_MASK` holds bucket `b`'s events
-    /// (unsorted) for buckets within `(cursor, cursor + LANE_COUNT)`.
-    lanes: Vec<Vec<(SimTime, u64, E)>>,
+    /// (unsorted, with per-slot run bookkeeping) for buckets within
+    /// `(cursor, cursor + LANE_COUNT)`.
+    lanes: Vec<Lane<E>>,
     /// One bit per lane slot: slot non-empty.
     occupied: [u64; WORDS],
     /// Total entries across all lanes (excluding `current` and the heap).
     lanes_len: usize,
     /// Far-future fallback (beyond the lane horizon at scheduling time).
     heap: BinaryHeap<Entry<E>>,
+    /// Cancellable timers (see [`EventQueue::schedule_timer`]); shares the
+    /// global sequence counter so fired timers replay in exactly the
+    /// `(time, seq)` order a plain `schedule` would have given them.
+    wheel: TimerWheel<E>,
+    /// Scratch buffers reused by the two-run refill merge.
+    scratch: Vec<(SimTime, u64, E)>,
+    spare: Vec<(SimTime, u64, E)>,
     next_seq: u64,
     now: SimTime,
     len: usize,
@@ -131,11 +202,15 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             current: Vec::new(),
+            inbox: BinaryHeap::new(),
             cursor: 0,
-            lanes: (0..LANE_COUNT).map(|_| Vec::new()).collect(),
+            lanes: (0..LANE_COUNT).map(|_| Lane::default()).collect(),
             occupied: [0; WORDS],
             lanes_len: 0,
             heap: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
+            scratch: Vec::new(),
+            spare: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             len: 0,
@@ -180,17 +255,35 @@ impl<E> EventQueue<E> {
         let b = bucket(at);
         if b <= self.cursor {
             // The bucket being drained (b < cursor is impossible for
-            // at >= now; handled identically for robustness): insert into
-            // the sorted batch. The batch is descending, so everything
-            // ordered after the new entry shifts right.
-            let idx = self.current.partition_point(|e| (e.0, e.1) > (at, seq));
-            self.current.insert(idx, (at, seq, event));
+            // at >= now; handled identically for robustness): overlay
+            // heap, merged with the sorted batch at pop time.
+            self.inbox.push(Entry {
+                time: at,
+                seq,
+                event,
+            });
         } else if b - self.cursor < LANE_COUNT as u64 {
             let slot = (b & LANE_MASK) as usize;
-            if self.lanes[slot].is_empty() {
+            let lane = &mut self.lanes[slot];
+            if lane.entries.is_empty() {
                 self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+                lane.meta = LaneMeta {
+                    runs: 1,
+                    first_run_len: 1,
+                    last: (at, seq),
+                };
+            } else {
+                let m = &mut lane.meta;
+                if (at, seq) >= m.last {
+                    if m.runs == 1 {
+                        m.first_run_len += 1;
+                    }
+                } else {
+                    m.runs += 1;
+                }
+                m.last = (at, seq);
             }
-            self.lanes[slot].push((at, seq, event));
+            lane.entries.push((at, seq, event));
             self.lanes_len += 1;
         } else {
             self.heap.push(Entry {
@@ -203,6 +296,103 @@ impl<E> EventQueue<E> {
         self.perf.pushed += 1;
         if self.len as u64 > self.perf.peak_pending {
             self.perf.peak_pending = self.len as u64;
+        }
+    }
+
+    /// Arm a cancellable timer firing `event` at `at`, returning a handle
+    /// for [`cancel_timer`]/[`rearm_timer`].
+    ///
+    /// Timers are ordinary events once they fire: they draw from the same
+    /// sequence counter at arm time, so replay order is byte-identical to
+    /// a design that `schedule`s the timer and lazily discards stale pops
+    /// — except the stale pops never happen.
+    ///
+    /// [`cancel_timer`]: EventQueue::cancel_timer
+    /// [`rearm_timer`]: EventQueue::rearm_timer
+    ///
+    /// # Panics
+    /// Debug-panics when arming into the past; the engine never rewinds.
+    pub fn schedule_timer(&mut self, at: SimTime, event: E) -> TimerToken {
+        crate::invariant!(
+            at >= self.now,
+            "arming a timer in the past: {at} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let b = bucket(at);
+        let tok = if b <= self.cursor {
+            // Expiry inside the bucket being drained (sub-lane timers,
+            // e.g. zero-delay deadlines): the payload goes straight into
+            // the drain overlay; the wheel only keeps a cancel marker.
+            self.inbox.push(Entry {
+                time: at,
+                seq,
+                event,
+            });
+            self.wheel.arm_external(at, seq)
+        } else {
+            self.wheel.arm(at, seq, event)
+        };
+        self.len += 1;
+        self.perf.timers_armed += 1;
+        if self.len as u64 > self.perf.peak_pending {
+            self.perf.peak_pending = self.len as u64;
+        }
+        tok
+    }
+
+    /// Cancel a pending timer. Returns `false` when the token is stale
+    /// (the timer already fired, was cancelled, or was re-armed).
+    pub fn cancel_timer(&mut self, tok: TimerToken) -> bool {
+        if self.take_live(tok) {
+            self.perf.timers_cancelled += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cancel-and-re-arm in one step: the timer behind `tok` (if any is
+    /// still live) is removed without ever reaching the pop path, and a
+    /// fresh timer is armed at `at`. This is the per-ACK RTO pattern.
+    pub fn rearm_timer(&mut self, tok: Option<TimerToken>, at: SimTime, event: E) -> TimerToken {
+        if let Some(t) = tok {
+            if self.take_live(t) {
+                self.perf.timers_stale_suppressed += 1;
+            }
+        }
+        self.schedule_timer(at, event)
+    }
+
+    /// Remove a live timer (wheel-resident or already in the drain batch)
+    /// without perf attribution; `false` on a stale token.
+    fn take_live(&mut self, tok: TimerToken) -> bool {
+        match self.wheel.cancel(tok) {
+            Cancelled::Stale => false,
+            Cancelled::Live(_) => {
+                self.len -= 1;
+                true
+            }
+            Cancelled::External(t, s) => {
+                // Rare path: the timer was armed into the draining batch.
+                // If it is still there (sorted batch or inbox overlay),
+                // remove it; otherwise it already popped and the cancel
+                // is stale.
+                if let Some(pos) = self.current.iter().position(|e| (e.0, e.1) == (t, s)) {
+                    self.current.remove(pos);
+                    self.len -= 1;
+                    true
+                } else if self.inbox.iter().any(|e| (e.time, e.seq) == (t, s)) {
+                    let mut entries = std::mem::take(&mut self.inbox).into_vec();
+                    entries.retain(|e| (e.time, e.seq) != (t, s));
+                    self.inbox = entries.into();
+                    self.len -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
         }
     }
 
@@ -240,46 +430,131 @@ impl<E> EventQueue<E> {
         Some(self.cursor + 1 + delta)
     }
 
-    /// Refill `current` with the earliest pending bucket's events (lanes
-    /// and/or heap), advancing the cursor. Caller guarantees `len > 0`.
+    /// Refill `current` with the earliest pending bucket's events (lanes,
+    /// heap and/or timer wheel), advancing the cursor. Caller guarantees
+    /// `len > 0`.
     fn refill(&mut self) {
         let heap_bucket = self.heap.peek().map(|e| bucket(e.time));
         let lane_bucket = self.next_occupied_bucket();
-        let b = match (lane_bucket, heap_bucket) {
-            (Some(lb), Some(hb)) => lb.min(hb),
-            (Some(lb), None) => lb,
-            (None, Some(hb)) => hb,
+        let near = match (lane_bucket, heap_bucket) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        // The wheel's exact minimum can require walking a higher-level
+        // slot's cell list, so first rule it out with the bitmap-only
+        // lower bound; the exact scan only runs when a timer might
+        // actually own this batch (typically: the engine has gone quiet
+        // and an RTO is the next thing to happen).
+        let (b, wheel_due) = match (near, self.wheel.min_bucket_lower_bound()) {
+            (Some(nb), Some(lb)) if nb < lb => (nb, false),
+            (near, Some(_)) => match (near, self.wheel.min_bucket()) {
+                (Some(nb), Some(wm)) if nb <= wm => (nb, nb == wm),
+                (_, Some(wm)) => (wm, true),
+                // Unreachable: a Some lower bound means a non-empty wheel.
+                (Some(nb), None) => (nb, false),
+                (None, None) => return,
+            },
+            (Some(nb), None) => (nb, false),
             (None, None) => return,
         };
         self.cursor = b;
+        let mut meta = LaneMeta::default();
         if lane_bucket == Some(b) {
             let slot = (b & LANE_MASK) as usize;
-            std::mem::swap(&mut self.current, &mut self.lanes[slot]);
+            std::mem::swap(&mut self.current, &mut self.lanes[slot].entries);
             self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
             self.lanes_len -= self.current.len();
+            meta = self.lanes[slot].meta;
         }
+        let mut merged = 0usize;
         while let Some(head) = self.heap.peek() {
             if bucket(head.time) != b {
                 break;
             }
             if let Some(Entry { time, seq, event }) = self.heap.pop() {
                 self.current.push((time, seq, event));
+                merged += 1;
             }
         }
-        // Descending, so the earliest (time, seq) pops from the back.
-        self.current
-            .sort_unstable_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+        // Keep the wheel's base glued to the cursor (sound: `b` is the
+        // global minimum pending bucket), then deliver its due timers.
+        self.wheel.advance_to(b);
+        if wheel_due {
+            let fired = self.wheel.drain_bucket(b, &mut self.current);
+            self.perf.timers_fired += fired as u64;
+            merged += fired;
+        }
+        // Order descending, so the earliest (time, seq) pops from the
+        // back. Fast paths when the batch is pure lane content: a single
+        // ascending insertion run (the same-tick burst case) just
+        // reverses, two runs take a linear merge, anything else sorts.
+        if merged == 0 && meta.runs <= 1 {
+            self.current.reverse();
+        } else if merged == 0 && meta.runs == 2 {
+            self.merge_two_runs(meta.first_run_len as usize);
+        } else {
+            self.current
+                .sort_unstable_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+        }
+    }
+
+    /// Merge the two ascending sub-runs of `current` (split at `split`)
+    /// into one descending batch with a linear two-pointer pass instead
+    /// of a comparison sort. Sequence numbers are unique, so the merged
+    /// order is the exact `(time, seq)` total order either way.
+    fn merge_two_runs(&mut self, split: usize) {
+        if split == 0 || split >= self.current.len() {
+            // Defensive: meta out of sync would mean a logic bug, but a
+            // sort is always a correct answer.
+            self.current
+                .sort_unstable_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+            return;
+        }
+        self.scratch.clear();
+        self.scratch.extend(self.current.drain(split..));
+        let mut merged = std::mem::take(&mut self.spare);
+        merged.clear();
+        merged.reserve(self.current.len() + self.scratch.len());
+        loop {
+            let take_second = match (self.current.last(), self.scratch.last()) {
+                (Some(a), Some(s)) => (s.0, s.1) > (a.0, a.1),
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => break,
+            };
+            let popped = if take_second {
+                self.scratch.pop()
+            } else {
+                self.current.pop()
+            };
+            if let Some(x) = popped {
+                merged.push(x);
+            }
+        }
+        self.spare = std::mem::replace(&mut self.current, merged);
     }
 
     /// Pop the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.current.is_empty() {
+        if self.current.is_empty() && self.inbox.is_empty() {
             if self.len == 0 {
                 return None;
             }
             self.refill();
         }
-        let (time, seq, event) = self.current.pop()?;
+        // Earliest of the sorted batch tail and the overlay top; sequence
+        // numbers are unique, so the comparison is never a tie.
+        let take_inbox = match (self.current.last(), self.inbox.peek()) {
+            (Some(c), Some(i)) => (i.time, i.seq) < (c.0, c.1),
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        let (time, seq, event) = if take_inbox {
+            let e = self.inbox.pop()?;
+            (e.time, e.seq, e.event)
+        } else {
+            self.current.pop()?
+        };
         self.len -= 1;
         self.perf.popped += 1;
         crate::invariant!(time >= self.now, "time went backwards");
@@ -297,18 +572,26 @@ impl<E> EventQueue<E> {
     }
 
     /// Timestamp of the next event without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        if let Some(&(t, _, _)) = self.current.last() {
-            return Some(t);
+    ///
+    /// Takes `&mut self` because peeking past an exhausted batch refills
+    /// from the earliest pending bucket — the same work the next `pop`
+    /// would do, just done early (the observable pop order is unchanged).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.current.is_empty() && self.inbox.is_empty() {
+            if self.len == 0 {
+                return None;
+            }
+            self.refill();
         }
-        let heap_t = self.heap.peek().map(|e| e.time);
-        let lane_t = self.next_occupied_bucket().and_then(|b| {
-            let slot = (b & LANE_MASK) as usize;
-            self.lanes[slot].iter().map(|e| e.0).min()
-        });
-        match (lane_t, heap_t) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+        match (self.current.last(), self.inbox.peek()) {
+            (Some(c), Some(i)) => Some(if (i.time, i.seq) < (c.0, c.1) {
+                i.time
+            } else {
+                c.0
+            }),
+            (Some(c), None) => Some(c.0),
+            (None, Some(i)) => Some(i.time),
+            (None, None) => None,
         }
     }
 
@@ -322,17 +605,20 @@ impl<E> EventQueue<E> {
         self.len == 0
     }
 
-    /// Drop all pending events (used when tearing a run down early).
+    /// Drop all pending events and timers (used when tearing a run down
+    /// early); outstanding [`TimerToken`]s go stale.
     pub fn clear(&mut self) {
         self.current.clear();
+        self.inbox.clear();
         self.heap.clear();
         if self.lanes_len > 0 {
             for lane in &mut self.lanes {
-                lane.clear();
+                lane.entries.clear();
             }
         }
         self.occupied = [0; WORDS];
         self.lanes_len = 0;
+        self.wheel.clear();
         self.len = 0;
     }
 }
@@ -560,6 +846,139 @@ mod tests {
         assert_eq!(order, vec![2, 3, 4]);
     }
 
+    // ── timer integration ─────────────────────────────────────────────
+
+    #[test]
+    fn timers_interleave_with_events_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), "event-10us");
+        q.schedule_timer(SimTime::from_micros(5), "timer-5us");
+        q.schedule(SimTime::from_micros(1), "event-1us");
+        q.schedule_timer(SimTime::from_millis(20), "timer-20ms");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec!["event-1us", "timer-5us", "event-10us", "timer-20ms"]
+        );
+        let p = q.perf();
+        assert_eq!(p.timers_armed, 2);
+        assert_eq!(p.timers_fired, 2);
+        assert_eq!(p.timers_cancelled, 0);
+        assert_eq!(p.timers_stale_suppressed, 0);
+    }
+
+    #[test]
+    fn cancelled_timer_never_pops() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        let tok = q.schedule_timer(SimTime::from_millis(10), "rto");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel_timer(tok));
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+        // A second cancel is stale.
+        assert!(!q.cancel_timer(tok));
+        let p = q.perf();
+        assert_eq!(p.timers_cancelled, 1);
+        assert_eq!(p.popped, 0);
+    }
+
+    #[test]
+    fn rearm_suppresses_stale_and_fires_last_deadline() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // The per-ACK RTO pattern: re-arm 5 times, only the last fires.
+        let mut tok = None;
+        for k in 0..5u64 {
+            tok = Some(q.rearm_timer(tok, SimTime::from_millis(10 + k), k as u32));
+        }
+        assert_eq!(q.len(), 1);
+        let fired: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(fired, vec![4]);
+        let p = q.perf();
+        assert_eq!(p.timers_armed, 5);
+        assert_eq!(p.timers_stale_suppressed, 4);
+        assert_eq!(p.timers_fired, 1);
+        assert_eq!(p.popped, 1, "stale timers never reach the pop path");
+    }
+
+    #[test]
+    fn timer_into_draining_bucket_is_cancellable() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), "a");
+        q.schedule(SimTime::from_nanos(900), "b");
+        assert_eq!(q.pop().unwrap().1, "a"); // bucket 0 is now draining
+        let tok = q.schedule_timer(SimTime::from_nanos(500), "deadline");
+        assert!(q.cancel_timer(tok));
+        assert!(!q.cancel_timer(tok));
+        let rest: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec!["b"]);
+    }
+
+    #[test]
+    fn timer_into_draining_bucket_fires_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), "a");
+        q.schedule(SimTime::from_nanos(900), "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        let tok = q.schedule_timer(SimTime::from_nanos(500), "t");
+        let rest: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec!["t", "c"]);
+        // Cancelling after the fire is stale, not a panic or a removal.
+        assert!(!q.cancel_timer(tok));
+    }
+
+    #[test]
+    fn timer_keeps_queue_alive_for_run_until_idle_loops() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule_timer(SimTime::from_secs(2), "rto");
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("rto"));
+    }
+
+    // ── two-level refill fast paths ───────────────────────────────────
+
+    /// A same-tick burst (one ascending run) and a two-run interleave
+    /// must pop in exactly the order the sort would have produced.
+    #[test]
+    fn two_run_lane_merges_in_order() {
+        let mut q = EventQueue::new();
+        // All in lane bucket 1 (1024..2047 ns): run 1 ascending, then a
+        // second ascending run starting below the first's tail.
+        for &t in &[1100u64, 1200, 1300] {
+            q.schedule(SimTime::from_nanos(t), t);
+        }
+        for &t in &[1150u64, 1250, 1350] {
+            q.schedule(SimTime::from_nanos(t), t);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, vec![1100, 1150, 1200, 1250, 1300, 1350]);
+    }
+
+    #[test]
+    fn same_tick_burst_keeps_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(2_000); // lane bucket 1
+        for i in 0..300 {
+            q.schedule(t, i);
+        }
+        let popped: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn three_runs_fall_back_to_sort() {
+        let mut q = EventQueue::new();
+        let times = [1300u64, 1100, 1200, 1050, 1250];
+        for &t in &times {
+            q.schedule(SimTime::from_nanos(t), t);
+        }
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let mut want = times.to_vec();
+        want.sort_unstable();
+        assert_eq!(popped, want);
+    }
+
     proptest! {
         /// Whatever mix of times goes in, pops come out in nondecreasing
         /// time order and FIFO within equal times.
@@ -631,6 +1050,74 @@ mod tests {
                 prop_assert!(!seen[i]);
                 seen[i] = true;
             }
+        }
+
+        /// Events, timer arms, cancels and re-arms interleaved: surviving
+        /// entries pop in exactly the `(time, seq)` order of a naive
+        /// sorted-list oracle that mirrors the sequence counter.
+        #[test]
+        fn prop_timers_and_events_match_oracle(
+            ops in proptest::collection::vec((0u8..5, 0u64..3_000_000_000u64, 0usize..8), 1..200),
+        ) {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            // Oracle: (time_ns, seq) of every entry that should pop.
+            let mut oracle: Vec<(u64, u64)> = Vec::new();
+            // One re-armable timer slot per id, as transport uses them.
+            let mut toks: [Option<(TimerToken, u64, u64)>; 8] = [None; 8];
+            let mut seq = 0u64;
+            for (op, raw_ns, id) in ops {
+                let at = raw_ns.max(q.now().as_nanos());
+                match op {
+                    0 | 1 => {
+                        q.schedule(SimTime::from_nanos(at), seq);
+                        oracle.push((at, seq));
+                        seq += 1;
+                    }
+                    2 => {
+                        let tok = q.schedule_timer(SimTime::from_nanos(at), seq);
+                        toks[id] = Some((tok, at, seq));
+                        oracle.push((at, seq));
+                        seq += 1;
+                    }
+                    3 => {
+                        if let Some((tok, t, s)) = toks[id].take() {
+                            if q.cancel_timer(tok) {
+                                oracle.retain(|&e| e != (t, s));
+                            }
+                        }
+                    }
+                    _ => {
+                        let prev = toks[id].take();
+                        let before = q.perf().timers_stale_suppressed;
+                        let tok = q.rearm_timer(prev.map(|p| p.0), SimTime::from_nanos(at), seq);
+                        if q.perf().timers_stale_suppressed > before {
+                            // The old timer was still live and got
+                            // suppressed; mirror its removal.
+                            if let Some((_, t, s)) = prev {
+                                oracle.retain(|&e| e != (t, s));
+                            }
+                        }
+                        toks[id] = Some((tok, at, seq));
+                        oracle.push((at, seq));
+                        seq += 1;
+                    }
+                }
+                // Occasionally pop one to move `now` forward.
+                if seq % 7 == 3 {
+                    if let Some((t, e)) = q.pop() {
+                        let mut want = oracle.clone();
+                        want.sort_unstable();
+                        prop_assert_eq!((t.as_nanos(), e), want[0]);
+                        oracle.retain(|&x| x != want[0]);
+                    }
+                }
+            }
+            oracle.sort_unstable();
+            let mut got: Vec<(u64, u64)> = Vec::new();
+            while let Some((t, e)) = q.pop() {
+                got.push((t.as_nanos(), e));
+            }
+            prop_assert_eq!(got, oracle);
         }
     }
 }

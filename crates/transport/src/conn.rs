@@ -8,7 +8,7 @@
 //! [`CcKind`]. This is the fidelity class of the ns-3 models the paper's
 //! simulations use.
 
-use crate::config::{CcKind, TcpConfig};
+use crate::config::{CcKind, TcpConfig, TimerBackend};
 use crate::rtt::RttEstimator;
 use ecnsharp_net::{Ctx, Ecn, FlowCmd, FlowId, NodeId, Packet};
 use ecnsharp_sim::SimTime;
@@ -126,20 +126,36 @@ impl Sender {
         }
     }
 
-    /// (Re-)arm the retransmission timer. Old timers are invalidated via
-    /// the epoch.
+    /// (Re-)arm the retransmission timer. On the wheel backend the pending
+    /// deadline is replaced in place; on the legacy backend old timers are
+    /// invalidated via the epoch and filtered when they pop.
     fn arm_rto(&mut self, ctx: &mut Ctx<'_>) {
-        self.rto_epoch = self.rto_epoch.wrapping_add(1);
         let timeout = self.rtt.rto() * self.backoff as u64;
-        ctx.set_timer(
-            timeout,
-            timer_key(self.cmd.flow, TimerKind::Rto, self.rto_epoch),
-        );
+        match self.cfg.timer_backend {
+            TimerBackend::Wheel => {
+                ctx.arm_timer(timeout, timer_key(self.cmd.flow, TimerKind::Rto, 0));
+            }
+            TimerBackend::Legacy => {
+                self.rto_epoch = self.rto_epoch.wrapping_add(1);
+                ctx.set_timer(
+                    timeout,
+                    timer_key(self.cmd.flow, TimerKind::Rto, self.rto_epoch),
+                );
+            }
+        }
     }
 
-    /// Cancel the timer logically (any pending firing becomes stale).
-    fn disarm_rto(&mut self) {
-        self.rto_epoch = self.rto_epoch.wrapping_add(1);
+    /// Cancel the retransmission timer — on the wheel for real, on the
+    /// legacy backend logically (any pending firing becomes stale).
+    fn disarm_rto(&mut self, ctx: &mut Ctx<'_>) {
+        match self.cfg.timer_backend {
+            TimerBackend::Wheel => {
+                ctx.cancel_timer(timer_key(self.cmd.flow, TimerKind::Rto, 0));
+            }
+            TimerBackend::Legacy => {
+                self.rto_epoch = self.rto_epoch.wrapping_add(1);
+            }
+        }
     }
 
     /// Handle an incoming ACK / SYN-ACK for this flow.
@@ -309,7 +325,7 @@ impl Sender {
 
     fn complete(&mut self, ctx: &mut Ctx<'_>) {
         self.state = SenderState::Done;
-        self.disarm_rto();
+        self.disarm_rto(ctx);
         ctx.flow_done(self.cmd.flow, self.timeouts);
     }
 }
@@ -332,8 +348,10 @@ pub struct Receiver {
     ce_state: bool,
     /// Data segments received since the last ACK.
     pending: u32,
-    /// Epoch for the delayed-ACK timer.
+    /// Epoch for the delayed-ACK timer (legacy backend only).
     pub delack_epoch: u32,
+    /// Whether a wheel delayed-ACK timer is currently armed.
+    delack_armed: bool,
     /// Timestamp to echo on the next ACK.
     echo_ts: SimTime,
 }
@@ -352,6 +370,7 @@ impl Receiver {
             ce_state: false,
             pending: 0,
             delack_epoch: 0,
+            delack_armed: false,
             echo_ts: SimTime::ZERO,
         }
     }
@@ -366,7 +385,17 @@ impl Receiver {
         a.ecn = Ecn::NotEct;
         ctx.send(a);
         self.pending = 0;
-        self.delack_epoch = self.delack_epoch.wrapping_add(1);
+        match self.cfg.timer_backend {
+            TimerBackend::Wheel => {
+                if self.delack_armed {
+                    self.delack_armed = false;
+                    ctx.cancel_timer(timer_key(self.flow, TimerKind::DelAck, 0));
+                }
+            }
+            TimerBackend::Legacy => {
+                self.delack_epoch = self.delack_epoch.wrapping_add(1);
+            }
+        }
     }
 
     /// Handle an arriving SYN or data packet.
@@ -427,16 +456,29 @@ impl Receiver {
             self.send_ack(ctx, ce);
         } else {
             // Arm the delayed-ACK timer.
-            self.delack_epoch = self.delack_epoch.wrapping_add(1);
-            ctx.set_timer(
-                self.cfg.delack_timeout,
-                timer_key(self.flow, TimerKind::DelAck, self.delack_epoch),
-            );
+            match self.cfg.timer_backend {
+                TimerBackend::Wheel => {
+                    self.delack_armed = true;
+                    ctx.arm_timer(
+                        self.cfg.delack_timeout,
+                        timer_key(self.flow, TimerKind::DelAck, 0),
+                    );
+                }
+                TimerBackend::Legacy => {
+                    self.delack_epoch = self.delack_epoch.wrapping_add(1);
+                    ctx.set_timer(
+                        self.cfg.delack_timeout,
+                        timer_key(self.flow, TimerKind::DelAck, self.delack_epoch),
+                    );
+                }
+            }
         }
     }
 
     /// Delayed-ACK timer fired (stack verified the epoch).
     pub fn on_delack_timer(&mut self, ctx: &mut Ctx<'_>) {
+        // The firing spent the wheel timer; nothing left to cancel.
+        self.delack_armed = false;
         if self.pending > 0 {
             let ce = self.ce_state;
             self.send_ack(ctx, ce);

@@ -32,17 +32,29 @@ pub struct BenchEntry {
     pub bytes: Option<u64>,
 }
 
+/// Medians below this many nanoseconds are dominated by clock quantization
+/// and harness overhead, and rates derived from them are garbage (a 33 ns
+/// median over 100 elements reads as three billion events/sec — the
+/// `aqm_per_packet` entries used to report exactly that). Below the floor
+/// the derived fields render as `null` and comparisons skip the entry.
+pub const MEASUREMENT_FLOOR_NS: u64 = 1_000;
+
 impl BenchEntry {
-    /// Elements per second (events/sec for the engine benches).
+    /// Elements per second (events/sec for the engine benches). `None`
+    /// when unannotated or the median is below [`MEASUREMENT_FLOOR_NS`].
     pub fn rate_per_sec(&self) -> Option<f64> {
         match (self.elements, self.median_ns) {
-            (Some(n), m) if m > 0 => Some(n as f64 * 1e9 / m as f64),
+            (Some(n), m) if m >= MEASUREMENT_FLOOR_NS => Some(n as f64 * 1e9 / m as f64),
             _ => None,
         }
     }
 
-    /// Nanoseconds per element (ns/event for the engine benches).
+    /// Nanoseconds per element (ns/event for the engine benches). `None`
+    /// when unannotated or the median is below [`MEASUREMENT_FLOOR_NS`].
     pub fn ns_per_element(&self) -> Option<f64> {
+        if self.median_ns < MEASUREMENT_FLOOR_NS {
+            return None;
+        }
         self.elements
             .filter(|&n| n > 0)
             .map(|n| self.median_ns as f64 / n as f64)
@@ -54,14 +66,20 @@ impl BenchEntry {
             self.group, self.bench, self.median_ns, self.samples
         );
         match self.elements {
-            Some(n) => {
-                let _ = write!(
-                    s,
-                    ",\"elements\":{n},\"events_per_sec\":{:.0},\"ns_per_event\":{:.2}",
-                    self.rate_per_sec().unwrap_or(0.0),
-                    self.ns_per_element().unwrap_or(0.0)
-                );
-            }
+            Some(n) => match (self.rate_per_sec(), self.ns_per_element()) {
+                (Some(rate), Some(ns)) => {
+                    let _ = write!(
+                        s,
+                        ",\"elements\":{n},\"events_per_sec\":{rate:.0},\"ns_per_event\":{ns:.2}"
+                    );
+                }
+                _ => {
+                    let _ = write!(
+                        s,
+                        ",\"elements\":{n},\"events_per_sec\":null,\"ns_per_event\":null"
+                    );
+                }
+            },
             None => s.push_str(",\"elements\":null"),
         }
         match self.bytes {
@@ -297,6 +315,112 @@ pub fn diff(old_path: &str, new_path: &str) -> bool {
     true
 }
 
+/// `cargo xtask bench-diff --check` — the perf regression gate. Re-runs
+/// the `engine` bench target and compares its medians against the
+/// committed `BENCH_sim.json`; any engine-group bench slower than the
+/// baseline by more than 25% fails the gate. Entries whose median (on
+/// either side) sits below [`MEASUREMENT_FLOOR_NS`] are skipped: sub-floor
+/// medians are quantization noise, not signal.
+pub fn check(root: &Path) -> bool {
+    let baseline_path = root.join("BENCH_sim.json");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => parse_bench_file(&s),
+        Err(e) => {
+            eprintln!(
+                "bench-diff --check: cannot read {}: {e}",
+                baseline_path.display()
+            );
+            return false;
+        }
+    };
+    if baseline.is_empty() {
+        eprintln!("bench-diff --check: baseline parsed to zero entries");
+        return false;
+    }
+    let scratch: PathBuf = root.join("target").join("bench_check.jsonl");
+    let _ = std::fs::create_dir_all(scratch.parent().expect("target dir"));
+    let _ = std::fs::remove_file(&scratch);
+    println!("bench-diff --check: running `cargo bench -p ecnsharp-bench --bench engine` ...");
+    let status = cargo()
+        .args(["bench", "-p", "ecnsharp-bench", "--bench", "engine"])
+        .env("ECNSHARP_BENCH_JSON", &scratch)
+        .current_dir(root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("bench-diff --check: engine bench failed ({s})");
+            return false;
+        }
+        Err(e) => {
+            eprintln!("bench-diff --check: could not launch cargo: {e}");
+            return false;
+        }
+    }
+    let fresh = match std::fs::read_to_string(&scratch) {
+        Ok(s) => parse_bench_file(&s),
+        Err(e) => {
+            eprintln!(
+                "bench-diff --check: no shim output at {}: {e}",
+                scratch.display()
+            );
+            return false;
+        }
+    };
+    check_entries(&baseline, &fresh)
+}
+
+/// The comparison half of [`check`], split out for unit testing: `true`
+/// iff no fresh entry regressed >25% against its baseline counterpart.
+pub fn check_entries(baseline: &[BenchEntry], fresh: &[BenchEntry]) -> bool {
+    const MAX_REGRESSION: f64 = 1.25;
+    let mut ok = true;
+    let mut compared = 0usize;
+    for n in fresh {
+        let Some(o) = baseline
+            .iter()
+            .find(|o| o.group == n.group && o.bench == n.bench)
+        else {
+            println!(
+                "  {}/{}: new bench, no baseline — skipped",
+                n.group, n.bench
+            );
+            continue;
+        };
+        if n.median_ns < MEASUREMENT_FLOOR_NS || o.median_ns < MEASUREMENT_FLOOR_NS {
+            println!(
+                "  {}/{}: median below {MEASUREMENT_FLOOR_NS} ns floor — skipped",
+                n.group, n.bench
+            );
+            continue;
+        }
+        compared += 1;
+        let ratio = n.median_ns as f64 / o.median_ns as f64;
+        if ratio > MAX_REGRESSION {
+            eprintln!(
+                "  {}/{}: REGRESSION {:.2}x (baseline {} ns, now {} ns)",
+                n.group, n.bench, ratio, o.median_ns, n.median_ns
+            );
+            ok = false;
+        } else {
+            println!(
+                "  {}/{}: ok ({:.2}x baseline, {} ns -> {} ns)",
+                n.group, n.bench, ratio, o.median_ns, n.median_ns
+            );
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench-diff --check: nothing compared — group/bench names diverged?");
+        return false;
+    }
+    if ok {
+        println!("bench-diff --check: {compared} engine benches within 25% of baseline");
+    } else {
+        eprintln!("bench-diff --check: engine-group perf regression (>25% vs BENCH_sim.json)");
+    }
+    ok
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +465,73 @@ mod tests {
         assert!(body.contains("\"wall_secs\""));
         let parsed = parse_bench_file(&body);
         assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn sub_floor_medians_yield_null_rates() {
+        let e = BenchEntry {
+            group: "aqm_per_packet".into(),
+            bench: "dctcp_red".into(),
+            median_ns: 33,
+            samples: 100,
+            elements: Some(100),
+            bytes: None,
+        };
+        assert_eq!(e.rate_per_sec(), None, "33 ns median is noise");
+        assert_eq!(e.ns_per_element(), None);
+        let line = e.to_json_line();
+        assert!(
+            line.contains("\"events_per_sec\":null,\"ns_per_event\":null"),
+            "{line}"
+        );
+        // And the null round-trips: elements survive, derived fields stay
+        // absent rather than parsing as garbage digits.
+        let parsed = parse_bench_line(&line).expect("parses");
+        assert_eq!(parsed.elements, Some(100));
+        assert_eq!(parsed.median_ns, 33);
+    }
+
+    fn entry(group: &str, bench: &str, median_ns: u64) -> BenchEntry {
+        BenchEntry {
+            group: group.into(),
+            bench: bench.into(),
+            median_ns,
+            samples: 20,
+            elements: Some(10_000),
+            bytes: None,
+        }
+    }
+
+    #[test]
+    fn check_passes_within_budget_and_fails_beyond() {
+        let base = vec![entry("event_queue", "push_pop_10k", 100_000)];
+        assert!(check_entries(
+            &base,
+            &[entry("event_queue", "push_pop_10k", 120_000)]
+        ));
+        assert!(!check_entries(
+            &base,
+            &[entry("event_queue", "push_pop_10k", 130_000)]
+        ));
+    }
+
+    #[test]
+    fn check_skips_sub_floor_entries_but_needs_one_comparison() {
+        let base = vec![
+            entry("aqm_per_packet", "dctcp_red", 33),
+            entry("event_queue", "push_pop_10k", 100_000),
+        ];
+        // The 33 ns entry "regresses" 10x but is noise; the real entry holds.
+        let fresh = vec![
+            entry("aqm_per_packet", "dctcp_red", 330),
+            entry("event_queue", "push_pop_10k", 100_000),
+        ];
+        assert!(check_entries(&base, &fresh));
+        // All entries sub-floor → nothing compared → fail loudly.
+        assert!(!check_entries(
+            &[entry("aqm_per_packet", "dctcp_red", 33)],
+            &[entry("aqm_per_packet", "dctcp_red", 33)],
+        ));
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! - `bench` — run the standing `ecnsharp-bench` targets and collate
 //!   `BENCH_sim.json` at the workspace root (see PERFORMANCE.md).
 //! - `bench-diff <old> <new>` — compare two `BENCH_sim.json` files.
+//! - `bench-diff --check` — rerun the `engine` bench target and fail if
+//!   any engine bench regressed >25% against the committed baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,11 +38,14 @@ fn main() -> ExitCode {
         Some("selftest") => exit_for(selftest()),
         Some("ci") => ci(),
         Some("bench") => exit_for(xtask::bench::run(&xtask::workspace_root())),
-        Some("bench-diff") => match (args.get(1), args.get(2)) {
+        Some("bench-diff") => match (args.get(1).map(String::as_str), args.get(2)) {
+            (Some("--check"), None) => exit_for(xtask::bench::check(&xtask::workspace_root())),
             (Some(old), Some(new)) => exit_for(xtask::bench::diff(old, new)),
             _ => {
                 eprintln!(
-                    "usage: cargo xtask bench-diff <old BENCH_sim.json> <new BENCH_sim.json>"
+                    "usage: cargo xtask bench-diff <old BENCH_sim.json> <new BENCH_sim.json>\n   \
+                     or: cargo xtask bench-diff --check   (rerun engine benches, fail on >25% \
+                     regression vs committed BENCH_sim.json)"
                 );
                 ExitCode::FAILURE
             }
@@ -65,7 +70,8 @@ fn print_help() {
          selftest    verify each lint rule fires on its seeded fixture\n  \
          ci          fmt-check -> clippy -> lint -> selftest -> build -> tests -> rustdoc gate\n  \
          bench       run engine/aqm_cost/figures benches, write BENCH_sim.json\n  \
-         bench-diff  compare two BENCH_sim.json files (old new)"
+         bench-diff  compare two BENCH_sim.json files (old new), or --check to\n              \
+         rerun the engine benches and fail on >25% regression"
     );
 }
 
