@@ -1,0 +1,198 @@
+//! Chaos sweep: FCT robustness under injected faults — Gilbert–Elliott
+//! burst loss (swept mean rate) crossed with a flapping leaf–spine link
+//! (swept flap period) on the small leaf-spine fabric, DCTCP+ECN♯ vs
+//! CoDel. Emits three CSVs (FCT, marking/drop ledger, abort ledger) and
+//! survives worker crashes: a panicking point is reported, the rest of the
+//! sweep still completes, partial CSVs are written, and the process exits
+//! nonzero.
+//!
+//! Knobs (all strict — a typo is an error, never a silent default):
+//! - `ECNSHARP_SCALE=quick|mid|full` — grid size and flow count;
+//! - `ECNSHARP_FAULT_SEED=<u64|0xhex>` — base seed for every point;
+//! - `ECNSHARP_INJECT_PANIC=worker` — crash the first sweep point (used by
+//!   the crash-proof-runner acceptance check).
+
+// Host-side binary: env/exit/printing never feed the simulation.
+// lint: allow(wall-clock) host-side harness only
+#![allow(clippy::disallowed_methods)]
+
+use ecnsharp_experiments::{perf, runner, ChaosResult, Scale, Scheme};
+use ecnsharp_sim::Duration;
+use ecnsharp_stats::{us, Table};
+use std::process::ExitCode;
+
+/// One sweep point. The integer `idx` doubles as the panic-injection key
+/// (the determinism lint forbids float comparisons, and an index is the
+/// honest identity of a grid point anyway).
+type Point = (usize, f64, Option<Duration>, Scheme);
+
+fn flap_label(flap: &Option<Duration>) -> String {
+    match flap {
+        Some(d) => format!("{}", d.as_nanos() / 1_000),
+        None => "-".into(),
+    }
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_env_or_exit();
+    let seed = runner::fault_seed_or_exit();
+    let inject = match std::env::var("ECNSHARP_INJECT_PANIC") {
+        Ok(v) if v == "worker" => true,
+        Ok(v) => {
+            eprintln!(
+                "error: unrecognized ECNSHARP_INJECT_PANIC value {v:?} \
+                 (expected \"worker\" or unset)"
+            );
+            return ExitCode::from(2);
+        }
+        Err(std::env::VarError::NotPresent) => false,
+        Err(e) => {
+            eprintln!("error: unreadable ECNSHARP_INJECT_PANIC: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (losses, flap_us, n_flows): (Vec<f64>, Vec<Option<u64>>, usize) = match scale {
+        Scale::Full => (
+            vec![0.0, 0.002, 0.005, 0.01, 0.02, 0.05],
+            vec![None, Some(100), Some(200), Some(1_000)],
+            400,
+        ),
+        Scale::Mid => (
+            vec![0.0, 0.005, 0.01, 0.02],
+            vec![None, Some(200), Some(1_000)],
+            200,
+        ),
+        Scale::Quick => (vec![0.0, 0.01], vec![None, Some(200)], 40),
+    };
+    let schemes = [Scheme::EcnSharp(None), Scheme::CoDel];
+    let mut jobs: Vec<Point> = Vec::new();
+    for &loss in &losses {
+        for &f in &flap_us {
+            for s in &schemes {
+                let idx = jobs.len();
+                jobs.push((idx, loss, f.map(Duration::from_micros), s.clone()));
+            }
+        }
+    }
+    let meta: Vec<(f64, Option<Duration>, String)> = jobs
+        .iter()
+        .map(|(_, loss, flap, s)| (*loss, *flap, s.label()))
+        .collect();
+
+    println!(
+        "Chaos sweep — leaf-spine 2x2x4, web search @50% load, {} points (seed {seed:#x})",
+        jobs.len()
+    );
+    println!("loss = GE mean burst-loss rate; flap_us = leaf0-spine0 flap period (- = no flap)\n");
+
+    let t = perf::timed(|| {
+        runner::try_parallel_map(jobs, |(idx, loss, flap, scheme)| {
+            if inject && *idx == 0 {
+                panic!("injected worker panic (ECNSHARP_INJECT_PANIC=worker)");
+            }
+            let point_seed = seed.wrapping_add(*idx as u64 * 7919);
+            ecnsharp_experiments::run_chaos_leaf_spine(
+                scheme.clone(),
+                *loss,
+                *flap,
+                n_flows,
+                point_seed,
+            )
+        })
+    });
+    let perf_line = t.report("chaos");
+    let outcome = t.result;
+
+    let mut fct_t = Table::new(&[
+        "loss",
+        "flap_us",
+        "scheme",
+        "completed",
+        "failed",
+        "overall_avg_us",
+        "overall_p99_us",
+        "short_p99_us",
+        "timeouts",
+    ]);
+    let mut marks_t = Table::new(&[
+        "loss",
+        "flap_us",
+        "scheme",
+        "ce_marks",
+        "fault_drops",
+        "corrupt_drops",
+        "burst_drops",
+        "no_route_drops",
+    ]);
+    let mut aborts_t = Table::new(&["loss", "flap_us", "scheme", "failed", "timeouts"]);
+    for ((loss, flap, label), r) in meta.iter().zip(&outcome.results) {
+        let Some(r): &Option<ChaosResult> = r else {
+            continue; // panicked point: reported below, absent from CSVs
+        };
+        let loss_s = format!("{loss:?}");
+        let flap_s = flap_label(flap);
+        fct_t.row(&[
+            loss_s.clone(),
+            flap_s.clone(),
+            label.clone(),
+            r.completed.to_string(),
+            r.failed.to_string(),
+            us(r.fct.overall.avg),
+            us(r.fct.overall.p99),
+            us(r.fct.short.map(|s| s.p99).unwrap_or(f64::NAN)),
+            r.timeouts.to_string(),
+        ]);
+        marks_t.row(&[
+            loss_s.clone(),
+            flap_s.clone(),
+            label.clone(),
+            r.ce_marks.to_string(),
+            r.fault_drops.to_string(),
+            r.corrupt_drops.to_string(),
+            r.burst_drops.to_string(),
+            r.no_route_drops.to_string(),
+        ]);
+        aborts_t.row(&[
+            loss_s,
+            flap_s,
+            label.clone(),
+            r.failed.to_string(),
+            r.timeouts.to_string(),
+        ]);
+    }
+    let dir = runner::results_dir();
+    for (table, name) in [
+        (&fct_t, "chaos_fct"),
+        (&marks_t, "chaos_marks"),
+        (&aborts_t, "chaos_aborts"),
+    ] {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = table.write_csv(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    print!("{}", fct_t.render());
+    println!();
+    print!("{}", marks_t.render());
+    eprintln!("{perf_line}");
+
+    if !outcome.panics.is_empty() {
+        for (idx, msg) in &outcome.panics {
+            let (loss, flap, label) = &meta[*idx];
+            eprintln!(
+                "error: sweep point {idx} (loss={loss:?}, flap_us={}, scheme={label}) \
+                 panicked: {msg}",
+                flap_label(flap)
+            );
+        }
+        eprintln!(
+            "chaos: {} of {} points failed; partial CSVs written to {}",
+            outcome.panics.len(),
+            meta.len(),
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

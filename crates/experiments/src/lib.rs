@@ -16,9 +16,12 @@ pub mod runner;
 pub mod scenario;
 pub mod scheme;
 
-pub use runner::{parallel_map, results_dir, Scale};
+pub use runner::{
+    fault_seed_from_env, fault_seed_or_exit, parallel_map, parse_fault_seed, results_dir,
+    try_parallel_map, Scale, SweepOutcome, DEFAULT_FAULT_SEED,
+};
 pub use scenario::{
-    run_dwrr, run_incast_micro, run_incast_micro_with, run_leaf_spine, run_testbed_star,
-    DwrrResult, FctScenario, IncastResult, IncastTimeline,
+    run_chaos_leaf_spine, run_dwrr, run_incast_micro, run_incast_micro_with, run_leaf_spine,
+    run_testbed_star, ChaosResult, DwrrResult, FctScenario, IncastResult, IncastTimeline,
 };
 pub use scheme::{Scheme, SchemeParams};

@@ -33,6 +33,8 @@ static TIMERS_ARMED: AtomicU64 = AtomicU64::new(0);
 static TIMERS_CANCELLED: AtomicU64 = AtomicU64::new(0);
 static TIMERS_FIRED: AtomicU64 = AtomicU64::new(0);
 static TIMERS_STALE_SUPPRESSED: AtomicU64 = AtomicU64::new(0);
+static FLOWS_FAILED: AtomicU64 = AtomicU64::new(0);
+static NO_ROUTE_DROPS: AtomicU64 = AtomicU64::new(0);
 
 /// Fold a finished run's counters into the process-global accumulator.
 /// Called by every `run_*` scenario just before it returns.
@@ -50,6 +52,8 @@ pub fn absorb(net: &Network) {
     TIMERS_CANCELLED.fetch_add(c.timers_cancelled, Ordering::Relaxed);
     TIMERS_FIRED.fetch_add(c.timers_fired, Ordering::Relaxed);
     TIMERS_STALE_SUPPRESSED.fetch_add(c.timers_stale_suppressed, Ordering::Relaxed);
+    FLOWS_FAILED.fetch_add(c.flows_failed, Ordering::Relaxed);
+    NO_ROUTE_DROPS.fetch_add(c.no_route_drops, Ordering::Relaxed);
 }
 
 /// Totals absorbed since the last [`reset`].
@@ -80,6 +84,10 @@ pub struct Snapshot {
     /// Stale timers suppressed by in-place re-arm — queue events the
     /// legacy backend would have pushed and popped for nothing.
     pub timers_stale_suppressed: u64,
+    /// Flows aborted after exhausting their RTO retries, summed over runs.
+    pub flows_failed: u64,
+    /// Switch discards for unreachable destinations, summed over runs.
+    pub no_route_drops: u64,
 }
 
 /// Read the accumulator.
@@ -97,6 +105,8 @@ pub fn snapshot() -> Snapshot {
         timers_cancelled: TIMERS_CANCELLED.load(Ordering::Relaxed),
         timers_fired: TIMERS_FIRED.load(Ordering::Relaxed),
         timers_stale_suppressed: TIMERS_STALE_SUPPRESSED.load(Ordering::Relaxed),
+        flows_failed: FLOWS_FAILED.load(Ordering::Relaxed),
+        no_route_drops: NO_ROUTE_DROPS.load(Ordering::Relaxed),
     }
 }
 
@@ -114,6 +124,8 @@ pub fn reset() {
     TIMERS_CANCELLED.store(0, Ordering::Relaxed);
     TIMERS_FIRED.store(0, Ordering::Relaxed);
     TIMERS_STALE_SUPPRESSED.store(0, Ordering::Relaxed);
+    FLOWS_FAILED.store(0, Ordering::Relaxed);
+    NO_ROUTE_DROPS.store(0, Ordering::Relaxed);
 }
 
 /// Outcome of a [`timed`] section: the callee's result plus the rate
@@ -157,7 +169,8 @@ impl<R> Timed<R> {
         format!(
             "[perf] {name}: wall {:.2}s | {} events ({:.1}M ev/s, {:.0} ns/ev) | \
              sim {:.3}s over {} runs ({:.2} sim-s/wall-s) | {} pkts fwd, {} CE marks, {} drops | \
-             timers: {} armed, {} cancelled, {} fired, {} stale-suppressed",
+             timers: {} armed, {} cancelled, {} fired, {} stale-suppressed | \
+             faults: {} failed flows, {} no-route drops",
             self.wall_secs,
             p.events_popped,
             self.events_per_sec() / 1e6,
@@ -172,6 +185,8 @@ impl<R> Timed<R> {
             p.timers_cancelled,
             p.timers_fired,
             p.timers_stale_suppressed,
+            p.flows_failed,
+            p.no_route_drops,
         )
     }
 }

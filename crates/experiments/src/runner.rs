@@ -103,26 +103,74 @@ impl Scale {
     }
 }
 
+/// Outcome of a panic-tolerant sweep: per-item results in input order
+/// (`None` where the worker panicked) plus the captured panic messages.
+#[derive(Debug)]
+pub struct SweepOutcome<R> {
+    /// One slot per input item, in order; `None` marks a panicked worker.
+    pub results: Vec<Option<R>>,
+    /// `(item index, panic message)` for every worker that panicked,
+    /// sorted by index.
+    pub panics: Vec<(usize, String)>,
+}
+
+impl<R> SweepOutcome<R> {
+    /// The successful results, dropping panicked slots.
+    pub fn successes(self) -> Vec<R> {
+        self.results.into_iter().flatten().collect()
+    }
+}
+
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Map `f` over `items` using up to `available_parallelism` threads,
-/// preserving order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// preserving order and surviving worker panics: a panicking item yields
+/// `None` in its slot while every other item still runs to completion.
+/// This is what lets a figure sweep deliver partial results instead of
+/// aborting wholesale when one scenario crashes.
+pub fn try_parallel_map<T, R, F>(items: Vec<T>, f: F) -> SweepOutcome<R>
 where
     T: Send,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     let n = items.len();
     if n == 0 {
-        return Vec::new();
+        return SweepOutcome {
+            results: Vec::new(),
+            panics: Vec::new(),
+        };
     }
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
     if threads == 1 {
-        // Single-core host: skip the worker thread and mutex traffic and
+        // Single-core host: skip the worker threads and mutex traffic and
         // run the jobs inline, in order.
-        return items.iter().map(&f).collect();
+        let mut results = Vec::with_capacity(n);
+        let mut panics = Vec::new();
+        for (idx, item) in items.iter().enumerate() {
+            // catch_unwind wraps only the user closure — no lock is ever
+            // held across a panic, so no mutex poisoning anywhere.
+            match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                Ok(r) => results.push(Some(r)),
+                Err(e) => {
+                    panics.push((idx, panic_message(e)));
+                    results.push(None);
+                }
+            }
+        }
+        return SweepOutcome { results, panics };
     }
     let work: Mutex<std::vec::IntoIter<(usize, T)>> = Mutex::new(
         items
@@ -132,19 +180,43 @@ where
             .into_iter(),
     );
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
                 let next = work.lock().unwrap().next();
                 let Some((idx, item)) = next else { break };
-                let r = f(&item);
-                results.lock().unwrap()[idx] = Some(r);
+                // As above: the catch wraps only the closure call, never a
+                // lock guard, so a panic cannot poison the queues.
+                match catch_unwind(AssertUnwindSafe(|| f(&item))) {
+                    Ok(r) => results.lock().unwrap()[idx] = Some(r),
+                    Err(e) => panics.lock().unwrap().push((idx, panic_message(e))),
+                }
             });
         }
     });
-    results
-        .into_inner()
-        .unwrap()
+    let mut panics = panics.into_inner().unwrap();
+    panics.sort_by_key(|&(idx, _)| idx);
+    SweepOutcome {
+        results: results.into_inner().unwrap(),
+        panics,
+    }
+}
+
+/// Map `f` over `items` using up to `available_parallelism` threads,
+/// preserving order. Panics (after all items finish) if any worker
+/// panicked — callers that want partial results use [`try_parallel_map`].
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let out = try_parallel_map(items, f);
+    if let Some((idx, msg)) = out.panics.first() {
+        panic!("parallel_map worker for item {idx} panicked: {msg}");
+    }
+    out.results
         .into_iter()
         .map(|r| r.expect("worker completed"))
         .collect()
@@ -155,6 +227,46 @@ pub fn results_dir() -> std::path::PathBuf {
     std::env::var("ECNSHARP_RESULTS")
         .unwrap_or_else(|_| "results".into())
         .into()
+}
+
+/// Default base seed for fault-injection sweeps when `ECNSHARP_FAULT_SEED`
+/// is unset.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA_017;
+
+/// Parse an `ECNSHARP_FAULT_SEED` value: decimal or `0x`-prefixed hex.
+/// Strict: anything else is an error naming the knob, never a silent
+/// fallback.
+pub fn parse_fault_seed(v: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse::<u64>()
+    };
+    parsed.map_err(|_| {
+        format!("unrecognized ECNSHARP_FAULT_SEED value {v:?} (expected a decimal or 0x-hex u64)")
+    })
+}
+
+/// Read the fault-sweep base seed from `ECNSHARP_FAULT_SEED`. Unset means
+/// [`DEFAULT_FAULT_SEED`]; set-but-invalid is an error.
+pub fn fault_seed_from_env() -> Result<u64, String> {
+    match std::env::var("ECNSHARP_FAULT_SEED") {
+        Ok(v) => parse_fault_seed(&v),
+        Err(std::env::VarError::NotPresent) => Ok(DEFAULT_FAULT_SEED),
+        Err(e) => Err(format!("unreadable ECNSHARP_FAULT_SEED: {e}")),
+    }
+}
+
+/// [`fault_seed_from_env`] for binaries: print the error and exit 2
+/// instead of silently running with the wrong seed.
+pub fn fault_seed_or_exit() -> u64 {
+    match fault_seed_from_env() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +299,57 @@ mod tests {
         assert_eq!(Scale::Quick.cap_quick(30, 40), 30);
         assert_eq!(Scale::Mid.cap_quick(200, 40), 200);
         assert_eq!(Scale::Full.cap_quick(400, 40), 400);
+    }
+
+    #[test]
+    fn try_parallel_map_survives_worker_panics() {
+        let xs: Vec<u64> = (0..20).collect();
+        let out = try_parallel_map(xs, |&x| {
+            if x % 7 == 3 {
+                panic!("boom at {x}");
+            }
+            x * 10
+        });
+        assert_eq!(out.results.len(), 20);
+        assert_eq!(out.panics.len(), 3, "items 3, 10, 17 panic");
+        assert_eq!(
+            out.panics.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![3, 10, 17]
+        );
+        assert!(out.panics[0].1.contains("boom at 3"));
+        for (i, slot) in out.results.iter().enumerate() {
+            if i % 7 == 3 {
+                assert!(slot.is_none());
+            } else {
+                assert_eq!(*slot, Some(i as u64 * 10), "order preserved");
+            }
+        }
+        assert_eq!(out.successes().len(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn parallel_map_propagates_worker_panic() {
+        let _ = parallel_map(vec![1u64, 2, 3], |&x| {
+            if x == 2 {
+                panic!("worker died");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn fault_seed_parses_decimal_and_hex_and_rejects_junk() {
+        assert_eq!(parse_fault_seed("42"), Ok(42));
+        assert_eq!(parse_fault_seed("0xFA017"), Ok(0xFA017));
+        assert_eq!(parse_fault_seed("0Xff"), Ok(255));
+        for bad in ["", "seed", "-1", "0x", "1.5", "42 "] {
+            let err = parse_fault_seed(bad).unwrap_err();
+            assert!(
+                err.contains("ECNSHARP_FAULT_SEED"),
+                "error should name the knob: {err}"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::scheme::{Scheme, SchemeParams};
 use ecnsharp_aqm::DropTail;
 use ecnsharp_net::topology::{leaf_spine, star, LeafSpine, Star};
-use ecnsharp_net::{FlowId, NodeId, PortConfig};
+use ecnsharp_net::{FaultPlan, FlowId, GilbertElliott, NodeId, PortConfig};
 use ecnsharp_sched::Dwrr;
 use ecnsharp_sim::{Duration, Rate, Rng, SimTime};
 use ecnsharp_stats::{FctBreakdown, QueueSummary};
@@ -186,6 +186,122 @@ pub fn run_leaf_spine(
     topo.net.run_until_idle();
     crate::perf::absorb(&topo.net);
     FctBreakdown::from_records(topo.net.records())
+}
+
+/// Result of one chaos-sweep point: FCT over the flows that completed,
+/// plus the full fault-accounting ledger for the run.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// FCT breakdown (failed flows counted, excluded from timings).
+    pub fct: FctBreakdown,
+    /// Flows that completed.
+    pub completed: u64,
+    /// Flows that aborted after `max_rto_retries` consecutive timeouts.
+    pub failed: u64,
+    /// CE marks applied across the fabric.
+    pub ce_marks: u64,
+    /// Independent-fault wire drops.
+    pub fault_drops: u64,
+    /// Corruption (checksum-fail) wire drops.
+    pub corrupt_drops: u64,
+    /// Gilbert–Elliott burst-loss wire drops.
+    pub burst_drops: u64,
+    /// Switch discards for destinations with no up link.
+    pub no_route_drops: u64,
+    /// Retransmission timeouts across all flows.
+    pub timeouts: u64,
+}
+
+/// One point of the chaos sweep: the small leaf-spine fabric (2×2×4)
+/// under web-search traffic at 50% load, with a Gilbert–Elliott burst-loss
+/// process of mean rate `mean_loss` (mean burst 8 packets) on every switch
+/// egress and, when `flap_period` is set, a leaf0–spine0 link flapping
+/// with that period (50% duty cycle) for the first 20 ms. Fully
+/// deterministic per `seed`: faults are scheduled through the same event
+/// queue as traffic and the GE process draws from the port's seeded dice.
+pub fn run_chaos_leaf_spine(
+    scheme: Scheme,
+    mean_loss: f64,
+    flap_period: Option<Duration>,
+    n_flows: usize,
+    seed: u64,
+) -> ChaosResult {
+    let rate = Rate::from_gbps(10);
+    let rtt = RttVariation::sim_3x();
+    let params = SchemeParams::derive(&rtt, rate);
+    let buffer = 1_000_000;
+    let link_delay = Duration::from_nanos(rtt.min().as_nanos() / 8);
+    let scheme2 = scheme.clone();
+    let mut topo: LeafSpine = leaf_spine(
+        seed,
+        2,
+        2,
+        4,
+        rate,
+        rate,
+        link_delay,
+        |_| TcpStack::boxed(endpoint_tcp()),
+        nic_port,
+        move || {
+            let mut p = params.port(&scheme2, buffer, 0xC4A0);
+            if mean_loss > 0.0 {
+                p = p.with_ge(GilbertElliott::from_mean_loss(mean_loss, 8.0));
+            }
+            p
+        },
+    );
+    if let Some(period) = flap_period {
+        let plan = FaultPlan::new().flap(
+            topo.leaves[0],
+            topo.spines[0],
+            SimTime::from_micros(50),
+            period,
+            period / 2,
+            SimTime::from_millis(20),
+        );
+        topo.net.install_fault_plan(plan);
+    }
+    let spec = TrafficSpec {
+        cdf: ecnsharp_workload::dists::web_search(),
+        load: 0.5,
+        bottleneck: rate,
+        pattern: Pattern::AllToAll {
+            hosts: topo.hosts.clone(),
+        },
+        rtt,
+        class: 0,
+        start: SimTime::ZERO,
+    };
+    let n_hosts = topo.hosts.len();
+    let mut rng = Rng::seed_from_u64(seed ^ 0xC4A05);
+    let mean_gap = spec.mean_interarrival() / n_hosts as u64;
+    let mut t = SimTime::ZERO;
+    let mut flows = Vec::with_capacity(n_flows);
+    for k in 0..n_flows {
+        t += rng.exp_duration(mean_gap);
+        let mut cmds = spec.generate(1, 1 + k as u64, &mut rng);
+        let (_, mut cmd) = cmds.pop().expect("one");
+        cmd.flow = FlowId(1 + k as u64);
+        flows.push((t, cmd));
+    }
+    for (at, cmd) in flows {
+        topo.net.schedule_flow(at, cmd);
+    }
+    topo.net.run_until_idle();
+    let perf = topo.net.perf();
+    let fct = FctBreakdown::from_records(topo.net.records());
+    crate::perf::absorb(&topo.net);
+    ChaosResult {
+        completed: (topo.net.records().len() as u64) - fct.failed,
+        failed: fct.failed,
+        timeouts: fct.timeouts,
+        ce_marks: perf.ce_marks,
+        fault_drops: perf.fault_drops,
+        corrupt_drops: perf.corrupt_drops,
+        burst_drops: perf.burst_drops,
+        no_route_drops: perf.no_route_drops,
+        fct,
+    }
 }
 
 /// Result of the §5.4 incast microscope.
@@ -475,6 +591,23 @@ mod tests {
         let sc = FctScenario::testbed(Scheme::DctcpRedTail, dists::web_search(), 0.3, 40, 2);
         let fct = run_leaf_spine(&sc, 2, 2, 4);
         assert_eq!(fct.overall.count, 40);
+    }
+
+    #[test]
+    fn chaos_smoke() {
+        let r = run_chaos_leaf_spine(
+            Scheme::EcnSharp(None),
+            0.01,
+            Some(Duration::from_micros(200)),
+            40,
+            7,
+        );
+        assert_eq!(r.completed + r.failed, 40);
+        assert!(r.burst_drops > 0, "1% GE loss must drop something");
+        assert!(
+            r.fct.overall.count as u64 == r.completed,
+            "timing buckets cover exactly the completed flows"
+        );
     }
 
     #[test]

@@ -25,7 +25,17 @@ pub struct FlowCmd {
     pub extra_delay: Duration,
 }
 
-/// A completed flow, as recorded by the network.
+/// How a flow ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowOutcome {
+    /// Every application byte was delivered and acknowledged.
+    Completed,
+    /// The sender gave up (e.g. `max_rto_retries` consecutive timeouts on
+    /// a dead path) — the flow terminated without delivering its bytes.
+    Failed,
+}
+
+/// A finished flow (completed or aborted), as recorded by the network.
 #[derive(Debug, Clone)]
 pub struct FlowRecord {
     /// The flow.
@@ -44,10 +54,14 @@ pub struct FlowRecord {
     pub class: u8,
     /// Retransmission timeouts suffered (diagnostics for incast analyses).
     pub timeouts: u32,
+    /// Whether the flow completed or was aborted by the sender.
+    pub outcome: FlowOutcome,
 }
 
 impl FlowRecord {
-    /// Flow completion time.
+    /// Flow completion time. For a [`FlowOutcome::Failed`] flow this is the
+    /// time from start to abort, not a delivery time — FCT statistics must
+    /// exclude failed flows (see `ecnsharp-stats`).
     pub fn fct(&self) -> Duration {
         self.finish.saturating_since(self.start)
     }
@@ -72,6 +86,9 @@ pub enum Action {
     CancelTimer(u64),
     /// Report a flow as complete (FCT bookkeeping) with a timeout count.
     FlowDone(FlowId, u32),
+    /// Report a flow as aborted after the given number of timeouts — the
+    /// sender gave up (graceful degradation) instead of retrying forever.
+    FlowFailed(FlowId, u32),
 }
 
 /// Callback context handed to agents; collects requested actions.
@@ -129,6 +146,12 @@ impl<'a> Ctx<'a> {
     /// Report that `flow` has completed (sender-side, last byte acked).
     pub fn flow_done(&mut self, flow: FlowId, timeouts: u32) {
         self.actions.push(Action::FlowDone(flow, timeouts));
+    }
+
+    /// Report that the sender has aborted `flow` after `timeouts`
+    /// consecutive retransmission timeouts without forward progress.
+    pub fn flow_failed(&mut self, flow: FlowId, timeouts: u32) {
+        self.actions.push(Action::FlowFailed(flow, timeouts));
     }
 }
 
@@ -237,6 +260,7 @@ mod tests {
             finish: SimTime::from_micros(350),
             class: 0,
             timeouts: 0,
+            outcome: FlowOutcome::Completed,
         };
         assert_eq!(r.fct(), Duration::from_micros(250));
     }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod fault;
 pub mod ids;
 pub mod network;
 pub mod node;
@@ -31,7 +32,8 @@ pub mod port;
 pub mod topology;
 pub mod trace;
 
-pub use agent::{Action, Agent, Ctx, EchoAgent, FlowCmd, FlowRecord, NullAgent};
+pub use agent::{Action, Agent, Ctx, EchoAgent, FlowCmd, FlowOutcome, FlowRecord, NullAgent};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, GilbertElliott};
 pub use ids::{FlowId, NodeId, PortId};
 pub use network::{Network, PerfCounters, QueueMonitor};
 pub use packet::{Ecn, Flags, Packet};

@@ -6,7 +6,8 @@
 //! so runs are deterministic and the borrow checker stays happy without
 //! `Rc<RefCell>`.
 
-use crate::agent::{Action, Agent, Ctx, FlowCmd, FlowRecord};
+use crate::agent::{Action, Agent, Ctx, FlowCmd, FlowOutcome, FlowRecord};
+use crate::fault::{FaultAction, FaultEvent, FaultPlan};
 use crate::ids::{FlowId, NodeId};
 use crate::node::{Node, NodeKind};
 use crate::port::{EgressPort, PortConfig, PortStats};
@@ -44,6 +45,22 @@ pub struct PerfCounters {
     /// Live timers displaced by a re-arm — stale events the legacy
     /// epoch-filtering path would have pushed through the queue.
     pub timers_stale_suppressed: u64,
+    /// Flows aborted by their sender (graceful degradation after
+    /// `max_rto_retries` consecutive timeouts).
+    pub flows_failed: u64,
+    /// Packets discarded at a switch because no up link led towards their
+    /// destination (counted separately from port `drops`: these packets
+    /// never entered an egress queue).
+    pub no_route_drops: u64,
+    /// Wire drops from the independent per-packet fault injector, summed
+    /// over every port (subset of `drops`).
+    pub fault_drops: u64,
+    /// Wire drops from packet corruption (checksum fail), summed over
+    /// every port (subset of `drops`).
+    pub corrupt_drops: u64,
+    /// Wire drops from the Gilbert–Elliott burst-loss process, summed over
+    /// every port (subset of `drops`).
+    pub burst_drops: u64,
 }
 
 /// A queue-length sample series attached to one port.
@@ -81,6 +98,8 @@ enum Event {
     },
     /// Take a queue-monitor sample.
     Sample { id: usize },
+    /// Apply the `idx`-th installed fault-plan event.
+    Fault { idx: usize },
 }
 
 /// The simulated network.
@@ -98,6 +117,13 @@ pub struct Network {
     monitors: Vec<QueueMonitor>,
     scratch: Vec<Action>,
     steps: u64,
+    /// Installed fault-plan events, indexed by `Event::Fault::idx`.
+    faults: Vec<FaultEvent>,
+    /// Has `compute_routes` run at least once? Link up/down transitions
+    /// only trigger a route rebuild after the initial computation.
+    routes_built: bool,
+    flows_failed: u64,
+    no_route_drops: u64,
     #[cfg(feature = "packet-trace")]
     tracer: Option<Tracer>,
 }
@@ -119,6 +145,10 @@ impl Network {
             monitors: Vec::new(),
             scratch: Vec::new(),
             steps: 0,
+            faults: Vec::new(),
+            routes_built: false,
+            flows_failed: 0,
+            no_route_drops: 0,
             #[cfg(feature = "packet-trace")]
             tracer: None,
         }
@@ -187,11 +217,13 @@ impl Network {
         (pa, pb)
     }
 
-    /// Compute shortest-path ECMP routes from every node to every host.
-    /// Call once after the topology is fully built.
+    /// Compute shortest-path ECMP routes from every node to every host,
+    /// over the links currently up. Call once after the topology is fully
+    /// built; link up/down transitions re-run it automatically afterwards.
     pub fn compute_routes(&mut self) {
+        self.routes_built = true;
         let n = self.nodes.len();
-        // Adjacency: for each node, (port index, peer).
+        // Adjacency over up links: for each node, (port index, peer).
         let adj: Vec<Vec<(usize, NodeId)>> = self
             .nodes
             .iter()
@@ -199,6 +231,7 @@ impl Network {
                 node.ports
                     .iter()
                     .enumerate()
+                    .filter(|(_, p)| p.link_up)
                     .map(|(i, p)| (i, p.peer))
                     .collect()
             })
@@ -237,6 +270,86 @@ impl Network {
         }
         for node in &mut self.nodes {
             node.rebuild_flat_routes();
+        }
+    }
+
+    // ── fault injection ────────────────────────────────────────────────
+
+    /// Install `plan`: every event is scheduled into the ordinary event
+    /// queue, so fault timing shares the deterministic `(time, seq)` total
+    /// order with packets and timers. May be called more than once; plans
+    /// accumulate.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        for ev in plan.events {
+            let idx = self.faults.len();
+            self.faults.push(ev);
+            self.events.schedule(ev.at, Event::Fault { idx });
+        }
+    }
+
+    /// Set the `a`↔`b` link's state (both directions). Idempotent: setting
+    /// the current state is a no-op (no spurious route rebuild). On a real
+    /// transition, routes are rebuilt (if [`Self::compute_routes`] ever
+    /// ran) so ECMP fails over; on an up transition both egress ports are
+    /// kicked so backlogged packets resume immediately.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        let pa = self
+            .port_towards(a, b)
+            .unwrap_or_else(|| panic!("no link between {a} and {b}"));
+        let pb = self
+            .port_towards(b, a)
+            .unwrap_or_else(|| panic!("no link between {b} and {a}"));
+        let changed =
+            self.nodes[a.0].ports[pa].link_up != up || self.nodes[b.0].ports[pb].link_up != up;
+        if !changed {
+            return;
+        }
+        self.nodes[a.0].ports[pa].link_up = up;
+        self.nodes[b.0].ports[pb].link_up = up;
+        if self.routes_built {
+            self.compute_routes();
+        }
+        if up {
+            let now = self.now();
+            self.kick(now, a, pa);
+            self.kick(now, b, pb);
+        }
+    }
+
+    /// Is the `a`↔`b` link currently up?
+    pub fn link_is_up(&self, a: NodeId, b: NodeId) -> bool {
+        let pa = self
+            .port_towards(a, b)
+            .unwrap_or_else(|| panic!("no link between {a} and {b}"));
+        self.nodes[a.0].ports[pa].link_up
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown { a, b } => self.set_link_up(a, b, false),
+            FaultAction::LinkUp { a, b } => self.set_link_up(a, b, true),
+            FaultAction::SetLinkRate { a, b, rate } => {
+                let pa = self
+                    .port_towards(a, b)
+                    .unwrap_or_else(|| panic!("no link between {a} and {b}"));
+                let pb = self
+                    .port_towards(b, a)
+                    .unwrap_or_else(|| panic!("no link between {b} and {a}"));
+                // An in-flight serialization keeps its old tx_time; the new
+                // rate applies from the next packet.
+                self.nodes[a.0].ports[pa].rate = rate;
+                self.nodes[b.0].ports[pb].rate = rate;
+            }
+            FaultAction::SetLinkDelay { a, b, delay } => {
+                let pa = self
+                    .port_towards(a, b)
+                    .unwrap_or_else(|| panic!("no link between {a} and {b}"));
+                let pb = self
+                    .port_towards(b, a)
+                    .unwrap_or_else(|| panic!("no link between {b} and {a}"));
+                self.nodes[a.0].ports[pa].delay = delay;
+                self.nodes[b.0].ports[pb].delay = delay;
+            }
         }
     }
 
@@ -313,6 +426,8 @@ impl Network {
             timers_cancelled: q.timers_cancelled,
             timers_fired: q.timers_fired,
             timers_stale_suppressed: q.timers_stale_suppressed,
+            flows_failed: self.flows_failed,
+            no_route_drops: self.no_route_drops,
             ..PerfCounters::default()
         };
         for node in &self.nodes {
@@ -321,6 +436,9 @@ impl Network {
                 c.packets_forwarded += s.dequeued;
                 c.ce_marks += s.total_marks();
                 c.drops += s.total_drops();
+                c.fault_drops += s.fault_drops;
+                c.corrupt_drops += s.corrupt_drops;
+                c.burst_drops += s.burst_drops;
             }
         }
         c
@@ -424,6 +542,10 @@ impl Network {
                     self.events.schedule(next, Event::Sample { id });
                 }
             }
+            Event::Fault { idx } => {
+                let action = self.faults[idx].action;
+                self.apply_fault(action);
+            }
         }
         true
     }
@@ -440,17 +562,22 @@ impl Network {
                 // Forwarding uses the flattened route mirror: two
                 // contiguous-array reads instead of a Vec<Vec<_>> chase.
                 let sw = &self.nodes[node.0];
-                let hops = sw
-                    .route_off
-                    .get(pkt.dst.0..pkt.dst.0 + 2)
-                    .map(|w| &sw.route_hops[w[0] as usize..w[1] as usize])
-                    .filter(|h| !h.is_empty())
-                    .unwrap_or_else(|| {
-                        panic!(
-                            "switch {node} has no route to {} — did you call compute_routes()?",
-                            pkt.dst
-                        )
-                    });
+                let hops = match sw.route_off.get(pkt.dst.0..pkt.dst.0 + 2) {
+                    Some(w) => &sw.route_hops[w[0] as usize..w[1] as usize],
+                    None => panic!(
+                        "switch {node} has no route to {} — did you call compute_routes()?",
+                        pkt.dst
+                    ),
+                };
+                if hops.is_empty() {
+                    // Every link towards the destination is down: the
+                    // packet is lost in the fabric. Counted apart from port
+                    // drops — it never entered an egress queue, so byte
+                    // conservation is untouched.
+                    self.no_route_drops += 1;
+                    self.trace(now, node, TraceKind::Drop, &pkt);
+                    return;
+                }
                 let port = if hops.len() == 1 {
                     hops[0] as usize
                 } else {
@@ -479,7 +606,7 @@ impl Network {
     fn kick(&mut self, now: SimTime, node: NodeId, port: usize) {
         let rng = &mut self.rng;
         let p = &mut self.nodes[node.0].ports[port];
-        if p.busy {
+        if p.busy || !p.link_up {
             return;
         }
         if let Some(tx) = p.next_tx(now, || rng.f64()) {
@@ -579,6 +706,23 @@ impl Network {
                             finish: now,
                             class: cmd.class,
                             timeouts,
+                            outcome: FlowOutcome::Completed,
+                        });
+                    }
+                }
+                Action::FlowFailed(flow, timeouts) => {
+                    if let Some((cmd, start)) = self.pending.remove(&flow) {
+                        self.flows_failed += 1;
+                        self.records.push(FlowRecord {
+                            flow,
+                            src: cmd.src,
+                            dst: cmd.dst,
+                            size: cmd.size,
+                            start,
+                            finish: now,
+                            class: cmd.class,
+                            timeouts,
+                            outcome: FlowOutcome::Failed,
                         });
                     }
                 }
@@ -868,6 +1012,145 @@ mod tests {
         assert!(kinds.contains(&crate::trace::TraceKind::TxStart));
         assert!(kinds.contains(&crate::trace::TraceKind::Arrive));
         assert!(t.events().all(|e| e.flow == FlowId(3)), "filter leaked");
+    }
+
+    /// a -- s1 -- {s2,s3} -- s4 -- b : two equal-cost paths (failover rig).
+    fn diamond() -> (Network, NodeId, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        let mut net = Network::new(4);
+        let a = net.add_host(Box::new(NullAgent));
+        let b = net.add_host(Box::new(NullAgent));
+        let s1 = net.add_switch();
+        let s2 = net.add_switch();
+        let s3 = net.add_switch();
+        let s4 = net.add_switch();
+        let cfg = || PortConfig::fifo(1_000_000, Box::new(DropTail::new()));
+        let r = Rate::from_gbps(10);
+        let d = Duration::from_micros(1);
+        net.connect(a, cfg(), s1, cfg(), r, d);
+        net.connect(s1, cfg(), s2, cfg(), r, d);
+        net.connect(s1, cfg(), s3, cfg(), r, d);
+        net.connect(s2, cfg(), s4, cfg(), r, d);
+        net.connect(s3, cfg(), s4, cfg(), r, d);
+        net.connect(s4, cfg(), b, cfg(), r, d);
+        net.compute_routes();
+        (net, a, b, s1, s2, s3, s4)
+    }
+
+    #[test]
+    fn ecmp_fails_over_around_downed_link_and_recovers() {
+        let (mut net, a, b, s1, s2, s3, s4) = diamond();
+        net.set_link_up(s1, s2, false);
+        assert!(!net.link_is_up(s1, s2));
+        for f in 0..100u64 {
+            inject(&mut net, a, Packet::data(FlowId(f), a, b, 0, 1460));
+        }
+        net.run_until_idle();
+        let v2 = net
+            .port_stats(s1, net.port_towards(s1, s2).unwrap())
+            .dequeued;
+        let v3 = net
+            .port_stats(s1, net.port_towards(s1, s3).unwrap())
+            .dequeued;
+        assert_eq!(v2, 0, "downed link must carry nothing");
+        assert_eq!(v3, 100, "all traffic fails over to the surviving path");
+        let delivered = net
+            .port_stats(s4, net.port_towards(s4, b).unwrap())
+            .dequeued;
+        assert_eq!(delivered, 100, "nothing was lost");
+        // Bring the link back: ECMP spreads across both paths again.
+        net.set_link_up(s1, s2, true);
+        for f in 0..100u64 {
+            inject(&mut net, a, Packet::data(FlowId(f), a, b, 0, 1460));
+        }
+        net.run_until_idle();
+        let v2 = net
+            .port_stats(s1, net.port_towards(s1, s2).unwrap())
+            .dequeued;
+        assert!(v2 > 0, "restored link carries traffic again");
+    }
+
+    #[test]
+    fn unreachable_destination_drops_are_counted_not_fatal() {
+        // Down both diamond arms: b is unreachable from s1 but the run
+        // must terminate with counted no-route drops, not a hang or panic.
+        let (mut net, a, b, s1, s2, s3, _s4) = diamond();
+        net.set_link_up(s1, s2, false);
+        net.set_link_up(s1, s3, false);
+        for f in 0..10u64 {
+            inject(&mut net, a, Packet::data(FlowId(f), a, b, 0, 1460));
+        }
+        net.run_until_idle();
+        assert_eq!(net.perf().no_route_drops, 10);
+        assert_eq!(net.port_stats(b, 0).enqueued, 0);
+    }
+
+    #[test]
+    fn fault_plan_flap_replays_identically() {
+        let run = || {
+            let (mut net, a, b, s1, s2, _s3, s4) = diamond();
+            net.install_fault_plan(crate::fault::FaultPlan::new().flap(
+                s1,
+                s2,
+                SimTime::from_micros(5),
+                Duration::from_micros(20),
+                Duration::from_micros(10),
+                SimTime::from_micros(300),
+            ));
+            for f in 0..200u64 {
+                let t = SimTime::from_nanos(f * 1_000);
+                net.events.schedule(
+                    t,
+                    Event::NicSend {
+                        node: a,
+                        pkt: Packet::data(FlowId(f), a, b, 0, 1460),
+                    },
+                );
+            }
+            net.run_until_idle();
+            let v2 = net
+                .port_stats(s1, net.port_towards(s1, s2).unwrap())
+                .dequeued;
+            let delivered = net
+                .port_stats(s4, net.port_towards(s4, b).unwrap())
+                .dequeued;
+            (net.now(), net.steps(), v2, delivered)
+        };
+        let one = run();
+        assert_eq!(one, run(), "flap schedule must be replay-identical");
+        assert!(one.2 > 0, "flapping link still carried some traffic");
+        assert_eq!(one.3, 200, "flaps delay but do not lose routed packets");
+    }
+
+    #[test]
+    fn link_rate_and_delay_degradation_apply() {
+        // Degrade the a–s link before any traffic: 10 Gbps → 1 Gbps and
+        // 1 us → 100 us one-way.
+        let (mut net, a, b, s) = two_hosts();
+        net.install_fault_plan(
+            crate::fault::FaultPlan::new()
+                .at(
+                    SimTime::ZERO,
+                    crate::fault::FaultAction::SetLinkRate {
+                        a,
+                        b: s,
+                        rate: Rate::from_gbps(1),
+                    },
+                )
+                .at(
+                    SimTime::ZERO,
+                    crate::fault::FaultAction::SetLinkDelay {
+                        a,
+                        b: s,
+                        delay: Duration::from_micros(100),
+                    },
+                ),
+        );
+        inject(&mut net, a, Packet::data(FlowId(1), a, b, 0, 1460));
+        net.run_until_idle();
+        // Data tx 12304 ns + 100 us prop on the first hop alone dwarfs the
+        // original ~6.6 us round trip.
+        let t = net.now().as_nanos();
+        assert!(t > 110_000, "degraded path too fast: {t}ns");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! short flows `(0, 100 KB]`, large flows `[10 MB, ∞)`, plus overall.
 
 use crate::percentile::{mean, percentile};
-use ecnsharp_net::FlowRecord;
+use ecnsharp_net::{FlowOutcome, FlowRecord};
 
 /// The paper's short-flow boundary.
 pub const SHORT_MAX: u64 = 100_000;
@@ -23,6 +23,17 @@ pub struct FctSummary {
 }
 
 impl FctSummary {
+    /// The summary of an empty population: zero flows, NaN statistics.
+    /// Used for the overall bucket when every flow in a run failed — the
+    /// counts stay meaningful while the timing columns are explicitly
+    /// not-a-number rather than a fabricated zero.
+    pub const EMPTY: FctSummary = FctSummary {
+        count: 0,
+        avg: f64::NAN,
+        p50: f64::NAN,
+        p99: f64::NAN,
+    };
+
     /// Summarize a set of FCTs in seconds. `None` when empty.
     pub fn from_secs(xs: &[f64]) -> Option<FctSummary> {
         Some(FctSummary {
@@ -45,41 +56,53 @@ pub struct FctBreakdown {
     pub large: Option<FctSummary>,
     /// Everything in between.
     pub medium: Option<FctSummary>,
-    /// Total retransmission timeouts across the population.
+    /// Total retransmission timeouts across the population (completed and
+    /// failed flows alike).
     pub timeouts: u64,
+    /// Flows that aborted ([`FlowOutcome::Failed`]) — counted here,
+    /// excluded from every timing summary (an abort time is not a
+    /// completion time).
+    pub failed: u64,
 }
 
 impl FctBreakdown {
-    /// Build from completed-flow records.
+    /// Build from finished-flow records. Failed flows are tallied in
+    /// [`FctBreakdown::failed`] and excluded from the timing buckets.
     ///
     /// # Panics
-    /// If `records` is empty — summarizing an experiment that completed no
-    /// flows is a harness bug worth failing loudly on.
+    /// If `records` is empty — summarizing an experiment that finished no
+    /// flows is a harness bug worth failing loudly on. (An all-failed
+    /// population is *not* a panic: counts survive, timings are NaN.)
     pub fn from_records(records: &[FlowRecord]) -> FctBreakdown {
         assert!(!records.is_empty(), "no completed flows to summarize");
-        let fct = |r: &FlowRecord| r.fct().as_secs_f64();
-        let all: Vec<f64> = records.iter().map(fct).collect();
-        let short: Vec<f64> = records
+        let completed: Vec<&FlowRecord> = records
+            .iter()
+            .filter(|r| r.outcome == FlowOutcome::Completed)
+            .collect();
+        let fct = |r: &&FlowRecord| r.fct().as_secs_f64();
+        let all: Vec<f64> = completed.iter().map(fct).collect();
+        let short: Vec<f64> = completed
             .iter()
             .filter(|r| r.size <= SHORT_MAX)
             .map(fct)
             .collect();
-        let large: Vec<f64> = records
+        let large: Vec<f64> = completed
             .iter()
             .filter(|r| r.size >= LARGE_MIN)
             .map(fct)
             .collect();
-        let medium: Vec<f64> = records
+        let medium: Vec<f64> = completed
             .iter()
             .filter(|r| r.size > SHORT_MAX && r.size < LARGE_MIN)
             .map(fct)
             .collect();
         FctBreakdown {
-            overall: FctSummary::from_secs(&all).expect("non-empty"),
+            overall: FctSummary::from_secs(&all).unwrap_or(FctSummary::EMPTY),
             short: FctSummary::from_secs(&short),
             large: FctSummary::from_secs(&large),
             medium: FctSummary::from_secs(&medium),
             timeouts: records.iter().map(|r| r.timeouts as u64).sum(),
+            failed: (records.len() - completed.len()) as u64,
         }
     }
 }
@@ -107,6 +130,7 @@ pub fn average_breakdowns(runs: &[FctBreakdown]) -> FctBreakdown {
         large: avg_summaries(&|b: &FctBreakdown| b.large),
         medium: avg_summaries(&|b: &FctBreakdown| b.medium),
         timeouts: runs.iter().map(|b| b.timeouts).sum::<u64>() / runs.len() as u64,
+        failed: runs.iter().map(|b| b.failed).sum::<u64>() / runs.len() as u64,
     }
 }
 
@@ -126,6 +150,15 @@ mod tests {
             finish: SimTime::from_micros(fct_us),
             class: 0,
             timeouts: 0,
+            outcome: FlowOutcome::Completed,
+        }
+    }
+
+    fn failed_rec(id: u64, size: u64, abort_us: u64, timeouts: u32) -> FlowRecord {
+        FlowRecord {
+            timeouts,
+            outcome: FlowOutcome::Failed,
+            ..rec(id, size, abort_us)
         }
     }
 
@@ -189,5 +222,29 @@ mod tests {
         let b = rec(2, 1_000, 100);
         let bd = FctBreakdown::from_records(&[a, b]);
         assert_eq!(bd.timeouts, 2);
+    }
+
+    #[test]
+    fn failed_flows_counted_not_averaged() {
+        // One completed 100 us flow + one failed flow whose 9-second abort
+        // time must NOT contaminate the FCT average.
+        let records = vec![rec(1, 1_000, 100), failed_rec(2, 1_000, 9_000_000, 8)];
+        let b = FctBreakdown::from_records(&records);
+        assert_eq!(b.failed, 1);
+        assert_eq!(b.overall.count, 1, "only the completed flow is timed");
+        assert!((b.overall.avg - 100e-6).abs() < 1e-12);
+        assert_eq!(b.short.unwrap().count, 1);
+        assert_eq!(b.timeouts, 8, "failed flows' timeouts still counted");
+    }
+
+    #[test]
+    fn all_failed_population_is_empty_but_counted() {
+        let records = vec![failed_rec(1, 1_000, 500, 8), failed_rec(2, 1_000, 700, 8)];
+        let b = FctBreakdown::from_records(&records);
+        assert_eq!(b.failed, 2);
+        assert_eq!(b.overall.count, 0);
+        assert!(b.overall.avg.is_nan());
+        assert!(b.short.is_none());
+        assert_eq!(b.timeouts, 16);
     }
 }

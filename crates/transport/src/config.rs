@@ -68,6 +68,11 @@ pub struct TcpConfig {
     pub max_cwnd: u64,
     /// Timer scheduling backend (wheel vs legacy epoch filtering).
     pub timer_backend: TimerBackend,
+    /// Give up after this many *consecutive* retransmission timeouts
+    /// without forward progress: the flow aborts with a `Failed` outcome
+    /// instead of backing off forever (a permanently dead path would
+    /// otherwise hang the simulation). Any new ACK resets the streak.
+    pub max_rto_retries: u32,
 }
 
 impl Default for TcpConfig {
@@ -84,6 +89,7 @@ impl Default for TcpConfig {
             dctcp_init_alpha: 1.0,
             max_cwnd: 10_000_000,
             timer_backend: TimerBackend::Wheel,
+            max_rto_retries: 8,
         }
     }
 }
@@ -124,6 +130,7 @@ mod tests {
     fn defaults_match_paper_setup() {
         let c = TcpConfig::dctcp();
         assert_eq!(c.mss, 1460);
+        assert_eq!(c.max_rto_retries, 8);
         assert!(matches!(c.cc, CcKind::Dctcp { g } if (g - 0.0625).abs() < 1e-12));
         assert_eq!(c.delack_count, 1);
         // 3 * 1460 is exact in f64.

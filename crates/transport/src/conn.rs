@@ -23,6 +23,9 @@ pub enum SenderState {
     Established,
     /// All bytes acknowledged; flow reported complete.
     Done,
+    /// Aborted after `max_rto_retries` consecutive timeouts without
+    /// forward progress; flow reported failed.
+    Failed,
 }
 
 /// The sending half of a flow.
@@ -48,6 +51,9 @@ pub struct Sender {
     /// Monotonic epoch distinguishing live from stale RTO timers.
     pub rto_epoch: u32,
     backoff: u32,
+    /// Consecutive RTOs without an intervening new ACK; at
+    /// `max_rto_retries` the sender gives up (see [`SenderState::Failed`]).
+    rto_streak: u32,
     /// Retransmission timeouts suffered.
     pub timeouts: u32,
     // ── DCTCP state ─────────────────────────────────────────────────────
@@ -76,6 +82,7 @@ impl Sender {
             rtt: RttEstimator::new(cfg.min_rto, cfg.max_rto, cfg.init_rto),
             rto_epoch: 0,
             backoff: 1,
+            rto_streak: 0,
             timeouts: 0,
             alpha: cfg.dctcp_init_alpha,
             acked_bytes: 0,
@@ -160,7 +167,7 @@ impl Sender {
 
     /// Handle an incoming ACK / SYN-ACK for this flow.
     pub fn on_ack(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
-        if self.state == SenderState::Done {
+        if matches!(self.state, SenderState::Done | SenderState::Failed) {
             return;
         }
         if pkt.flags.syn {
@@ -171,6 +178,7 @@ impl Sender {
                     self.rtt.sample(ctx.now.saturating_since(pkt.ts));
                 }
                 self.backoff = 1;
+                self.rto_streak = 0;
                 if self.cmd.size == 0 {
                     self.complete(ctx);
                     return;
@@ -199,6 +207,7 @@ impl Sender {
         self.snd_nxt = self.snd_nxt.max(self.snd_una);
         self.dupacks = 0;
         self.backoff = 1;
+        self.rto_streak = 0;
         if pkt.ts != SimTime::ZERO {
             self.rtt.sample(ctx.now.saturating_since(pkt.ts));
         }
@@ -296,9 +305,14 @@ impl Sender {
     /// RTO fired (stack verified the epoch matches).
     pub fn on_rto(&mut self, ctx: &mut Ctx<'_>) {
         match self.state {
-            SenderState::Done => {}
+            SenderState::Done | SenderState::Failed => {}
             SenderState::SynSent => {
                 self.timeouts += 1;
+                self.rto_streak += 1;
+                if self.rto_streak >= self.cfg.max_rto_retries {
+                    self.fail(ctx);
+                    return;
+                }
                 self.backoff = (self.backoff * 2).min(64);
                 self.send_syn(ctx);
                 self.arm_rto(ctx);
@@ -308,6 +322,11 @@ impl Sender {
                     return;
                 }
                 self.timeouts += 1;
+                self.rto_streak += 1;
+                if self.rto_streak >= self.cfg.max_rto_retries {
+                    self.fail(ctx);
+                    return;
+                }
                 // Classic RTO reaction: collapse to one segment, go-back-N.
                 self.ssthresh =
                     ((self.snd_nxt - self.snd_una) as f64 / 2.0).max((2 * self.mss()) as f64);
@@ -327,6 +346,15 @@ impl Sender {
         self.state = SenderState::Done;
         self.disarm_rto(ctx);
         ctx.flow_done(self.cmd.flow, self.timeouts);
+    }
+
+    /// Give up: the path is (effectively) dead. Stops all retransmission
+    /// and reports the flow as failed so FCT accounting can count the
+    /// abort without polluting completion-time statistics.
+    fn fail(&mut self, ctx: &mut Ctx<'_>) {
+        self.state = SenderState::Failed;
+        self.disarm_rto(ctx);
+        ctx.flow_failed(self.cmd.flow, self.timeouts);
     }
 }
 
@@ -730,6 +758,81 @@ mod tests {
         let mut ctx = Ctx::detached(SimTime::from_micros(600), NodeId(0), &mut actions);
         s.on_ack(&mut ctx, &ack_pkt(1460, false, 0));
         assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn rto_streak_gives_up_after_max_retries() {
+        let (mut s, _) = established(10_000_000);
+        let max = TcpConfig::dctcp().max_rto_retries;
+        for k in 0..max {
+            let mut actions = Vec::new();
+            let mut ctx =
+                Ctx::detached(SimTime::from_millis(50 + k as u64), NodeId(0), &mut actions);
+            s.on_rto(&mut ctx);
+            if k + 1 < max {
+                assert_eq!(s.state, SenderState::Established);
+            } else {
+                assert_eq!(s.state, SenderState::Failed, "gives up on RTO #{max}");
+                assert!(actions.iter().any(|a| matches!(
+                    a,
+                    ecnsharp_net::Action::FlowFailed(f, t) if *f == FlowId(1) && *t == max
+                )));
+                assert!(
+                    !actions
+                        .iter()
+                        .any(|a| matches!(a, ecnsharp_net::Action::Send(_, _))),
+                    "no retransmission after giving up"
+                );
+            }
+        }
+        // Further RTOs and ACKs are ignored harmlessly.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_millis(100), NodeId(0), &mut actions);
+        s.on_rto(&mut ctx);
+        s.on_ack(&mut ctx, &ack_pkt(1460, false, 0));
+        assert!(actions.is_empty());
+        assert_eq!(s.timeouts, max);
+    }
+
+    #[test]
+    fn ack_progress_resets_rto_streak() {
+        let (mut s, _) = established(10_000_000);
+        let max = TcpConfig::dctcp().max_rto_retries;
+        // max-1 consecutive RTOs: still alive.
+        for k in 0..max - 1 {
+            let mut actions = Vec::new();
+            let mut ctx =
+                Ctx::detached(SimTime::from_millis(50 + k as u64), NodeId(0), &mut actions);
+            s.on_rto(&mut ctx);
+        }
+        assert_eq!(s.state, SenderState::Established);
+        // Forward progress resets the streak...
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_millis(80), NodeId(0), &mut actions);
+        s.on_ack(&mut ctx, &ack_pkt(1460, false, 0));
+        // ...so the next RTO is streak 1, not max.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_millis(90), NodeId(0), &mut actions);
+        s.on_rto(&mut ctx);
+        assert_eq!(s.state, SenderState::Established, "streak was reset");
+        assert_eq!(s.timeouts, max, "total timeouts still accumulate");
+    }
+
+    #[test]
+    fn syn_retry_exhaustion_fails_flow() {
+        // A flow whose SYN never gets through must also give up.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(0), &mut actions);
+        let cfg = TcpConfig::dctcp();
+        let mut s = Sender::start(sender_cmd(1_000_000), cfg, &mut ctx);
+        for k in 0..cfg.max_rto_retries {
+            let mut actions = Vec::new();
+            let mut ctx =
+                Ctx::detached(SimTime::from_millis(10 + k as u64), NodeId(0), &mut actions);
+            s.on_rto(&mut ctx);
+        }
+        assert_eq!(s.state, SenderState::Failed);
+        assert_eq!(s.timeouts, cfg.max_rto_retries);
     }
 
     #[test]

@@ -29,11 +29,11 @@ impl TcpStack {
         Box::new(TcpStack::new(cfg))
     }
 
-    /// Number of sending flows not yet complete.
+    /// Number of sending flows not yet complete (or given up).
     pub fn active_senders(&self) -> usize {
         self.senders
             .values()
-            .filter(|s| s.state != SenderState::Done)
+            .filter(|s| !matches!(s.state, SenderState::Done | SenderState::Failed))
             .count()
     }
 
@@ -67,7 +67,9 @@ impl Agent for TcpStack {
         match kind {
             TimerKind::Rto => {
                 if let Some(s) = self.senders.get_mut(&flow) {
-                    if s.rto_epoch == epoch && s.state != SenderState::Done {
+                    if s.rto_epoch == epoch
+                        && !matches!(s.state, SenderState::Done | SenderState::Failed)
+                    {
                         s.on_rto(ctx);
                     }
                 }
@@ -258,6 +260,25 @@ mod tests {
         assert_eq!(d.net.records().len(), 1, "flow must complete despite drops");
         let drops = d.net.port_stats(d.s1, d.bottleneck_port).fault_drops;
         assert!(drops > 0, "fault injection must have fired");
+    }
+
+    #[test]
+    fn dead_path_gives_up_with_failed_outcome() {
+        // 100% wire loss on the bottleneck: a permanently dead path. The
+        // flow must terminate with a Failed outcome after max_rto_retries
+        // instead of hanging the simulation on endless backoffs.
+        let cfg = PortConfig::fifo(1_000_000, Box::new(DropTail::new())).with_fault_drop(1.0);
+        let tcp = TcpConfig::dctcp();
+        let mut d = dumbbell_with(cfg, tcp);
+        let (a, b) = (d.a, d.b);
+        d.net.schedule_flow(SimTime::ZERO, flow(1, a, b, 1_000_000));
+        d.net.run_until_idle();
+        assert_eq!(d.net.records().len(), 1);
+        let r = &d.net.records()[0];
+        assert_eq!(r.outcome, ecnsharp_net::FlowOutcome::Failed);
+        assert_eq!(r.timeouts, tcp.max_rto_retries);
+        assert_eq!(d.net.unfinished_flows(), 0, "abort clears pending state");
+        assert_eq!(d.net.perf().flows_failed, 1);
     }
 
     #[test]

@@ -60,11 +60,12 @@ pub const SIM_FACING_CRATES: [&str; 9] = [
 /// Files on the per-packet hot path, where a panic aborts a whole figure
 /// run: every AQM decision site, the marker state machine, the scheduler
 /// dequeue loop, the egress port, and the event queue itself.
-pub const HOT_PATH_PREFIXES: [&str; 6] = [
+pub const HOT_PATH_PREFIXES: [&str; 7] = [
     "crates/aqm/src/",
     "crates/core/src/",
     "crates/sched/src/",
     "crates/net/src/port.rs",
+    "crates/net/src/fault.rs",
     "crates/sim/src/queue.rs",
     "crates/sim/src/wheel.rs",
 ];
@@ -160,6 +161,8 @@ mod tests {
         assert!(c.sim_facing && !c.hot_path);
         let c = classify("crates/net/src/port.rs").unwrap();
         assert!(c.hot_path);
+        let c = classify("crates/net/src/fault.rs").unwrap();
+        assert!(c.sim_facing && c.hot_path && !c.test_file);
         let c = classify("crates/sim/src/wheel.rs").unwrap();
         assert!(c.sim_facing && c.hot_path && !c.test_file);
         let c = classify("crates/experiments/src/bin/all.rs").unwrap();

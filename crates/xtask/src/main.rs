@@ -6,7 +6,8 @@
 //!   non-zero exit on any finding.
 //! - `selftest` — prove each rule fires on its seeded fixture violation.
 //! - `ci` — fmt-check → clippy → lint → selftest → release build →
-//!   tests (default features, then `strict-invariants`) → rustdoc gate
+//!   tests (default features, then `strict-invariants`) → quick-scale
+//!   chaos smoke run under `strict-invariants` → rustdoc gate
 //!   (`cargo doc --no-deps` with `-Dwarnings`, then `cargo test --doc`).
 //! - `bench` — run the standing `ecnsharp-bench` targets and collate
 //!   `BENCH_sim.json` at the workspace root (see PERFORMANCE.md).
@@ -68,7 +69,8 @@ fn print_help() {
          commands:\n  \
          lint        determinism lint pass (rules R1-R6) over the workspace\n  \
          selftest    verify each lint rule fires on its seeded fixture\n  \
-         ci          fmt-check -> clippy -> lint -> selftest -> build -> tests -> rustdoc gate\n  \
+         ci          fmt-check -> clippy -> lint -> selftest -> build -> tests ->\n              \
+         chaos smoke -> rustdoc gate\n  \
          bench       run engine/aqm_cost/figures benches, write BENCH_sim.json\n  \
          bench-diff  compare two BENCH_sim.json files (old new), or --check to\n              \
          rerun the engine benches and fail on >25% regression"
@@ -219,6 +221,29 @@ fn ci() -> ExitCode {
                     "-q",
                 ]);
                 run_step("test (strict-invariants)", c, true)
+            }),
+        ),
+        (
+            "chaos smoke",
+            Box::new(|| {
+                // Crash-proof-runner drill: the quick chaos sweep under
+                // strict-invariants, results to a temp dir so CI never
+                // pollutes the tracked results/.
+                let tmp = std::env::temp_dir().join("ecnsharp-ci-chaos");
+                let mut c = cargo();
+                c.args([
+                    "run",
+                    "--release",
+                    "-p",
+                    "ecnsharp-experiments",
+                    "--features",
+                    "strict-invariants",
+                    "--bin",
+                    "chaos",
+                ]);
+                c.env("ECNSHARP_SCALE", "quick");
+                c.env("ECNSHARP_RESULTS", &tmp);
+                run_step("chaos smoke (quick, strict-invariants)", c, true)
             }),
         ),
         (
