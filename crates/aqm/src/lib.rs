@@ -152,6 +152,28 @@ pub trait Aqm: Send {
         let _ = (now, q, pkt);
         DequeueVerdict::Pass
     }
+
+    /// Take the marking-episode transition produced by the last
+    /// `on_enqueue`/`on_dequeue` call, if any. Episodic schemes (ECN♯'s
+    /// Algorithm 1) record entry/exit here; the port layer polls this
+    /// after every AQM decision and forwards transitions to telemetry
+    /// subscribers. Stateless schemes keep the default `None`.
+    fn take_episode_transition(&mut self) -> Option<EpisodeTransition> {
+        None
+    }
+}
+
+/// One entry into — or exit from — a marking episode, as reported by an
+/// episodic AQM via [`Aqm::take_episode_transition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpisodeTransition {
+    /// `true` for episode entry, `false` for exit.
+    pub entered: bool,
+    /// Simulation time of the transition.
+    pub at: SimTime,
+    /// Marks attributed to the episode; meaningful on exit (entry
+    /// reports the first mark, i.e. `1`).
+    pub marks: u64,
 }
 
 /// Boxed AQM constructor, so scenario builders can stamp out one instance

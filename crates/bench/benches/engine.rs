@@ -88,6 +88,98 @@ fn bench_timer_wheel(c: &mut Criterion) {
     g.finish();
 }
 
+/// Drive an egress port through `n` enqueue/drain cycles with the given
+/// subscriber attached — the telemetry hot path in isolation. The port
+/// arrives from `iter_batched` setup so its 1 MB FIFO pre-allocation
+/// never lands inside the timed region.
+fn port_churn<S: ecnsharp_net::Subscriber>(
+    port: &mut ecnsharp_net::EgressPort,
+    sub: &mut S,
+    n: u64,
+) -> u64 {
+    let (src, dst) = (ecnsharp_net::NodeId(0), ecnsharp_net::NodeId(1));
+    let flow = FlowId(1);
+    let mut now = SimTime::ZERO;
+    let mut popped = 0u64;
+    for i in 0..n {
+        port.bench_enqueue(
+            now,
+            ecnsharp_net::Packet::data(flow, src, dst, i * 1_500, 1_500),
+            sub,
+        );
+        // Drain in small batches so both the enqueue and dequeue emission
+        // sites run with a non-trivial standing queue.
+        if i % 8 == 7 {
+            while let Some((_, tx)) = port.bench_next_tx(now, || 0.5, sub) {
+                now += tx;
+                popped += 1;
+            }
+        }
+        now += Duration::from_nanos(100);
+    }
+    while let Some((_, tx)) = port.bench_next_tx(now, || 0.5, sub) {
+        now += tx;
+        popped += 1;
+    }
+    popped
+}
+
+fn churn_port() -> ecnsharp_net::EgressPort {
+    ecnsharp_net::port::bench_port(PortConfig::fifo(
+        1_000_000,
+        Box::new(DctcpRed::with_threshold(65_000)),
+    ))
+}
+
+/// The zero-cost claim of OBSERVABILITY.md: with telemetry compiled in
+/// but only the no-op subscriber attached, the port fast path must cost
+/// what it costs with telemetry compiled out. `bench-diff --check` holds
+/// this group to a 3% budget (vs 25% for the engine groups), so the
+/// bench is deliberately long (40k packets) and allocation-free in the
+/// timed region to keep run-to-run noise under that bar.
+fn bench_telemetry_noop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_noop");
+    g.sample_size(40);
+    let n = 40_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("port_churn_40k_noop", |b| {
+        b.iter_batched(
+            churn_port,
+            |mut port| {
+                black_box(port_churn(
+                    &mut port,
+                    &mut ecnsharp_net::NoopSubscriber,
+                    black_box(n),
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Same workload with a real `MetricsAggregator` attached: prices the
+/// O(1) counter bumps. Lives in its own group on the routine 25% budget
+/// — the 3% gate belongs to the no-op claim, not the aggregator.
+fn bench_telemetry_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_cost");
+    g.sample_size(40);
+    let n = 40_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("port_churn_40k_metrics", |b| {
+        b.iter_batched(
+            churn_port,
+            |mut port| {
+                let mut sub = ecnsharp_telemetry::MetricsAggregator::new();
+                let popped = port_churn(&mut port, &mut sub, black_box(n));
+                black_box((popped, sub))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 fn transfer(d: &mut Dumbbell, bytes: u64) {
     let (a, b) = (d.a, d.b);
     d.net.schedule_flow(
@@ -137,6 +229,8 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_timer_wheel,
+    bench_telemetry_noop,
+    bench_telemetry_cost,
     bench_end_to_end
 );
 criterion_main!(benches);

@@ -15,7 +15,9 @@
 //! correctly, even when the instantaneous check already marked the packet.
 
 use crate::config::EcnSharpConfig;
-use ecnsharp_aqm::{mark_or_drop, Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState};
+use ecnsharp_aqm::{
+    mark_or_drop, Aqm, DequeueVerdict, EnqueueVerdict, EpisodeTransition, PacketView, QueueState,
+};
 use ecnsharp_sim::{Duration, SimTime};
 
 /// Why a packet was marked (exposed for the microscopic analyses of §5.4).
@@ -59,6 +61,10 @@ pub struct EcnSharp {
     /// `pst_target` (None encodes the algorithm's `0`).
     first_above_time: Option<SimTime>,
     stats: MarkStats,
+    /// Latest episode entry/exit, until the port layer collects it via
+    /// [`Aqm::take_episode_transition`]. Entry and exit can never occur on
+    /// the same packet, so one slot is enough.
+    pending_transition: Option<EpisodeTransition>,
 }
 
 impl EcnSharp {
@@ -71,6 +77,7 @@ impl EcnSharp {
             marking_next: SimTime::ZERO,
             first_above_time: None,
             stats: MarkStats::default(),
+            pending_transition: None,
         }
     }
 
@@ -113,6 +120,11 @@ impl EcnSharp {
         let mark = if self.marking_state {
             if !detected {
                 self.marking_state = false;
+                self.pending_transition = Some(EpisodeTransition {
+                    entered: false,
+                    at: now,
+                    marks: self.marking_count,
+                });
                 false
             } else if now > self.marking_next {
                 // One more conservative mark; shrink the spacing so marking
@@ -131,6 +143,11 @@ impl EcnSharp {
             self.marking_count = 1;
             self.marking_next = now + self.cfg.pst_interval;
             self.stats.episodes += 1;
+            self.pending_transition = Some(EpisodeTransition {
+                entered: true,
+                at: now,
+                marks: 1,
+            });
             true
         } else {
             false
@@ -202,6 +219,10 @@ impl Aqm for EcnSharp {
             MarkReason::None => DequeueVerdict::Pass,
             _ => mark_or_drop(pkt.ect),
         }
+    }
+
+    fn take_episode_transition(&mut self) -> Option<EpisodeTransition> {
+        self.pending_transition.take()
     }
 }
 
@@ -513,5 +534,31 @@ mod tests {
             };
             prop_assert_eq!(run(&sojourns), run(&sojourns));
         }
+    }
+
+    #[test]
+    fn episode_transitions_are_reported_once() {
+        let mut m = marker();
+        assert_eq!(m.take_episode_transition(), None);
+        // Drive into an episode: sojourn persistently above pst_target.
+        m.should_persistent_mark(t(0), d(100));
+        let mut entered_at = None;
+        for us in 1..1_000 {
+            m.should_persistent_mark(t(us), d(100));
+            if let Some(tr) = m.take_episode_transition() {
+                assert!(tr.entered, "first transition must be an entry");
+                assert_eq!(tr.marks, 1);
+                entered_at = Some(tr.at);
+                break;
+            }
+        }
+        assert!(entered_at.is_some(), "episode never entered");
+        assert_eq!(m.take_episode_transition(), None, "transition is one-shot");
+        // Queue drains: next call exits the episode and reports its marks.
+        m.should_persistent_mark(t(2_000), d(10));
+        let tr = m.take_episode_transition().expect("exit transition");
+        assert!(!tr.entered);
+        assert!(tr.marks >= 1);
+        assert_eq!(tr.at, t(2_000));
     }
 }

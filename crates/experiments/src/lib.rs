@@ -15,13 +15,20 @@ pub mod perf;
 pub mod runner;
 pub mod scenario;
 pub mod scheme;
+pub mod telemetry;
 
 pub use runner::{
     fault_seed_from_env, fault_seed_or_exit, parallel_map, parse_fault_seed, results_dir,
     try_parallel_map, Scale, SweepOutcome, DEFAULT_FAULT_SEED,
 };
 pub use scenario::{
-    run_chaos_leaf_spine, run_dwrr, run_incast_micro, run_incast_micro_with, run_leaf_spine,
-    run_testbed_star, ChaosResult, DwrrResult, FctScenario, IncastResult, IncastTimeline,
+    run_chaos_leaf_spine, run_dwrr, run_incast_micro, run_incast_micro_with,
+    run_incast_micro_with_subscriber, run_leaf_spine, run_leaf_spine_with_subscriber,
+    run_testbed_star, run_testbed_star_with_subscriber, ChaosResult, DwrrResult, FctScenario,
+    IncastResult, IncastTimeline,
 };
 pub use scheme::{Scheme, SchemeParams};
+pub use telemetry::{
+    jsonl_sink_from_env_or_exit, perf_json_path, perf_json_path_or_exit, telemetry_json_path,
+    telemetry_json_path_or_exit,
+};

@@ -17,7 +17,7 @@
 // lint: allow(wall-clock) host-side throughput reporting only
 #![allow(clippy::disallowed_methods)]
 
-use ecnsharp_net::Network;
+use ecnsharp_net::{Network, Subscriber};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -37,8 +37,10 @@ static FLOWS_FAILED: AtomicU64 = AtomicU64::new(0);
 static NO_ROUTE_DROPS: AtomicU64 = AtomicU64::new(0);
 
 /// Fold a finished run's counters into the process-global accumulator.
-/// Called by every `run_*` scenario just before it returns.
-pub fn absorb(net: &Network) {
+/// Called by every `run_*` scenario just before it returns. Generic over
+/// the network's telemetry subscriber: counters exist (and agree) whether
+/// or not one is attached.
+pub fn absorb<S: Subscriber>(net: &Network<S>) {
     let c = net.perf();
     EVENTS_PUSHED.fetch_add(c.events_pushed, Ordering::Relaxed);
     EVENTS_POPPED.fetch_add(c.events_popped, Ordering::Relaxed);
@@ -158,8 +160,51 @@ impl<R> Timed<R> {
         }
     }
 
+    /// The [`Timed::report`] line as one JSON object (no trailing newline),
+    /// for the `ECNSHARP_PERF_JSON` sink and machine consumers.
+    pub fn to_json(&self, name: &str) -> String {
+        let p = &self.perf;
+        format!(
+            "{{\"name\":{:?},\"wall_secs\":{:.6},\"events_pushed\":{},\"events_popped\":{},\
+             \"peak_pending\":{},\"packets_forwarded\":{},\"ce_marks\":{},\"drops\":{},\
+             \"sim_nanos\":{},\"runs\":{},\"timers_armed\":{},\"timers_cancelled\":{},\
+             \"timers_fired\":{},\"timers_stale_suppressed\":{},\"flows_failed\":{},\
+             \"no_route_drops\":{},\"events_per_sec\":{:.1},\"sim_secs_per_wall_sec\":{:.4}}}",
+            name,
+            self.wall_secs,
+            p.events_pushed,
+            p.events_popped,
+            p.peak_pending,
+            p.packets_forwarded,
+            p.ce_marks,
+            p.drops,
+            p.sim_nanos,
+            p.runs,
+            p.timers_armed,
+            p.timers_cancelled,
+            p.timers_fired,
+            p.timers_stale_suppressed,
+            p.flows_failed,
+            p.no_route_drops,
+            self.events_per_sec(),
+            self.sim_secs_per_wall_sec(),
+        )
+    }
+
     /// One-line human-readable rate report for a figure binary.
+    ///
+    /// When `ECNSHARP_PERF_JSON=<path>` is set, the same report is also
+    /// appended to `<path>` as one JSON line (see [`Timed::to_json`]).
+    /// The knob is strict: an empty value, or a path that cannot be
+    /// written, prints an error and exits 2 — a perf log that silently
+    /// went nowhere is worse than no run.
     pub fn report(&self, name: &str) -> String {
+        if let Some(path) = crate::telemetry::perf_json_path_or_exit() {
+            if let Err(e) = crate::telemetry::append_line(&path, &self.to_json(name)) {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
         let p = &self.perf;
         let ns_per_event = if p.events_popped > 0 {
             self.wall_secs * 1e9 / p.events_popped as f64
@@ -229,5 +274,10 @@ mod tests {
         let line = t.report("test");
         assert!(line.contains("sim-s/wall-s"), "{line}");
         assert!(line.contains("[perf] test:"), "{line}");
+        let json = t.to_json("test");
+        assert!(json.starts_with("{\"name\":\"test\""), "{json}");
+        assert!(json.ends_with('}'), "{json}");
+        assert!(json.contains("\"events_popped\":"), "{json}");
+        assert!(json.contains("\"sim_secs_per_wall_sec\":"), "{json}");
     }
 }

@@ -2,8 +2,12 @@
 
 use crate::scheme::{Scheme, SchemeParams};
 use ecnsharp_aqm::DropTail;
-use ecnsharp_net::topology::{leaf_spine, star, LeafSpine, Star};
-use ecnsharp_net::{FaultPlan, FlowId, GilbertElliott, NodeId, PortConfig};
+use ecnsharp_net::topology::{
+    leaf_spine, leaf_spine_with_subscriber, star, star_with_subscriber, LeafSpine, Star,
+};
+use ecnsharp_net::{
+    FaultPlan, FlowId, GilbertElliott, NodeId, NoopSubscriber, PortConfig, Subscriber,
+};
 use ecnsharp_sched::Dwrr;
 use ecnsharp_sim::{Duration, Rate, Rng, SimTime};
 use ecnsharp_stats::{FctBreakdown, QueueSummary};
@@ -88,6 +92,16 @@ fn endpoint_tcp() -> TcpConfig {
 /// Run the 8-host testbed (7 senders → 1 receiver, §5.2). Returns the FCT
 /// breakdown plus the bottleneck port's drop/mark stats.
 pub fn run_testbed_star(sc: &FctScenario) -> (FctBreakdown, ecnsharp_net::PortStats) {
+    let (fct, stats, _) = run_testbed_star_with_subscriber(sc, NoopSubscriber);
+    (fct, stats)
+}
+
+/// [`run_testbed_star`] with a telemetry subscriber attached for the whole
+/// run; returns it (consumed and handed back) alongside the results.
+pub fn run_testbed_star_with_subscriber<S: Subscriber>(
+    sc: &FctScenario,
+    sub: S,
+) -> (FctBreakdown, ecnsharp_net::PortStats, S) {
     let n_hosts = 8;
     let params = sc.params();
     // The star realizes the minimum base RTT: host→switch→host traverses
@@ -95,7 +109,7 @@ pub fn run_testbed_star(sc: &FctScenario) -> (FctBreakdown, ecnsharp_net::PortSt
     let link_delay = Duration::from_nanos(sc.rtt.min().as_nanos() / 4);
     let scheme = sc.scheme.clone();
     let buffer = sc.buffer;
-    let mut topo: Star = star(
+    let mut topo = star_with_subscriber(
         sc.seed,
         n_hosts,
         sc.rate,
@@ -103,6 +117,7 @@ pub fn run_testbed_star(sc: &FctScenario) -> (FctBreakdown, ecnsharp_net::PortSt
         |_| TcpStack::boxed(endpoint_tcp()),
         nic_port,
         || params.port(&scheme, buffer, 0xEC0),
+        sub,
     );
     let receiver = topo.hosts[n_hosts - 1];
     let senders: Vec<NodeId> = topo.hosts[..n_hosts - 1].to_vec();
@@ -126,7 +141,8 @@ pub fn run_testbed_star(sc: &FctScenario) -> (FctBreakdown, ecnsharp_net::PortSt
         .expect("receiver port");
     let stats = topo.net.port_stats(topo.switch, bport);
     crate::perf::absorb(&topo.net);
-    (FctBreakdown::from_records(topo.net.records()), stats)
+    let fct = FctBreakdown::from_records(topo.net.records());
+    (fct, stats, topo.net.into_subscriber())
 }
 
 /// Run the §5.3 leaf-spine fabric (all-to-all traffic, ECMP). Scaled by
@@ -137,12 +153,26 @@ pub fn run_leaf_spine(
     n_leaves: usize,
     hosts_per_leaf: usize,
 ) -> FctBreakdown {
+    let (fct, _) =
+        run_leaf_spine_with_subscriber(sc, n_spines, n_leaves, hosts_per_leaf, NoopSubscriber);
+    fct
+}
+
+/// [`run_leaf_spine`] with a telemetry subscriber attached for the whole
+/// run; returns it alongside the FCT breakdown.
+pub fn run_leaf_spine_with_subscriber<S: Subscriber>(
+    sc: &FctScenario,
+    n_spines: usize,
+    n_leaves: usize,
+    hosts_per_leaf: usize,
+    sub: S,
+) -> (FctBreakdown, S) {
     let params = sc.params();
     // host→leaf→spine→leaf→host: 8 propagation legs per RTT.
     let link_delay = Duration::from_nanos(sc.rtt.min().as_nanos() / 8);
     let scheme = sc.scheme.clone();
     let buffer = sc.buffer;
-    let mut topo: LeafSpine = leaf_spine(
+    let mut topo = leaf_spine_with_subscriber(
         sc.seed,
         n_spines,
         n_leaves,
@@ -153,6 +183,7 @@ pub fn run_leaf_spine(
         |_| TcpStack::boxed(endpoint_tcp()),
         nic_port,
         || params.port(&scheme, buffer, 0xEC1),
+        sub,
     );
     let spec = TrafficSpec {
         cdf: sc.cdf.clone(),
@@ -185,7 +216,8 @@ pub fn run_leaf_spine(
     }
     topo.net.run_until_idle();
     crate::perf::absorb(&topo.net);
-    FctBreakdown::from_records(topo.net.records())
+    let fct = FctBreakdown::from_records(topo.net.records());
+    (fct, topo.net.into_subscriber())
 }
 
 /// Result of one chaos-sweep point: FCT over the flows that completed,
@@ -360,13 +392,26 @@ pub fn run_incast_micro_with(
     seed: u64,
     timeline: IncastTimeline,
 ) -> IncastResult {
+    let (r, _) = run_incast_micro_with_subscriber(scheme, fanout, seed, timeline, NoopSubscriber);
+    r
+}
+
+/// [`run_incast_micro_with`] with a telemetry subscriber attached for the
+/// whole run; returns it alongside the result.
+pub fn run_incast_micro_with_subscriber<S: Subscriber>(
+    scheme: Scheme,
+    fanout: usize,
+    seed: u64,
+    timeline: IncastTimeline,
+    sub: S,
+) -> (IncastResult, S) {
     let (long_ms, bg_ms, burst_ms, horizon_ms) = timeline.times();
     let rate = Rate::from_gbps(10);
     let rtt = RttVariation::sim_3x();
     let params = SchemeParams::derive(&rtt, rate);
     let buffer = 1_000_000;
     let link_delay = Duration::from_nanos(rtt.min().as_nanos() / 4);
-    let mut topo: Star = star(
+    let mut topo = star_with_subscriber(
         seed,
         17,
         rate,
@@ -374,6 +419,7 @@ pub fn run_incast_micro_with(
         |_| TcpStack::boxed(endpoint_tcp()),
         nic_port,
         || params.port(&scheme, buffer, 0xE5D),
+        sub,
     );
     let receiver = topo.hosts[16];
     let senders: Vec<NodeId> = topo.hosts[..16].to_vec();
@@ -452,14 +498,15 @@ pub fn run_incast_micro_with(
         .collect();
     let standing_pkts = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
     crate::perf::absorb(&topo.net);
-    IncastResult {
+    let result = IncastResult {
         standing_pkts,
         queue: QueueSummary::from_monitor(monitor),
         series: monitor.samples.clone(),
         query_fct: FctBreakdown::from_records(&query),
         drops: topo.net.port_stats(topo.switch, bport).total_drops(),
         query_timeouts: query.iter().map(|r| r.timeouts as u64).sum(),
-    }
+    };
+    (result, topo.net.into_subscriber())
 }
 
 /// Result of the DWRR scheduling experiment (§5.4, Fig. 13).

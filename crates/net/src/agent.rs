@@ -5,6 +5,8 @@
 use crate::ids::{FlowId, NodeId};
 use crate::packet::Packet;
 use ecnsharp_sim::{Duration, SimTime};
+#[cfg(feature = "telemetry")]
+use ecnsharp_telemetry::TransportEvent;
 
 /// An instruction to a source host: "open a flow of `size` bytes to `dst`".
 #[derive(Debug, Clone)]
@@ -91,20 +93,78 @@ pub enum Action {
     FlowFailed(FlowId, u32),
 }
 
-/// Callback context handed to agents; collects requested actions.
+/// Callback context handed to agents; collects requested actions and
+/// (when a telemetry subscriber is attached) transport events.
 pub struct Ctx<'a> {
     /// Current simulation time.
     pub now: SimTime,
     /// The host this agent lives on.
     pub node: NodeId,
     pub(crate) actions: &'a mut Vec<Action>,
+    /// Transport-event buffer, present only when the network's subscriber
+    /// is enabled (so detached/no-op paths never pay for the pushes).
+    #[cfg(feature = "telemetry")]
+    pub(crate) events: Option<&'a mut Vec<TransportEvent>>,
 }
 
 impl<'a> Ctx<'a> {
     /// Build a detached context collecting into `actions` — for unit tests
-    /// of agents outside a running [`crate::Network`].
+    /// of agents outside a running [`crate::Network`]. Transport events
+    /// are discarded.
     pub fn detached(now: SimTime, node: NodeId, actions: &'a mut Vec<Action>) -> Ctx<'a> {
-        Ctx { now, node, actions }
+        Ctx {
+            now,
+            node,
+            actions,
+            #[cfg(feature = "telemetry")]
+            events: None,
+        }
+    }
+
+    /// Report a congestion-window update for telemetry (no-op unless a
+    /// subscriber is attached).
+    #[inline]
+    pub fn emit_cwnd(&mut self, flow: FlowId, cwnd_bytes: u64, ssthresh_bytes: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(events) = self.events.as_deref_mut() {
+            events.push(TransportEvent::Cwnd {
+                flow: flow.0,
+                cwnd_bytes,
+                ssthresh_bytes,
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (flow, cwnd_bytes, ssthresh_bytes);
+    }
+
+    /// Report a DCTCP alpha fold for telemetry (no-op unless a subscriber
+    /// is attached).
+    #[inline]
+    pub fn emit_alpha(&mut self, flow: FlowId, alpha: f64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(events) = self.events.as_deref_mut() {
+            events.push(TransportEvent::Alpha {
+                flow: flow.0,
+                alpha,
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (flow, alpha);
+    }
+
+    /// Report a fired retransmission timeout for telemetry (no-op unless a
+    /// subscriber is attached). `streak` is the consecutive-RTO count.
+    #[inline]
+    pub fn emit_rto(&mut self, flow: FlowId, streak: u32) {
+        #[cfg(feature = "telemetry")]
+        if let Some(events) = self.events.as_deref_mut() {
+            events.push(TransportEvent::Rto {
+                flow: flow.0,
+                streak,
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (flow, streak);
     }
 
     /// Send `pkt` out of this host's NIC immediately.
@@ -201,11 +261,7 @@ mod tests {
     #[test]
     fn ctx_collects_actions() {
         let mut actions = Vec::new();
-        let mut ctx = Ctx {
-            now: SimTime::from_micros(5),
-            node: NodeId(0),
-            actions: &mut actions,
-        };
+        let mut ctx = Ctx::detached(SimTime::from_micros(5), NodeId(0), &mut actions);
         ctx.send(Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 100));
         ctx.set_timer(Duration::from_micros(10), 7);
         ctx.flow_done(FlowId(1), 0);
@@ -222,11 +278,7 @@ mod tests {
     #[test]
     fn echo_agent_acks_data() {
         let mut actions = Vec::new();
-        let mut ctx = Ctx {
-            now: SimTime::ZERO,
-            node: NodeId(1),
-            actions: &mut actions,
-        };
+        let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(1), &mut actions);
         let mut agent = EchoAgent;
         let data = Packet::data(FlowId(3), NodeId(0), NodeId(1), 100, 200);
         agent.on_packet(&mut ctx, data);
@@ -240,11 +292,7 @@ mod tests {
         }
         // ACKs are not echoed (no loops).
         actions.clear();
-        let mut ctx = Ctx {
-            now: SimTime::ZERO,
-            node: NodeId(1),
-            actions: &mut actions,
-        };
+        let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(1), &mut actions);
         agent.on_packet(&mut ctx, Packet::ack(FlowId(3), NodeId(0), NodeId(1), 5));
         assert!(actions.is_empty());
     }

@@ -18,9 +18,40 @@
 //! Per-flow artificial sender-side processing delay
 //! ([`FlowCmd::extra_delay`]) reproduces the paper's netem-based base-RTT
 //! variation.
+//!
+//! With the default-on `telemetry` feature, the hot paths emit typed
+//! events ([`ecnsharp_telemetry::PacketEnqueued`], drops with a
+//! [`DropReason`], CE marks, sojourn samples, ECN♯ episode transitions,
+//! …) to a statically-dispatched [`Subscriber`]. [`Network`] is generic
+//! over the subscriber with a [`NoopSubscriber`] default whose emission
+//! sites fold away entirely; see OBSERVABILITY.md.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Deliver one telemetry event to a subscriber.
+///
+/// Expands the event construction *inside* an `if S::ENABLED` guard, so
+/// with [`NoopSubscriber`] (`ENABLED = false`) the whole site folds away
+/// at compile time, and with the `telemetry` feature off it is not
+/// compiled at all. Call sites must have a `S: Subscriber` type parameter
+/// named `S` in scope (the macro is textual, like s2n-quic's event
+/// macros). Defined before the module declarations so textual
+/// `macro_rules!` scoping makes it visible throughout the crate.
+#[cfg(feature = "telemetry")]
+macro_rules! emit {
+    ($sub:expr, $method:ident, $meta:expr, $ev:expr) => {
+        if S::ENABLED {
+            ecnsharp_telemetry::Subscriber::$method($sub, &$meta, &$ev);
+        }
+    };
+}
+#[cfg(not(feature = "telemetry"))]
+macro_rules! emit {
+    ($sub:expr, $method:ident, $meta:expr, $ev:expr) => {{
+        let _ = &$sub;
+    }};
+}
 
 pub mod agent;
 pub mod fault;
@@ -38,4 +69,8 @@ pub use ids::{FlowId, NodeId, PortId};
 pub use network::{Network, PerfCounters, QueueMonitor};
 pub use packet::{Ecn, Flags, Packet};
 pub use port::{EgressPort, PortConfig, PortSched, PortStats};
-pub use trace::{TraceEvent, TraceKind, Tracer};
+pub use trace::{TraceEvent, TraceKind, Tracer, MAX_TRACE_CAPACITY};
+
+// Re-export the subscriber vocabulary so downstream crates can attach
+// telemetry without depending on `ecnsharp-telemetry` directly.
+pub use ecnsharp_telemetry::{DropReason, NoopSubscriber, Subscriber};

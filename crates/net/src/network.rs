@@ -15,6 +15,12 @@ use crate::trace::TraceKind;
 #[cfg(feature = "packet-trace")]
 use crate::trace::Tracer;
 use ecnsharp_sim::{hash_mix, Duration, EventQueue, Rate, Rng, SimTime, TimerToken};
+#[cfg(feature = "telemetry")]
+use ecnsharp_telemetry::{
+    AlphaUpdated, CwndUpdated, FlowCompleted, LinkStateChanged, Meta, PacketDropped, RtoFired,
+    TransportEvent,
+};
+use ecnsharp_telemetry::{DropReason, NoopSubscriber, Subscriber};
 use std::collections::BTreeMap;
 
 /// Aggregate engine counters of one run, cheap enough to maintain
@@ -102,8 +108,19 @@ enum Event {
     Fault { idx: usize },
 }
 
-/// The simulated network.
-pub struct Network {
+/// The simulated network, generic over an attached telemetry
+/// [`Subscriber`]. The default [`NoopSubscriber`] has `ENABLED = false`,
+/// so every emission site compiles away and `Network::new` behaves
+/// exactly as before telemetry existed; [`Network::with_subscriber`]
+/// attaches a live subscriber (statically dispatched — attaching a
+/// different subscriber type monomorphises a separate event loop).
+pub struct Network<S: Subscriber = NoopSubscriber> {
+    /// Attached telemetry subscriber (zero-sized for the no-op).
+    sub: S,
+    /// Scratch buffer for transport events surfaced through [`Ctx`]
+    /// (drained after every agent callback; reused across calls).
+    #[cfg(feature = "telemetry")]
+    scratch_events: Vec<TransportEvent>,
     nodes: Vec<Node>,
     events: EventQueue<Event>,
     rng: Rng,
@@ -130,11 +147,25 @@ pub struct Network {
 
 impl Network {
     /// Create an empty network with a deterministic seed (drives ECMP salt
-    /// and fault-injection dice).
+    /// and fault-injection dice). Telemetry is detached: the
+    /// [`NoopSubscriber`]'s emission sites fold away at compile time.
     pub fn new(seed: u64) -> Self {
+        Self::with_subscriber(seed, NoopSubscriber)
+    }
+}
+
+impl<S: Subscriber> Network<S> {
+    /// Like [`Network::new`], with `sub` attached to every emission site.
+    /// Attaching (or not) never perturbs the simulation: two runs with the
+    /// same seed produce identical schedules regardless of the subscriber
+    /// (asserted by the determinism tests in `ecnsharp-experiments`).
+    pub fn with_subscriber(seed: u64, sub: S) -> Self {
         let mut rng = Rng::seed_from_u64(seed);
         let ecmp_salt = rng.next_u64();
         Network {
+            sub,
+            #[cfg(feature = "telemetry")]
+            scratch_events: Vec::new(),
             nodes: Vec::new(),
             events: EventQueue::new(),
             rng,
@@ -152,6 +183,22 @@ impl Network {
             #[cfg(feature = "packet-trace")]
             tracer: None,
         }
+    }
+
+    /// The attached telemetry subscriber.
+    pub fn subscriber(&self) -> &S {
+        &self.sub
+    }
+
+    /// The attached telemetry subscriber, mutably.
+    pub fn subscriber_mut(&mut self) -> &mut S {
+        &mut self.sub
+    }
+
+    /// Consume the network and return the subscriber (to read out
+    /// aggregates after a run).
+    pub fn into_subscriber(self) -> S {
+        self.sub
     }
 
     /// Enable packet tracing with a bounded ring of `capacity` events
@@ -208,12 +255,14 @@ impl Network {
         assert_ne!(a, b, "self-links are not supported");
         let pa = self.nodes[a.0].ports.len();
         let pb = self.nodes[b.0].ports.len();
-        self.nodes[a.0]
-            .ports
-            .push(EgressPort::new(b, pb, rate, delay, cfg_a));
-        self.nodes[b.0]
-            .ports
-            .push(EgressPort::new(a, pa, rate, delay, cfg_b));
+        let mut port_a = EgressPort::new(b, pb, rate, delay, cfg_a);
+        port_a.owner = a;
+        port_a.owner_port = pa as u64;
+        self.nodes[a.0].ports.push(port_a);
+        let mut port_b = EgressPort::new(a, pa, rate, delay, cfg_b);
+        port_b.owner = b;
+        port_b.owner_port = pb as u64;
+        self.nodes[b.0].ports.push(port_b);
         (pa, pb)
     }
 
@@ -306,6 +355,19 @@ impl Network {
         }
         self.nodes[a.0].ports[pa].link_up = up;
         self.nodes[b.0].ports[pb].link_up = up;
+        emit!(
+            &mut self.sub,
+            on_link_state_changed,
+            Meta {
+                at: self.events.now(),
+                node: a.0 as u64,
+            },
+            LinkStateChanged {
+                node_a: a.0 as u64,
+                node_b: b.0 as u64,
+                up,
+            }
+        );
         if self.routes_built {
             self.compute_routes();
         }
@@ -529,7 +591,7 @@ impl Network {
             }
             Event::NicSend { node, pkt } => {
                 self.trace(now, node, TraceKind::Enqueue, &pkt);
-                self.nodes[node.0].ports[0].enqueue(now, pkt);
+                self.nodes[node.0].ports[0].enqueue(now, pkt, &mut self.sub);
                 self.kick(now, node, 0);
             }
             Event::Sample { id } => {
@@ -575,7 +637,24 @@ impl Network {
                     // drops — it never entered an egress queue, so byte
                     // conservation is untouched.
                     self.no_route_drops += 1;
-                    self.trace(now, node, TraceKind::Drop, &pkt);
+                    emit!(
+                        &mut self.sub,
+                        on_packet_dropped,
+                        Meta {
+                            at: now,
+                            node: node.0 as u64,
+                        },
+                        PacketDropped {
+                            // Sentinel: the packet never reached a port.
+                            port: u64::MAX,
+                            flow: pkt.flow.0,
+                            seq: pkt.seq,
+                            payload: pkt.payload,
+                            wire_bytes: pkt.wire_bytes(),
+                            reason: DropReason::NoRoute,
+                        }
+                    );
+                    self.trace(now, node, TraceKind::Drop(DropReason::NoRoute), &pkt);
                     return;
                 }
                 let port = if hops.len() == 1 {
@@ -596,7 +675,7 @@ impl Network {
                     hops[idx as usize] as usize
                 };
                 self.trace(now, node, TraceKind::Enqueue, &pkt);
-                self.nodes[node.0].ports[port].enqueue(now, pkt);
+                self.nodes[node.0].ports[port].enqueue(now, pkt, &mut self.sub);
                 self.kick(now, node, port);
             }
         }
@@ -605,11 +684,12 @@ impl Network {
     /// Start transmitting on `(node, port)` if idle and backlogged.
     fn kick(&mut self, now: SimTime, node: NodeId, port: usize) {
         let rng = &mut self.rng;
+        let sub = &mut self.sub;
         let p = &mut self.nodes[node.0].ports[port];
         if p.busy || !p.link_up {
             return;
         }
-        if let Some(tx) = p.next_tx(now, || rng.f64()) {
+        if let Some(tx) = p.next_tx(now, || rng.f64(), sub) {
             p.busy = true;
             let peer = p.peer;
             let delay = p.delay;
@@ -644,6 +724,8 @@ impl Network {
     ) {
         let mut actions = std::mem::take(&mut self.scratch);
         debug_assert!(actions.is_empty());
+        #[cfg(feature = "telemetry")]
+        let mut tevents = std::mem::take(&mut self.scratch_events);
         {
             let NodeKind::Host { agent } = &mut self.nodes[node.0].kind else {
                 panic!("agent callback on a switch ({node})");
@@ -652,14 +734,49 @@ impl Network {
                 now,
                 node,
                 actions: &mut actions,
+                #[cfg(feature = "telemetry")]
+                events: if S::ENABLED { Some(&mut tevents) } else { None },
             };
             f(agent.as_mut(), &mut ctx);
+        }
+        // Forward transport events (cwnd/alpha/RTO) surfaced by the agent.
+        #[cfg(feature = "telemetry")]
+        {
+            if S::ENABLED {
+                let meta = Meta {
+                    at: now,
+                    node: node.0 as u64,
+                };
+                for ev in tevents.drain(..) {
+                    match ev {
+                        TransportEvent::Cwnd {
+                            flow,
+                            cwnd_bytes,
+                            ssthresh_bytes,
+                        } => self.sub.on_cwnd_updated(
+                            &meta,
+                            &CwndUpdated {
+                                flow,
+                                cwnd_bytes,
+                                ssthresh_bytes,
+                            },
+                        ),
+                        TransportEvent::Alpha { flow, alpha } => self
+                            .sub
+                            .on_alpha_updated(&meta, &AlphaUpdated { flow, alpha }),
+                        TransportEvent::Rto { flow, streak } => {
+                            self.sub.on_rto_fired(&meta, &RtoFired { flow, streak })
+                        }
+                    }
+                }
+            }
+            self.scratch_events = tevents;
         }
         for action in actions.drain(..) {
             match action {
                 Action::Send(pkt, delay) => {
                     if delay.is_zero() {
-                        self.nodes[node.0].ports[0].enqueue(now, pkt);
+                        self.nodes[node.0].ports[0].enqueue(now, pkt, &mut self.sub);
                         self.kick(now, node, 0);
                     } else {
                         self.events
@@ -697,6 +814,20 @@ impl Network {
                 }
                 Action::FlowDone(flow, timeouts) => {
                     if let Some((cmd, start)) = self.pending.remove(&flow) {
+                        emit!(
+                            &mut self.sub,
+                            on_flow_completed,
+                            Meta {
+                                at: now,
+                                node: node.0 as u64,
+                            },
+                            FlowCompleted {
+                                flow: flow.0,
+                                bytes: cmd.size,
+                                fct_ns: now.saturating_since(start).as_nanos(),
+                                completed: true,
+                            }
+                        );
                         self.records.push(FlowRecord {
                             flow,
                             src: cmd.src,
@@ -713,6 +844,20 @@ impl Network {
                 Action::FlowFailed(flow, timeouts) => {
                     if let Some((cmd, start)) = self.pending.remove(&flow) {
                         self.flows_failed += 1;
+                        emit!(
+                            &mut self.sub,
+                            on_flow_completed,
+                            Meta {
+                                at: now,
+                                node: node.0 as u64,
+                            },
+                            FlowCompleted {
+                                flow: flow.0,
+                                bytes: cmd.size,
+                                fct_ns: now.saturating_since(start).as_nanos(),
+                                completed: false,
+                            }
+                        );
                         self.records.push(FlowRecord {
                             flow,
                             src: cmd.src,

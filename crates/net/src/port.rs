@@ -8,6 +8,12 @@ use crate::packet::{Ecn, Packet};
 use ecnsharp_aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState};
 use ecnsharp_sched::{Dequeued, Fifo, Scheduler};
 use ecnsharp_sim::{Duration, Rate, SimTime};
+use ecnsharp_telemetry::Subscriber;
+#[cfg(feature = "telemetry")]
+use ecnsharp_telemetry::{
+    CeMarked, DropReason, EpisodeEntered, EpisodeExited, MarkSite, Meta, PacketDropped,
+    PacketEnqueued, SojournSampled,
+};
 
 /// The scheduler slot of a port. Almost every port in every experiment is
 /// a plain FIFO, and its enqueue/dequeue/backlog calls sit on the
@@ -199,6 +205,11 @@ pub struct EgressPort {
     /// Wire bytes removed from the queue — transmitted or dropped after
     /// admission (strict-invariants accounting).
     pub(crate) accounted_out_bytes: u64,
+    /// Node this port belongs to (telemetry event identity; set by
+    /// [`crate::Network::connect`], `NodeId(0)` for standalone ports).
+    pub(crate) owner: NodeId,
+    /// Index of this port within its owner (telemetry event identity).
+    pub(crate) owner_port: u64,
 }
 
 /// Outcome of asking a port for its next transmission.
@@ -237,6 +248,8 @@ impl EgressPort {
             tx_payload_per_class: vec![0; classes],
             accounted_in_bytes: 0,
             accounted_out_bytes: 0,
+            owner: NodeId(0),
+            owner_port: 0,
         }
     }
 
@@ -283,30 +296,132 @@ impl EgressPort {
         }
     }
 
+    /// Telemetry metadata stamp for an event at `at` on this port.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    fn meta(&self, at: SimTime) -> Meta {
+        Meta {
+            at,
+            node: self.owner.0 as u64,
+        }
+    }
+
+    /// A [`PacketDropped`] event for `pkt` with the given reason.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    fn drop_ev(&self, pkt: &Packet, reason: DropReason) -> PacketDropped {
+        PacketDropped {
+            port: self.owner_port,
+            flow: pkt.flow.0,
+            seq: pkt.seq,
+            payload: pkt.payload,
+            wire_bytes: pkt.wire_bytes(),
+            reason,
+        }
+    }
+
+    /// Forward any pending ECN♯ episode entry/exit from the AQM to the
+    /// subscriber. Polled after every AQM decision.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    fn emit_episode<S: Subscriber>(&mut self, now: SimTime, sub: &mut S) {
+        if !S::ENABLED {
+            return;
+        }
+        if let Some(tr) = self.aqm.take_episode_transition() {
+            let meta = self.meta(now);
+            if tr.entered {
+                sub.on_episode_entered(
+                    &meta,
+                    &EpisodeEntered {
+                        port: self.owner_port,
+                    },
+                );
+            } else {
+                sub.on_episode_exited(
+                    &meta,
+                    &EpisodeExited {
+                        port: self.owner_port,
+                        marks: tr.marks,
+                    },
+                );
+            }
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[inline]
+    fn emit_episode<S: Subscriber>(&mut self, _now: SimTime, _sub: &mut S) {}
+
     /// Admit `pkt` to the queue (tail-drop capacity check, then AQM).
-    /// Returns `true` when the packet was queued.
-    pub(crate) fn enqueue(&mut self, now: SimTime, mut pkt: Packet) -> bool {
+    /// Returns `true` when the packet was queued. Telemetry events
+    /// (enqueue, drops, marks) are delivered to `sub`.
+    pub(crate) fn enqueue<S: Subscriber>(
+        &mut self,
+        now: SimTime,
+        mut pkt: Packet,
+        sub: &mut S,
+    ) -> bool {
         let wire = pkt.wire_bytes();
-        if self.sched.backlog_bytes() + wire > self.capacity_bytes {
+        let backlog = self.sched.backlog_bytes();
+        if backlog + wire > self.capacity_bytes {
             self.stats.tail_drops += 1;
+            emit!(
+                sub,
+                on_packet_dropped,
+                self.meta(now),
+                self.drop_ev(&pkt, DropReason::Tail)
+            );
             return false;
         }
         pkt.enqueued_at = now;
         let verdict = self
             .aqm
             .on_enqueue(now, &self.queue_state(), &Self::view(&pkt));
+        self.emit_episode(now, sub);
         match verdict {
             EnqueueVerdict::Drop => {
                 self.stats.aqm_enq_drops += 1;
+                emit!(
+                    sub,
+                    on_packet_dropped,
+                    self.meta(now),
+                    self.drop_ev(&pkt, DropReason::AqmEnqueue)
+                );
                 return false;
             }
             EnqueueVerdict::AdmitMark => {
                 debug_assert!(pkt.ecn.is_ect());
                 pkt.ecn = Ecn::Ce;
                 self.stats.enq_marks += 1;
+                emit!(
+                    sub,
+                    on_ce_marked,
+                    self.meta(now),
+                    CeMarked {
+                        port: self.owner_port,
+                        flow: pkt.flow.0,
+                        seq: pkt.seq,
+                        site: MarkSite::Enqueue,
+                    }
+                );
             }
             EnqueueVerdict::Admit => {}
         }
+        emit!(
+            sub,
+            on_packet_enqueued,
+            self.meta(now),
+            PacketEnqueued {
+                port: self.owner_port,
+                flow: pkt.flow.0,
+                seq: pkt.seq,
+                payload: pkt.payload,
+                wire_bytes: wire,
+                backlog_bytes: backlog,
+                marked: pkt.ecn == Ecn::Ce,
+            }
+        );
         let class = (pkt.class as usize).min(self.sched.classes() - 1);
         self.sched.enqueue(class, wire, pkt);
         self.stats.enqueued += 1;
@@ -326,10 +441,13 @@ impl EgressPort {
     /// Pull the next transmittable packet, applying dequeue-time AQM and
     /// fault injection. `dice` supplies deterministic uniform randoms for
     /// the fault injector. Returns `None` when the queue is empty.
-    pub(crate) fn next_tx(
+    /// Telemetry events (sojourn samples, marks, wire drops, episode
+    /// transitions) are delivered to `sub`.
+    pub(crate) fn next_tx<S: Subscriber>(
         &mut self,
         now: SimTime,
         mut dice: impl FnMut() -> f64,
+        sub: &mut S,
     ) -> Option<TxStart> {
         loop {
             let d = self.sched.dequeue()?;
@@ -353,18 +471,47 @@ impl EgressPort {
             let verdict = self
                 .aqm
                 .on_dequeue(now, &self.queue_state(), &Self::view(&pkt));
+            self.emit_episode(now, sub);
             match verdict {
                 DequeueVerdict::Drop => {
                     self.stats.aqm_deq_drops += 1;
+                    emit!(
+                        sub,
+                        on_packet_dropped,
+                        self.meta(now),
+                        self.drop_ev(&pkt, DropReason::AqmDequeue)
+                    );
                     continue;
                 }
                 DequeueVerdict::Mark => {
                     debug_assert!(pkt.ecn.is_ect());
                     pkt.ecn = Ecn::Ce;
                     self.stats.deq_marks += 1;
+                    emit!(
+                        sub,
+                        on_ce_marked,
+                        self.meta(now),
+                        CeMarked {
+                            port: self.owner_port,
+                            flow: pkt.flow.0,
+                            seq: pkt.seq,
+                            site: MarkSite::Dequeue,
+                        }
+                    );
                 }
                 DequeueVerdict::Pass => {}
             }
+            emit!(
+                sub,
+                on_sojourn_sampled,
+                self.meta(now),
+                SojournSampled {
+                    port: self.owner_port,
+                    flow: pkt.flow.0,
+                    sojourn_ns: now.saturating_since(pkt.enqueued_at).as_nanos(),
+                    backlog_bytes: self.sched.backlog_bytes(),
+                }
+            );
             self.stats.dequeued += 1;
             let class = d.class;
             // Pre-sized in `new()` to the scheduler's class count; the
@@ -376,15 +523,33 @@ impl EgressPort {
             self.tx_payload_per_class[class] += pkt.payload;
             if self.fault_drop_p > 0.0 && dice() < self.fault_drop_p {
                 self.stats.fault_drops += 1;
+                emit!(
+                    sub,
+                    on_packet_dropped,
+                    self.meta(now),
+                    self.drop_ev(&pkt, DropReason::Fault)
+                );
                 continue;
             }
             if self.corrupt_p > 0.0 && dice() < self.corrupt_p {
                 self.stats.corrupt_drops += 1;
+                emit!(
+                    sub,
+                    on_packet_dropped,
+                    self.meta(now),
+                    self.drop_ev(&pkt, DropReason::Corrupt)
+                );
                 continue;
             }
             if let Some(ge) = self.ge.as_mut() {
                 if ge.roll(&mut dice) {
                     self.stats.burst_drops += 1;
+                    emit!(
+                        sub,
+                        on_packet_dropped,
+                        self.meta(now),
+                        self.drop_ev(&pkt, DropReason::Burst)
+                    );
                     continue;
                 }
             }
@@ -392,6 +557,39 @@ impl EgressPort {
             return Some(TxStart { pkt, tx_time });
         }
     }
+
+    /// Bench-support wrapper around the crate-private [`Self::enqueue`]
+    /// (the `telemetry_noop` bench group drives the port hot path in
+    /// isolation). Not part of the public API surface.
+    #[doc(hidden)]
+    pub fn bench_enqueue<S: Subscriber>(&mut self, now: SimTime, pkt: Packet, sub: &mut S) -> bool {
+        self.enqueue(now, pkt, sub)
+    }
+
+    /// Bench-support wrapper around the crate-private [`Self::next_tx`]:
+    /// returns the transmitted packet and its serialization time.
+    #[doc(hidden)]
+    pub fn bench_next_tx<S: Subscriber>(
+        &mut self,
+        now: SimTime,
+        dice: impl FnMut() -> f64,
+        sub: &mut S,
+    ) -> Option<(Packet, Duration)> {
+        self.next_tx(now, dice, sub).map(|t| (t.pkt, t.tx_time))
+    }
+}
+
+/// Bench-support constructor for a standalone port not owned by a
+/// [`crate::Network`]. Not part of the public API surface.
+#[doc(hidden)]
+pub fn bench_port(cfg: PortConfig) -> EgressPort {
+    EgressPort::new(
+        NodeId(0),
+        0,
+        Rate::from_gbps(10),
+        Duration::from_micros(1),
+        cfg,
+    )
 }
 
 #[cfg(test)]
@@ -399,6 +597,7 @@ mod tests {
     use super::*;
     use crate::ids::FlowId;
     use ecnsharp_aqm::{DctcpRed, DropTail, Tcn};
+    use ecnsharp_telemetry::NoopSubscriber;
 
     fn port(cfg: PortConfig) -> EgressPort {
         EgressPort::new(
@@ -417,9 +616,9 @@ mod tests {
     #[test]
     fn tail_drop_at_capacity() {
         let mut p = port(PortConfig::fifo(4_000, Box::new(DropTail::new())));
-        assert!(p.enqueue(SimTime::ZERO, pkt(1460))); // 1538 wire
-        assert!(p.enqueue(SimTime::ZERO, pkt(1460))); // 3076
-        assert!(!p.enqueue(SimTime::ZERO, pkt(1460))); // would be 4614 > 4000
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber)); // 1538 wire
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber)); // 3076
+        assert!(!p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber)); // would be 4614 > 4000
         assert_eq!(p.stats().tail_drops, 1);
         assert_eq!(p.backlog_pkts(), 2);
     }
@@ -430,16 +629,22 @@ mod tests {
             1_000_000,
             Box::new(DctcpRed::with_threshold(3_500)),
         ));
-        assert!(p.enqueue(SimTime::ZERO, pkt(1460))); // occupancy 1538
-        assert!(p.enqueue(SimTime::ZERO, pkt(1460))); // occupancy 3076
-                                                      // Third packet pushes occupancy to 4614 > 3500: marked.
-        assert!(p.enqueue(SimTime::ZERO, pkt(1460)));
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber)); // occupancy 1538
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber)); // occupancy 3076
+                                                                           // Third packet pushes occupancy to 4614 > 3500: marked.
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber));
         assert_eq!(p.stats().enq_marks, 1);
         // The marked packet is the last one out.
         let mut dice = || 1.0;
-        let a = p.next_tx(SimTime::ZERO, &mut dice).unwrap();
-        let b = p.next_tx(SimTime::ZERO, &mut dice).unwrap();
-        let c = p.next_tx(SimTime::ZERO, &mut dice).unwrap();
+        let a = p
+            .next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber)
+            .unwrap();
+        let b = p
+            .next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber)
+            .unwrap();
+        let c = p
+            .next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber)
+            .unwrap();
         assert_eq!(a.pkt.ecn, Ecn::Ect);
         assert_eq!(b.pkt.ecn, Ecn::Ect);
         assert_eq!(c.pkt.ecn, Ecn::Ce);
@@ -451,22 +656,28 @@ mod tests {
             1_000_000,
             Box::new(Tcn::new(Duration::from_micros(100))),
         ));
-        assert!(p.enqueue(SimTime::from_micros(0), pkt(1460)));
+        assert!(p.enqueue(SimTime::from_micros(0), pkt(1460), &mut NoopSubscriber));
         // Dequeued 150 us later: sojourn above threshold, marked.
-        let tx = p.next_tx(SimTime::from_micros(150), &mut || 1.0).unwrap();
+        let tx = p
+            .next_tx(SimTime::from_micros(150), &mut || 1.0, &mut NoopSubscriber)
+            .unwrap();
         assert_eq!(tx.pkt.ecn, Ecn::Ce);
         assert_eq!(p.stats().deq_marks, 1);
         // Fast path: no mark.
-        assert!(p.enqueue(SimTime::from_micros(200), pkt(1460)));
-        let tx = p.next_tx(SimTime::from_micros(250), &mut || 1.0).unwrap();
+        assert!(p.enqueue(SimTime::from_micros(200), pkt(1460), &mut NoopSubscriber));
+        let tx = p
+            .next_tx(SimTime::from_micros(250), &mut || 1.0, &mut NoopSubscriber)
+            .unwrap();
         assert_eq!(tx.pkt.ecn, Ecn::Ect);
     }
 
     #[test]
     fn tx_time_uses_wire_bytes() {
         let mut p = port(PortConfig::fifo(1_000_000, Box::new(DropTail::new())));
-        p.enqueue(SimTime::ZERO, pkt(1460));
-        let tx = p.next_tx(SimTime::ZERO, &mut || 1.0).unwrap();
+        p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber);
+        let tx = p
+            .next_tx(SimTime::ZERO, &mut || 1.0, &mut NoopSubscriber)
+            .unwrap();
         // 1538 B at 10 Gbps = 1230.4 ns
         assert_eq!(tx.tx_time, Duration::from_nanos(1230));
     }
@@ -476,7 +687,7 @@ mod tests {
         let cfg = PortConfig::fifo(1_000_000, Box::new(DropTail::new())).with_fault_drop(0.5);
         let mut p = port(cfg);
         for _ in 0..4 {
-            p.enqueue(SimTime::ZERO, pkt(1460));
+            p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber);
         }
         // Dice alternating below/above p: drop, keep, drop, keep.
         let seq = [0.1, 0.9, 0.2, 0.8];
@@ -486,19 +697,23 @@ mod tests {
             i += 1;
             v
         };
-        let tx = p.next_tx(SimTime::ZERO, &mut dice);
+        let tx = p.next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber);
         assert!(tx.is_some());
         assert_eq!(p.stats().fault_drops, 1);
-        let tx = p.next_tx(SimTime::ZERO, &mut dice);
+        let tx = p.next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber);
         assert!(tx.is_some());
         assert_eq!(p.stats().fault_drops, 2);
-        assert!(p.next_tx(SimTime::ZERO, &mut || 1.0).is_none());
+        assert!(p
+            .next_tx(SimTime::ZERO, &mut || 1.0, &mut NoopSubscriber)
+            .is_none());
     }
 
     #[test]
     fn empty_queue_yields_none() {
         let mut p = port(PortConfig::fifo(1_000, Box::new(DropTail::new())));
-        assert!(p.next_tx(SimTime::ZERO, || 1.0).is_none());
+        assert!(p
+            .next_tx(SimTime::ZERO, || 1.0, &mut NoopSubscriber)
+            .is_none());
     }
 
     #[test]
@@ -543,7 +758,7 @@ mod tests {
             .with_corrupt(0.25);
         let mut p = port(cfg);
         for _ in 0..3 {
-            p.enqueue(SimTime::ZERO, pkt(1460));
+            p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber);
         }
         // Packet 1: fault draw 0.1 < 0.25 → fault drop (no corrupt draw).
         // Packet 2: fault 0.9, corrupt 0.1 < 0.25 → corrupt drop.
@@ -555,7 +770,7 @@ mod tests {
             i += 1;
             v
         };
-        let tx = p.next_tx(SimTime::ZERO, &mut dice);
+        let tx = p.next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber);
         assert!(tx.is_some());
         assert_eq!(i, 5, "fault-dropped packet must not consume a corrupt draw");
         assert_eq!(p.stats().fault_drops, 1);
@@ -571,13 +786,17 @@ mod tests {
         let cfg = PortConfig::fifo(1_000_000, Box::new(DropTail::new())).with_ge(ge);
         let mut p = port(cfg);
         for _ in 0..3 {
-            p.enqueue(SimTime::ZERO, pkt(1460));
+            p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber);
         }
         let mut draws = 0u64;
-        let tx = p.next_tx(SimTime::ZERO, || {
-            draws += 1;
-            0.0
-        });
+        let tx = p.next_tx(
+            SimTime::ZERO,
+            || {
+                draws += 1;
+                0.0
+            },
+            &mut NoopSubscriber,
+        );
         assert!(tx.is_none(), "all packets lost to the burst");
         assert_eq!(p.stats().burst_drops, 3);
         assert_eq!(draws, 6, "two draws per packet");
@@ -601,8 +820,8 @@ mod tests {
         let mut sent = 0u64;
         let mut dropped = 0u64;
         for _ in 0..50 {
-            assert!(p.enqueue(SimTime::ZERO, pkt(1460)));
-            while let Some(_tx) = p.next_tx(SimTime::ZERO, || rng.f64()) {
+            assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber));
+            while let Some(_tx) = p.next_tx(SimTime::ZERO, || rng.f64(), &mut NoopSubscriber) {
                 sent += 1;
             }
         }
@@ -621,8 +840,11 @@ mod tests {
             let mut p = port(cfg);
             let mut rng = ecnsharp_sim::Rng::seed_from_u64(seed);
             for _ in 0..100 {
-                assert!(p.enqueue(SimTime::ZERO, pkt(1460)));
-                while p.next_tx(SimTime::ZERO, || rng.f64()).is_some() {}
+                assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber));
+                while p
+                    .next_tx(SimTime::ZERO, || rng.f64(), &mut NoopSubscriber)
+                    .is_some()
+                {}
             }
             p.stats().fault_drops
         };

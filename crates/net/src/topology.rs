@@ -12,11 +12,12 @@ use crate::ids::NodeId;
 use crate::network::Network;
 use crate::port::PortConfig;
 use ecnsharp_sim::{Duration, Rate};
+use ecnsharp_telemetry::{NoopSubscriber, Subscriber};
 
 /// A star network: every host connects to one switch.
-pub struct Star {
+pub struct Star<S: Subscriber = NoopSubscriber> {
     /// The network, routes computed.
-    pub net: Network,
+    pub net: Network<S>,
     /// Host ids, in creation order.
     pub hosts: Vec<NodeId>,
     /// The central switch.
@@ -33,12 +34,36 @@ pub fn star(
     n_hosts: usize,
     rate: Rate,
     delay: Duration,
+    agent: impl FnMut(usize) -> Box<dyn Agent>,
+    host_port: impl FnMut() -> PortConfig,
+    switch_port: impl FnMut() -> PortConfig,
+) -> Star {
+    star_with_subscriber(
+        seed,
+        n_hosts,
+        rate,
+        delay,
+        agent,
+        host_port,
+        switch_port,
+        NoopSubscriber,
+    )
+}
+
+/// [`star`] with a telemetry subscriber attached from the first event.
+#[allow(clippy::too_many_arguments)]
+pub fn star_with_subscriber<S: Subscriber>(
+    seed: u64,
+    n_hosts: usize,
+    rate: Rate,
+    delay: Duration,
     mut agent: impl FnMut(usize) -> Box<dyn Agent>,
     mut host_port: impl FnMut() -> PortConfig,
     mut switch_port: impl FnMut() -> PortConfig,
-) -> Star {
+    sub: S,
+) -> Star<S> {
     assert!(n_hosts >= 2, "a star needs at least two hosts");
-    let mut net = Network::new(seed);
+    let mut net = Network::with_subscriber(seed, sub);
     let hosts: Vec<NodeId> = (0..n_hosts).map(|i| net.add_host(agent(i))).collect();
     let switch = net.add_switch();
     for &h in &hosts {
@@ -49,9 +74,9 @@ pub fn star(
 }
 
 /// A two-tier leaf–spine fabric.
-pub struct LeafSpine {
+pub struct LeafSpine<S: Subscriber = NoopSubscriber> {
     /// The network, routes computed.
-    pub net: Network,
+    pub net: Network<S>,
     /// All hosts; host `i` hangs off leaf `i / hosts_per_leaf`.
     pub hosts: Vec<NodeId>,
     /// Leaf switches.
@@ -62,7 +87,7 @@ pub struct LeafSpine {
     pub hosts_per_leaf: usize,
 }
 
-impl LeafSpine {
+impl<S: Subscriber> LeafSpine<S> {
     /// The leaf switch serving `host`.
     pub fn leaf_of(&self, host_idx: usize) -> NodeId {
         self.leaves[host_idx / self.hosts_per_leaf]
@@ -82,12 +107,42 @@ pub fn leaf_spine(
     edge_rate: Rate,
     fabric_rate: Rate,
     delay: Duration,
+    agent: impl FnMut(usize) -> Box<dyn Agent>,
+    host_port: impl FnMut() -> PortConfig,
+    switch_port: impl FnMut() -> PortConfig,
+) -> LeafSpine {
+    leaf_spine_with_subscriber(
+        seed,
+        n_spines,
+        n_leaves,
+        hosts_per_leaf,
+        edge_rate,
+        fabric_rate,
+        delay,
+        agent,
+        host_port,
+        switch_port,
+        NoopSubscriber,
+    )
+}
+
+/// [`leaf_spine`] with a telemetry subscriber attached from the first event.
+#[allow(clippy::too_many_arguments)]
+pub fn leaf_spine_with_subscriber<S: Subscriber>(
+    seed: u64,
+    n_spines: usize,
+    n_leaves: usize,
+    hosts_per_leaf: usize,
+    edge_rate: Rate,
+    fabric_rate: Rate,
+    delay: Duration,
     mut agent: impl FnMut(usize) -> Box<dyn Agent>,
     mut host_port: impl FnMut() -> PortConfig,
     mut switch_port: impl FnMut() -> PortConfig,
-) -> LeafSpine {
+    sub: S,
+) -> LeafSpine<S> {
     assert!(n_spines >= 1 && n_leaves >= 1 && hosts_per_leaf >= 1);
-    let mut net = Network::new(seed);
+    let mut net = Network::with_subscriber(seed, sub);
     let hosts: Vec<NodeId> = (0..n_leaves * hosts_per_leaf)
         .map(|i| net.add_host(agent(i)))
         .collect();
@@ -120,9 +175,9 @@ pub fn leaf_spine(
 }
 
 /// A dumbbell: `a — s1 — s2 — b`, with the `s1→s2` link as the bottleneck.
-pub struct Dumbbell {
+pub struct Dumbbell<S: Subscriber = NoopSubscriber> {
     /// The network, routes computed.
-    pub net: Network,
+    pub net: Network<S>,
     /// Left host.
     pub a: NodeId,
     /// Right host.
@@ -145,10 +200,36 @@ pub fn dumbbell(
     delay: Duration,
     agent_a: Box<dyn Agent>,
     agent_b: Box<dyn Agent>,
-    mut plain_port: impl FnMut() -> PortConfig,
+    plain_port: impl FnMut() -> PortConfig,
     bottleneck_port_cfg: PortConfig,
 ) -> Dumbbell {
-    let mut net = Network::new(seed);
+    dumbbell_with_subscriber(
+        seed,
+        edge_rate,
+        bottleneck_rate,
+        delay,
+        agent_a,
+        agent_b,
+        plain_port,
+        bottleneck_port_cfg,
+        NoopSubscriber,
+    )
+}
+
+/// [`dumbbell`] with a telemetry subscriber attached from the first event.
+#[allow(clippy::too_many_arguments)]
+pub fn dumbbell_with_subscriber<S: Subscriber>(
+    seed: u64,
+    edge_rate: Rate,
+    bottleneck_rate: Rate,
+    delay: Duration,
+    agent_a: Box<dyn Agent>,
+    agent_b: Box<dyn Agent>,
+    mut plain_port: impl FnMut() -> PortConfig,
+    bottleneck_port_cfg: PortConfig,
+    sub: S,
+) -> Dumbbell<S> {
+    let mut net = Network::with_subscriber(seed, sub);
     let a = net.add_host(agent_a);
     let b = net.add_host(agent_b);
     let s1 = net.add_switch();

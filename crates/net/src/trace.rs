@@ -9,6 +9,11 @@
 use crate::ids::{FlowId, NodeId};
 use crate::packet::Packet;
 use ecnsharp_sim::SimTime;
+use ecnsharp_telemetry::DropReason;
+#[cfg(feature = "telemetry")]
+use ecnsharp_telemetry::{
+    CeMarked, Meta, PacketDropped, PacketEnqueued, SojournSampled, Subscriber,
+};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -21,22 +26,22 @@ pub enum TraceKind {
     Enqueue,
     /// Packet started transmission.
     TxStart,
-    /// Packet was dropped (tail, AQM or fault).
-    Drop,
+    /// Packet was dropped, with the cause (tail, AQM, wire faults,
+    /// no-route — the same taxonomy as the per-port drop counters).
+    Drop(DropReason),
     /// Packet was CE-marked.
     Mark,
 }
 
 impl fmt::Display for TraceKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            TraceKind::Arrive => "ARR",
-            TraceKind::Enqueue => "ENQ",
-            TraceKind::TxStart => "TX ",
-            TraceKind::Drop => "DRP",
-            TraceKind::Mark => "MRK",
-        };
-        f.write_str(s)
+        match self {
+            TraceKind::Arrive => f.write_str("ARR"),
+            TraceKind::Enqueue => f.write_str("ENQ"),
+            TraceKind::TxStart => f.write_str("TX "),
+            TraceKind::Drop(reason) => write!(f, "DRP:{reason}"),
+            TraceKind::Mark => f.write_str("MRK"),
+        }
     }
 }
 
@@ -83,22 +88,52 @@ pub struct Tracer {
     pub flow_filter: Option<FlowId>,
 }
 
+/// Hard ceiling on [`Tracer`] ring capacity. Keeps the ring's one-shot
+/// pre-allocation bounded (~64 Ki events ≈ 3 MiB) no matter what a
+/// caller asks for.
+pub const MAX_TRACE_CAPACITY: usize = 65_536;
+
 impl Tracer {
-    /// Create a tracer holding at most `capacity` events.
+    /// Create a tracer holding at most `capacity` events. Capacities above
+    /// [`MAX_TRACE_CAPACITY`] are clamped to it, so the ring's single
+    /// up-front allocation is also its peak: the eviction path never
+    /// grows it (pinned by the `capacity_clamp_bounds_peak_allocation`
+    /// test).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
+        let capacity = capacity.min(MAX_TRACE_CAPACITY);
         Tracer {
-            ring: VecDeque::with_capacity(capacity.min(65_536)),
+            ring: VecDeque::with_capacity(capacity),
             capacity,
             observed: 0,
             flow_filter: None,
         }
     }
 
+    /// The (clamped) event capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Record an event for `pkt`.
     pub fn record(&mut self, at: SimTime, node: NodeId, kind: TraceKind, pkt: &Packet) {
+        self.record_raw(at, node, kind, pkt.flow, pkt.seq, pkt.payload);
+    }
+
+    /// Record an event from raw fields (the packet may no longer exist,
+    /// e.g. when fed from telemetry events). Honors the flow filter and
+    /// the ring bound exactly like [`Tracer::record`].
+    pub fn record_raw(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        kind: TraceKind,
+        flow: FlowId,
+        seq: u64,
+        payload: u64,
+    ) {
         if let Some(f) = self.flow_filter {
-            if pkt.flow != f {
+            if flow != f {
                 return;
             }
         }
@@ -110,9 +145,9 @@ impl Tracer {
             at,
             node,
             kind,
-            flow: pkt.flow,
-            seq: pkt.seq,
-            payload: pkt.payload,
+            flow,
+            seq,
+            payload,
         });
     }
 
@@ -138,6 +173,56 @@ impl Tracer {
             out.push_str(&format!("{e}\n"));
         }
         out
+    }
+}
+
+/// The [`Tracer`] doubles as a telemetry [`Subscriber`], making the legacy
+/// packet trace "just another subscriber": attach one via
+/// [`crate::Network::with_subscriber`] (or in a composition tuple) and it
+/// records the same `ENQ`/`DRP`/`MRK` lifecycle it always has, now sourced
+/// from the typed event stream.
+#[cfg(feature = "telemetry")]
+impl Subscriber for Tracer {
+    #[inline]
+    fn on_packet_enqueued(&mut self, meta: &Meta, ev: &PacketEnqueued) {
+        self.record_raw(
+            meta.at,
+            NodeId(meta.node as usize),
+            TraceKind::Enqueue,
+            FlowId(ev.flow),
+            ev.seq,
+            ev.payload,
+        );
+    }
+
+    #[inline]
+    fn on_packet_dropped(&mut self, meta: &Meta, ev: &PacketDropped) {
+        self.record_raw(
+            meta.at,
+            NodeId(meta.node as usize),
+            TraceKind::Drop(ev.reason),
+            FlowId(ev.flow),
+            ev.seq,
+            ev.payload,
+        );
+    }
+
+    #[inline]
+    fn on_ce_marked(&mut self, meta: &Meta, ev: &CeMarked) {
+        self.record_raw(
+            meta.at,
+            NodeId(meta.node as usize),
+            TraceKind::Mark,
+            FlowId(ev.flow),
+            ev.seq,
+            0,
+        );
+    }
+
+    #[inline]
+    fn on_sojourn_sampled(&mut self, _meta: &Meta, _ev: &SojournSampled) {
+        // Sojourn samples map to TxStart in the embedded trace path; the
+        // subscriber view keeps the ring focused on lifecycle transitions.
     }
 }
 
@@ -199,8 +284,83 @@ mod tests {
     }
 
     #[test]
+    fn capacity_clamp_bounds_peak_allocation() {
+        // Ask for far more than the ceiling; the clamp must bound both the
+        // logical capacity and the ring's actual allocation, even after
+        // overflowing eviction kicks in.
+        let mut t = Tracer::new(10_000_000);
+        assert_eq!(t.capacity(), MAX_TRACE_CAPACITY);
+        let initial_alloc = t.ring.capacity();
+        for k in 0..(MAX_TRACE_CAPACITY as u64 + 100) {
+            t.record(
+                SimTime::from_nanos(k),
+                NodeId(0),
+                TraceKind::Arrive,
+                &pkt(1, k),
+            );
+        }
+        assert_eq!(t.len(), MAX_TRACE_CAPACITY);
+        assert_eq!(t.observed, MAX_TRACE_CAPACITY as u64 + 100);
+        // Peak allocation equals the up-front allocation: eviction keeps
+        // len == capacity, so push_back never reallocates.
+        assert_eq!(t.ring.capacity(), initial_alloc);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn tracer_subscribes_to_events() {
+        let mut t = Tracer::new(8);
+        let meta = Meta {
+            at: SimTime::from_micros(4),
+            node: 3,
+        };
+        t.on_packet_enqueued(
+            &meta,
+            &PacketEnqueued {
+                port: 0,
+                flow: 9,
+                seq: 100,
+                payload: 1460,
+                wire_bytes: 1518,
+                backlog_bytes: 0,
+                marked: false,
+            },
+        );
+        t.on_packet_dropped(
+            &meta,
+            &PacketDropped {
+                port: 0,
+                flow: 9,
+                seq: 200,
+                payload: 1460,
+                wire_bytes: 1518,
+                reason: DropReason::Tail,
+            },
+        );
+        t.on_ce_marked(
+            &meta,
+            &CeMarked {
+                port: 0,
+                flow: 9,
+                seq: 300,
+                site: ecnsharp_telemetry::MarkSite::Enqueue,
+            },
+        );
+        assert_eq!(t.len(), 3);
+        let dump = t.dump();
+        assert!(dump.contains("ENQ"));
+        assert!(dump.contains("DRP:tail"));
+        assert!(dump.contains("MRK"));
+        assert!(dump.contains("n3"));
+    }
+
+    #[test]
     fn display_formats() {
-        assert_eq!(format!("{}", TraceKind::Drop), "DRP");
+        assert_eq!(format!("{}", TraceKind::Drop(DropReason::Tail)), "DRP:tail");
+        assert_eq!(
+            format!("{}", TraceKind::Drop(DropReason::NoRoute)),
+            "DRP:no-route"
+        );
         let e = TraceEvent {
             at: SimTime::from_micros(3),
             node: NodeId(1),

@@ -223,6 +223,7 @@ impl Sender {
                 if self.acked_bytes > 0 {
                     let frac = self.marked_bytes as f64 / self.acked_bytes as f64;
                     self.alpha = (1.0 - g) * self.alpha + g * frac;
+                    ctx.emit_alpha(self.cmd.flow, self.alpha);
                 }
             }
             self.acked_bytes = 0;
@@ -274,6 +275,8 @@ impl Sender {
             }
         }
 
+        ctx.emit_cwnd(self.cmd.flow, self.cwnd as u64, self.ssthresh as u64);
+
         if self.snd_una >= self.cmd.size {
             self.complete(ctx);
             return;
@@ -296,6 +299,7 @@ impl Sender {
             self.ssthresh = (flight / 2.0).max((2 * self.mss()) as f64);
             self.cwnd = self.ssthresh + (3 * self.mss()) as f64;
             self.recover = Some(self.snd_nxt);
+            ctx.emit_cwnd(self.cmd.flow, self.cwnd as u64, self.ssthresh as u64);
             let seq = self.snd_una;
             self.send_segment(ctx, seq);
             self.arm_rto(ctx);
@@ -309,6 +313,7 @@ impl Sender {
             SenderState::SynSent => {
                 self.timeouts += 1;
                 self.rto_streak += 1;
+                ctx.emit_rto(self.cmd.flow, self.rto_streak);
                 if self.rto_streak >= self.cfg.max_rto_retries {
                     self.fail(ctx);
                     return;
@@ -323,6 +328,7 @@ impl Sender {
                 }
                 self.timeouts += 1;
                 self.rto_streak += 1;
+                ctx.emit_rto(self.cmd.flow, self.rto_streak);
                 if self.rto_streak >= self.cfg.max_rto_retries {
                     self.fail(ctx);
                     return;
@@ -331,6 +337,7 @@ impl Sender {
                 self.ssthresh =
                     ((self.snd_nxt - self.snd_una) as f64 / 2.0).max((2 * self.mss()) as f64);
                 self.cwnd = self.mss() as f64;
+                ctx.emit_cwnd(self.cmd.flow, self.cwnd as u64, self.ssthresh as u64);
                 self.snd_nxt = self.snd_una;
                 self.dupacks = 0;
                 self.recover = None;

@@ -370,10 +370,23 @@ pub fn check(root: &Path) -> bool {
     check_entries(&baseline, &fresh)
 }
 
+/// Per-group regression budget. The `telemetry_noop` group carries the
+/// zero-cost-observability claim (OBSERVABILITY.md): with only the no-op
+/// subscriber attached, the port fast path must stay within measurement
+/// noise of the committed baseline, so it is held to 3% where ordinary
+/// engine groups get the routine 25%.
+pub fn max_regression_for(group: &str) -> f64 {
+    if group == "telemetry_noop" {
+        1.03
+    } else {
+        1.25
+    }
+}
+
 /// The comparison half of [`check`], split out for unit testing: `true`
-/// iff no fresh entry regressed >25% against its baseline counterpart.
+/// iff no fresh entry regressed beyond its group's budget
+/// ([`max_regression_for`]) against its baseline counterpart.
 pub fn check_entries(baseline: &[BenchEntry], fresh: &[BenchEntry]) -> bool {
-    const MAX_REGRESSION: f64 = 1.25;
     let mut ok = true;
     let mut compared = 0usize;
     for n in fresh {
@@ -395,17 +408,18 @@ pub fn check_entries(baseline: &[BenchEntry], fresh: &[BenchEntry]) -> bool {
             continue;
         }
         compared += 1;
+        let budget = max_regression_for(&n.group);
         let ratio = n.median_ns as f64 / o.median_ns as f64;
-        if ratio > MAX_REGRESSION {
+        if ratio > budget {
             eprintln!(
-                "  {}/{}: REGRESSION {:.2}x (baseline {} ns, now {} ns)",
-                n.group, n.bench, ratio, o.median_ns, n.median_ns
+                "  {}/{}: REGRESSION {:.2}x, budget {:.2}x (baseline {} ns, now {} ns)",
+                n.group, n.bench, ratio, budget, o.median_ns, n.median_ns
             );
             ok = false;
         } else {
             println!(
-                "  {}/{}: ok ({:.2}x baseline, {} ns -> {} ns)",
-                n.group, n.bench, ratio, o.median_ns, n.median_ns
+                "  {}/{}: ok ({:.2}x baseline, budget {:.2}x, {} ns -> {} ns)",
+                n.group, n.bench, ratio, budget, o.median_ns, n.median_ns
             );
         }
     }
@@ -414,9 +428,9 @@ pub fn check_entries(baseline: &[BenchEntry], fresh: &[BenchEntry]) -> bool {
         return false;
     }
     if ok {
-        println!("bench-diff --check: {compared} engine benches within 25% of baseline");
+        println!("bench-diff --check: {compared} engine benches within budget of baseline");
     } else {
-        eprintln!("bench-diff --check: engine-group perf regression (>25% vs BENCH_sim.json)");
+        eprintln!("bench-diff --check: engine-group perf regression vs BENCH_sim.json");
     }
     ok
 }
@@ -512,6 +526,23 @@ mod tests {
         assert!(!check_entries(
             &base,
             &[entry("event_queue", "push_pop_10k", 130_000)]
+        ));
+    }
+
+    #[test]
+    fn telemetry_noop_group_holds_the_3_percent_line() {
+        assert!((max_regression_for("telemetry_noop") - 1.03).abs() < 1e-9);
+        assert!((max_regression_for("event_queue") - 1.25).abs() < 1e-9);
+        let base = vec![entry("telemetry_noop", "port_churn_40k_noop", 100_000)];
+        // +2% is within the tight budget; +5% would pass the engine budget
+        // but must fail here.
+        assert!(check_entries(
+            &base,
+            &[entry("telemetry_noop", "port_churn_40k_noop", 102_000)]
+        ));
+        assert!(!check_entries(
+            &base,
+            &[entry("telemetry_noop", "port_churn_40k_noop", 105_000)]
         ));
     }
 

@@ -45,7 +45,7 @@ pub struct FileClass {
 
 /// Crates whose code feeds simulation results: wall-clock and iteration-
 /// order nondeterminism here silently breaks reproducibility.
-pub const SIM_FACING_CRATES: [&str; 9] = [
+pub const SIM_FACING_CRATES: [&str; 10] = [
     "sim",
     "net",
     "transport",
@@ -55,15 +55,18 @@ pub const SIM_FACING_CRATES: [&str; 9] = [
     "workload",
     "stats",
     "tofino",
+    "telemetry",
 ];
 
 /// Files on the per-packet hot path, where a panic aborts a whole figure
 /// run: every AQM decision site, the marker state machine, the scheduler
-/// dequeue loop, the egress port, and the event queue itself.
-pub const HOT_PATH_PREFIXES: [&str; 7] = [
+/// dequeue loop, the egress port, the event queue itself, and the
+/// telemetry subscribers (invoked per event when attached).
+pub const HOT_PATH_PREFIXES: [&str; 8] = [
     "crates/aqm/src/",
     "crates/core/src/",
     "crates/sched/src/",
+    "crates/telemetry/src/",
     "crates/net/src/port.rs",
     "crates/net/src/fault.rs",
     "crates/sim/src/queue.rs",
@@ -164,6 +167,8 @@ mod tests {
         let c = classify("crates/net/src/fault.rs").unwrap();
         assert!(c.sim_facing && c.hot_path && !c.test_file);
         let c = classify("crates/sim/src/wheel.rs").unwrap();
+        assert!(c.sim_facing && c.hot_path && !c.test_file);
+        let c = classify("crates/telemetry/src/hist.rs").unwrap();
         assert!(c.sim_facing && c.hot_path && !c.test_file);
         let c = classify("crates/experiments/src/bin/all.rs").unwrap();
         assert!(!c.sim_facing && !c.hot_path);

@@ -224,6 +224,24 @@ fn ci() -> ExitCode {
             }),
         ),
         (
+            "build --no-default-features",
+            Box::new(|| {
+                // Telemetry compiled out entirely: the emission sites must
+                // vanish cleanly, not just no-op (OBSERVABILITY.md).
+                let mut c = cargo();
+                c.args(["build", "--workspace", "--no-default-features"]);
+                run_step("build (--no-default-features)", c, true)
+            }),
+        ),
+        (
+            "test --no-default-features",
+            Box::new(|| {
+                let mut c = cargo();
+                c.args(["test", "--workspace", "--no-default-features", "-q"]);
+                run_step("test (--no-default-features)", c, true)
+            }),
+        ),
+        (
             "chaos smoke",
             Box::new(|| {
                 // Crash-proof-runner drill: the quick chaos sweep under

@@ -267,8 +267,10 @@ fn float_eq_positions(code: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut i = 0;
     while i + 1 < b.len() {
-        let two = &code[i..i + 2];
-        if (two == "==" || two == "!=")
+        // Compare raw bytes: slicing `code` here would panic when the
+        // window straddles a multibyte character (e.g. 'µ' in a string).
+        let two = &b[i..i + 2];
+        if (two == b"==" || two == b"!=")
             && (i == 0 || !matches!(b[i - 1], b'=' | b'<' | b'>' | b'!'))
             && (i + 2 >= b.len() || b[i + 2] != b'=')
         {
@@ -479,6 +481,17 @@ mod tests {
     fn r5_ignores_strings_and_comments() {
         let src = "// a == 1.0 in prose\nlet s = \"x == 1.0\";";
         assert!(check_file("x.rs", src, &sim_class()).is_empty());
+    }
+
+    #[test]
+    fn r5_survives_multibyte_chars_near_operators() {
+        // The `==` scan window must not slice mid-character: 'µ' is two
+        // bytes and used freely in duration-flavoured code and strings.
+        let src = "let µs = 1; if µs == 2.0_f64 as i64 as f64 { }";
+        let v = check_file("x.rs", src, &sim_class());
+        assert_eq!(rules_of(&v), vec![Rule::FloatCmp]);
+        let benign = "let a = 1; // µ µ µ\nlet b = a == 1;";
+        assert!(check_file("x.rs", benign, &sim_class()).is_empty());
     }
 
     #[test]

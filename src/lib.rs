@@ -47,6 +47,9 @@ pub use ecnsharp_sched as sched;
 /// The network model: packets, ports, switches, hosts, topologies.
 pub use ecnsharp_net as net;
 
+/// Typed telemetry events, subscribers, histograms and sinks.
+pub use ecnsharp_telemetry as telemetry;
+
 /// DCTCP / ECN-TCP endpoint transport.
 pub use ecnsharp_transport as transport;
 
