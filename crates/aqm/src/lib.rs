@@ -254,3 +254,18 @@ mod tests {
         assert_eq!(a.on_dequeue(SimTime::ZERO, &q, &p), DequeueVerdict::Pass);
     }
 }
+
+// Compile-time shard-safety proofs: AQMs sit on ports inside the
+// `Network` a sharded engine (ROADMAP item 1) moves across worker
+// threads — which is why the `Aqm` trait itself requires `Send`. Lint
+// rules R7/R8 guard the source text; these assertions guard the types.
+const fn assert_send<T: Send>() {}
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send::<Box<dyn Aqm>>();
+    assert_send_sync::<CoDel>();
+    assert_send_sync::<Pie>();
+    assert_send_sync::<DctcpRed>();
+    assert_send_sync::<Tcn>();
+    assert_send_sync::<DropTail>();
+};

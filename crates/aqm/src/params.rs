@@ -87,7 +87,7 @@ mod tests {
 
     #[test]
     // Comparing a const against the literal it is defined as.
-    #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact const literal
+    #[allow(clippy::float_cmp)]
     fn lambda_constants() {
         assert_eq!(LAMBDA_ECN_TCP, 1.0);
         assert!((LAMBDA_DCTCP - 0.17).abs() < 1e-12);

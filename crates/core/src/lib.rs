@@ -59,3 +59,15 @@ pub use config::EcnSharpConfig;
 pub use marker::{EcnSharp, MarkReason, MarkStats};
 pub use prob::EcnSharpProb;
 pub use qlen::EcnSharpQlen;
+
+// Compile-time shard-safety proofs: markers sit on ports inside the
+// `Network` a sharded engine (ROADMAP item 1) moves across worker
+// threads. Lint rules R7/R8 guard the source text; these assertions
+// guard the types themselves.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<EcnSharp>();
+    assert_send_sync::<EcnSharpProb>();
+    assert_send_sync::<EcnSharpQlen>();
+    assert_send_sync::<EcnSharpConfig>();
+};

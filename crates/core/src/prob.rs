@@ -118,7 +118,7 @@ mod tests {
     #[test]
     // Below the ramp and at saturation the function returns the clamped
     // literals 0.0 / 1.0, not computed values.
-    #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact clamp endpoints
+    #[allow(clippy::float_cmp)]
     fn ramp_shape() {
         let m = mk();
         assert_eq!(m.ins_probability(d(50)), 0.0);

@@ -13,7 +13,6 @@
 //!   the crash-proof-runner acceptance check).
 
 // Host-side binary: env/exit/printing never feed the simulation.
-// lint: allow(wall-clock) host-side harness only
 #![allow(clippy::disallowed_methods)]
 
 use ecnsharp_experiments::{perf, runner, ChaosResult, Scale, Scheme};
@@ -36,18 +35,10 @@ fn flap_label(flap: &Option<Duration>) -> String {
 fn main() -> ExitCode {
     let scale = Scale::from_env_or_exit();
     let seed = runner::fault_seed_or_exit();
-    let inject = match std::env::var("ECNSHARP_INJECT_PANIC") {
-        Ok(v) if v == "worker" => true,
-        Ok(v) => {
-            eprintln!(
-                "error: unrecognized ECNSHARP_INJECT_PANIC value {v:?} \
-                 (expected \"worker\" or unset)"
-            );
-            return ExitCode::from(2);
-        }
-        Err(std::env::VarError::NotPresent) => false,
+    let inject = match ecnsharp_experiments::env::inject_panic() {
+        Ok(b) => b,
         Err(e) => {
-            eprintln!("error: unreadable ECNSHARP_INJECT_PANIC: {e}");
+            eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };

@@ -1,0 +1,128 @@
+//! The crate's single blessed environment-knob module (lint rule R10):
+//! every `std::env::var` read in `ecnsharp-experiments` lives here, so
+//! configuration cannot scatter and every knob shares the strict-knob
+//! policy — a set-but-invalid value is a hard error (the binaries print
+//! it and exit 2), never a silent fallback.
+//!
+//! Knob inventory:
+//!
+//! | knob | values | default |
+//! |------|--------|---------|
+//! | `ECNSHARP_SCALE` | `quick`/`mid`/`full` | `full` |
+//! | `ECNSHARP_RESULTS` | directory path | `results` |
+//! | `ECNSHARP_FAULT_SEED` | decimal or `0x`-hex u64 | [`crate::runner::DEFAULT_FAULT_SEED`] |
+//! | `ECNSHARP_TELEMETRY_JSON` | writable file path | unset = no sink |
+//! | `ECNSHARP_PERF_JSON` | writable file path | unset = no sink |
+//! | `ECNSHARP_DELACK` | u32 ≥ 1 | transport default |
+//! | `ECNSHARP_TIMER_BACKEND` | `wheel`/`legacy` | `wheel` |
+//! | `ECNSHARP_INJECT_PANIC` | `worker` | unset = no injection |
+
+use crate::runner::{parse_fault_seed, DEFAULT_FAULT_SEED};
+use crate::Scale;
+use ecnsharp_transport::TimerBackend;
+use std::path::PathBuf;
+
+/// Read one knob. `Ok(None)` when unset; an unreadable (non-unicode)
+/// value is an error naming the knob.
+fn read(knob: &'static str) -> Result<Option<String>, String> {
+    match std::env::var(knob) {
+        Ok(v) => Ok(Some(v)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(e) => Err(format!("unreadable {knob}: {e}")),
+    }
+}
+
+/// Unwrap a knob result for binaries: print the error and exit 2.
+pub fn or_exit<T>(r: Result<T, String>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `ECNSHARP_SCALE`: experiment scale. Unset means [`Scale::Full`];
+/// anything else must parse exactly.
+pub fn scale() -> Result<Scale, String> {
+    match read("ECNSHARP_SCALE")? {
+        Some(v) => v.parse(),
+        None => Ok(Scale::Full),
+    }
+}
+
+/// `ECNSHARP_RESULTS`: the results directory, defaulting to `results`.
+/// Deliberately lenient — the figure binaries warn when a CSV cannot be
+/// written, which covers a bad path without making smoke runs brittle.
+pub fn results_dir() -> PathBuf {
+    std::env::var("ECNSHARP_RESULTS")
+        .unwrap_or_else(|_| "results".into())
+        .into()
+}
+
+/// `ECNSHARP_FAULT_SEED`: base seed for fault-injection sweeps. Unset
+/// means [`DEFAULT_FAULT_SEED`]; set-but-invalid is an error.
+pub fn fault_seed() -> Result<u64, String> {
+    match read("ECNSHARP_FAULT_SEED")? {
+        Some(v) => parse_fault_seed(&v),
+        None => Ok(DEFAULT_FAULT_SEED),
+    }
+}
+
+/// A path-valued knob (`ECNSHARP_TELEMETRY_JSON` / `ECNSHARP_PERF_JSON`).
+/// Unset means `None`; set-but-empty is an error naming the knob.
+pub fn path_knob(knob: &'static str) -> Result<Option<PathBuf>, String> {
+    match read(knob)? {
+        Some(v) if v.trim().is_empty() => Err(format!(
+            "empty {knob} value (expected a writable file path)"
+        )),
+        Some(v) => Ok(Some(PathBuf::from(v))),
+        None => Ok(None),
+    }
+}
+
+/// `ECNSHARP_DELACK`: delayed-ACK count override for the calibration
+/// experiments. Unset means the transport default; set values must parse
+/// as a u32 ≥ 1.
+pub fn delack() -> Result<Option<u32>, String> {
+    match read("ECNSHARP_DELACK")? {
+        Some(v) => match v.parse::<u32>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!(
+                "unrecognized ECNSHARP_DELACK value {v:?} (expected an integer >= 1)"
+            )),
+        },
+        None => Ok(None),
+    }
+}
+
+/// `ECNSHARP_TIMER_BACKEND`: timer backend selection, used by the
+/// wheel/legacy equivalence test. Unset means the transport default
+/// (the wheel); set values must be exactly `wheel` or `legacy`.
+pub fn timer_backend() -> Result<Option<TimerBackend>, String> {
+    match read("ECNSHARP_TIMER_BACKEND")? {
+        Some(v) => match v.as_str() {
+            "wheel" => Ok(Some(TimerBackend::Wheel)),
+            "legacy" => Ok(Some(TimerBackend::Legacy)),
+            other => Err(format!(
+                "unrecognized ECNSHARP_TIMER_BACKEND value {other:?} \
+                 (expected \"wheel\" or \"legacy\")"
+            )),
+        },
+        None => Ok(None),
+    }
+}
+
+/// `ECNSHARP_INJECT_PANIC`: crash-proof-runner drill switch. `worker`
+/// crashes the first sweep point; unset means no injection; anything
+/// else is an error.
+pub fn inject_panic() -> Result<bool, String> {
+    match read("ECNSHARP_INJECT_PANIC")? {
+        Some(v) if v == "worker" => Ok(true),
+        Some(v) => Err(format!(
+            "unrecognized ECNSHARP_INJECT_PANIC value {v:?} (expected \"worker\" or unset)"
+        )),
+        None => Ok(false),
+    }
+}

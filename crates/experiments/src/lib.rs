@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
 pub mod figures;
 pub mod perf;
 pub mod runner;

@@ -14,27 +14,58 @@
 
 // Host-side instrumentation: wall-clock here measures the harness itself
 // and never feeds the simulation.
-// lint: allow(wall-clock) host-side throughput reporting only
 #![allow(clippy::disallowed_methods)]
 
 use ecnsharp_net::{Network, Subscriber};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-static EVENTS_PUSHED: AtomicU64 = AtomicU64::new(0);
-static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
-static PEAK_PENDING: AtomicU64 = AtomicU64::new(0);
-static PACKETS_FORWARDED: AtomicU64 = AtomicU64::new(0);
-static CE_MARKS: AtomicU64 = AtomicU64::new(0);
-static DROPS: AtomicU64 = AtomicU64::new(0);
-static SIM_NANOS: AtomicU64 = AtomicU64::new(0);
-static RUNS: AtomicU64 = AtomicU64::new(0);
-static TIMERS_ARMED: AtomicU64 = AtomicU64::new(0);
-static TIMERS_CANCELLED: AtomicU64 = AtomicU64::new(0);
-static TIMERS_FIRED: AtomicU64 = AtomicU64::new(0);
-static TIMERS_STALE_SUPPRESSED: AtomicU64 = AtomicU64::new(0);
-static FLOWS_FAILED: AtomicU64 = AtomicU64::new(0);
-static NO_ROUTE_DROPS: AtomicU64 = AtomicU64::new(0);
+/// The process-global accumulator: every counter in one struct so the
+/// shared state is a single audited item, not fifteen scattered ones.
+/// All updates are commutative (`fetch_add`/`fetch_max`), so worker
+/// interleaving cannot change a snapshot taken after the joins.
+struct Accum {
+    events_pushed: AtomicU64,
+    events_popped: AtomicU64,
+    peak_pending: AtomicU64,
+    packets_forwarded: AtomicU64,
+    ce_marks: AtomicU64,
+    drops: AtomicU64,
+    sim_nanos: AtomicU64,
+    runs: AtomicU64,
+    timers_armed: AtomicU64,
+    timers_cancelled: AtomicU64,
+    timers_fired: AtomicU64,
+    timers_stale_suppressed: AtomicU64,
+    flows_failed: AtomicU64,
+    no_route_drops: AtomicU64,
+}
+
+impl Accum {
+    const fn new() -> Accum {
+        Accum {
+            events_pushed: AtomicU64::new(0),
+            events_popped: AtomicU64::new(0),
+            peak_pending: AtomicU64::new(0),
+            packets_forwarded: AtomicU64::new(0),
+            ce_marks: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            sim_nanos: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            timers_armed: AtomicU64::new(0),
+            timers_cancelled: AtomicU64::new(0),
+            timers_fired: AtomicU64::new(0),
+            timers_stale_suppressed: AtomicU64::new(0),
+            flows_failed: AtomicU64::new(0),
+            no_route_drops: AtomicU64::new(0),
+        }
+    }
+}
+
+// Host-side throughput accounting, written only after a run completes
+// and never consulted by the engine (tests/determinism.rs pins that),
+// so it cannot couple shards or perturb results.
+static ACCUM: Accum = Accum::new();
 
 /// Fold a finished run's counters into the process-global accumulator.
 /// Called by every `run_*` scenario just before it returns. Generic over
@@ -42,20 +73,42 @@ static NO_ROUTE_DROPS: AtomicU64 = AtomicU64::new(0);
 /// or not one is attached.
 pub fn absorb<S: Subscriber>(net: &Network<S>) {
     let c = net.perf();
-    EVENTS_PUSHED.fetch_add(c.events_pushed, Ordering::Relaxed);
-    EVENTS_POPPED.fetch_add(c.events_popped, Ordering::Relaxed);
-    PEAK_PENDING.fetch_max(c.peak_pending, Ordering::Relaxed);
-    PACKETS_FORWARDED.fetch_add(c.packets_forwarded, Ordering::Relaxed);
-    CE_MARKS.fetch_add(c.ce_marks, Ordering::Relaxed);
-    DROPS.fetch_add(c.drops, Ordering::Relaxed);
-    SIM_NANOS.fetch_add(net.now().as_nanos(), Ordering::Relaxed);
-    RUNS.fetch_add(1, Ordering::Relaxed);
-    TIMERS_ARMED.fetch_add(c.timers_armed, Ordering::Relaxed);
-    TIMERS_CANCELLED.fetch_add(c.timers_cancelled, Ordering::Relaxed);
-    TIMERS_FIRED.fetch_add(c.timers_fired, Ordering::Relaxed);
-    TIMERS_STALE_SUPPRESSED.fetch_add(c.timers_stale_suppressed, Ordering::Relaxed);
-    FLOWS_FAILED.fetch_add(c.flows_failed, Ordering::Relaxed);
-    NO_ROUTE_DROPS.fetch_add(c.no_route_drops, Ordering::Relaxed);
+    ACCUM
+        .events_pushed
+        .fetch_add(c.events_pushed, Ordering::Relaxed);
+    ACCUM
+        .events_popped
+        .fetch_add(c.events_popped, Ordering::Relaxed);
+    ACCUM
+        .peak_pending
+        .fetch_max(c.peak_pending, Ordering::Relaxed);
+    ACCUM
+        .packets_forwarded
+        .fetch_add(c.packets_forwarded, Ordering::Relaxed);
+    ACCUM.ce_marks.fetch_add(c.ce_marks, Ordering::Relaxed);
+    ACCUM.drops.fetch_add(c.drops, Ordering::Relaxed);
+    ACCUM
+        .sim_nanos
+        .fetch_add(net.now().as_nanos(), Ordering::Relaxed);
+    ACCUM.runs.fetch_add(1, Ordering::Relaxed);
+    ACCUM
+        .timers_armed
+        .fetch_add(c.timers_armed, Ordering::Relaxed);
+    ACCUM
+        .timers_cancelled
+        .fetch_add(c.timers_cancelled, Ordering::Relaxed);
+    ACCUM
+        .timers_fired
+        .fetch_add(c.timers_fired, Ordering::Relaxed);
+    ACCUM
+        .timers_stale_suppressed
+        .fetch_add(c.timers_stale_suppressed, Ordering::Relaxed);
+    ACCUM
+        .flows_failed
+        .fetch_add(c.flows_failed, Ordering::Relaxed);
+    ACCUM
+        .no_route_drops
+        .fetch_add(c.no_route_drops, Ordering::Relaxed);
 }
 
 /// Totals absorbed since the last [`reset`].
@@ -95,39 +148,39 @@ pub struct Snapshot {
 /// Read the accumulator.
 pub fn snapshot() -> Snapshot {
     Snapshot {
-        events_pushed: EVENTS_PUSHED.load(Ordering::Relaxed),
-        events_popped: EVENTS_POPPED.load(Ordering::Relaxed),
-        peak_pending: PEAK_PENDING.load(Ordering::Relaxed),
-        packets_forwarded: PACKETS_FORWARDED.load(Ordering::Relaxed),
-        ce_marks: CE_MARKS.load(Ordering::Relaxed),
-        drops: DROPS.load(Ordering::Relaxed),
-        sim_nanos: SIM_NANOS.load(Ordering::Relaxed),
-        runs: RUNS.load(Ordering::Relaxed),
-        timers_armed: TIMERS_ARMED.load(Ordering::Relaxed),
-        timers_cancelled: TIMERS_CANCELLED.load(Ordering::Relaxed),
-        timers_fired: TIMERS_FIRED.load(Ordering::Relaxed),
-        timers_stale_suppressed: TIMERS_STALE_SUPPRESSED.load(Ordering::Relaxed),
-        flows_failed: FLOWS_FAILED.load(Ordering::Relaxed),
-        no_route_drops: NO_ROUTE_DROPS.load(Ordering::Relaxed),
+        events_pushed: ACCUM.events_pushed.load(Ordering::Relaxed),
+        events_popped: ACCUM.events_popped.load(Ordering::Relaxed),
+        peak_pending: ACCUM.peak_pending.load(Ordering::Relaxed),
+        packets_forwarded: ACCUM.packets_forwarded.load(Ordering::Relaxed),
+        ce_marks: ACCUM.ce_marks.load(Ordering::Relaxed),
+        drops: ACCUM.drops.load(Ordering::Relaxed),
+        sim_nanos: ACCUM.sim_nanos.load(Ordering::Relaxed),
+        runs: ACCUM.runs.load(Ordering::Relaxed),
+        timers_armed: ACCUM.timers_armed.load(Ordering::Relaxed),
+        timers_cancelled: ACCUM.timers_cancelled.load(Ordering::Relaxed),
+        timers_fired: ACCUM.timers_fired.load(Ordering::Relaxed),
+        timers_stale_suppressed: ACCUM.timers_stale_suppressed.load(Ordering::Relaxed),
+        flows_failed: ACCUM.flows_failed.load(Ordering::Relaxed),
+        no_route_drops: ACCUM.no_route_drops.load(Ordering::Relaxed),
     }
 }
 
 /// Zero the accumulator (start of a timed section).
 pub fn reset() {
-    EVENTS_PUSHED.store(0, Ordering::Relaxed);
-    EVENTS_POPPED.store(0, Ordering::Relaxed);
-    PEAK_PENDING.store(0, Ordering::Relaxed);
-    PACKETS_FORWARDED.store(0, Ordering::Relaxed);
-    CE_MARKS.store(0, Ordering::Relaxed);
-    DROPS.store(0, Ordering::Relaxed);
-    SIM_NANOS.store(0, Ordering::Relaxed);
-    RUNS.store(0, Ordering::Relaxed);
-    TIMERS_ARMED.store(0, Ordering::Relaxed);
-    TIMERS_CANCELLED.store(0, Ordering::Relaxed);
-    TIMERS_FIRED.store(0, Ordering::Relaxed);
-    TIMERS_STALE_SUPPRESSED.store(0, Ordering::Relaxed);
-    FLOWS_FAILED.store(0, Ordering::Relaxed);
-    NO_ROUTE_DROPS.store(0, Ordering::Relaxed);
+    ACCUM.events_pushed.store(0, Ordering::Relaxed);
+    ACCUM.events_popped.store(0, Ordering::Relaxed);
+    ACCUM.peak_pending.store(0, Ordering::Relaxed);
+    ACCUM.packets_forwarded.store(0, Ordering::Relaxed);
+    ACCUM.ce_marks.store(0, Ordering::Relaxed);
+    ACCUM.drops.store(0, Ordering::Relaxed);
+    ACCUM.sim_nanos.store(0, Ordering::Relaxed);
+    ACCUM.runs.store(0, Ordering::Relaxed);
+    ACCUM.timers_armed.store(0, Ordering::Relaxed);
+    ACCUM.timers_cancelled.store(0, Ordering::Relaxed);
+    ACCUM.timers_fired.store(0, Ordering::Relaxed);
+    ACCUM.timers_stale_suppressed.store(0, Ordering::Relaxed);
+    ACCUM.flows_failed.store(0, Ordering::Relaxed);
+    ACCUM.no_route_drops.store(0, Ordering::Relaxed);
 }
 
 /// Outcome of a [`timed`] section: the callee's result plus the rate

@@ -32,27 +32,18 @@ impl std::str::FromStr for Scale {
 }
 
 impl Scale {
-    /// Read from the `ECNSHARP_SCALE` environment variable. Unset means
-    /// [`Scale::Full`]; anything else must parse exactly — a typo like
-    /// `ful` is an error, not a silent full-scale run.
+    /// Read from the `ECNSHARP_SCALE` environment variable (see
+    /// [`crate::env::scale`]). Unset means [`Scale::Full`]; anything else
+    /// must parse exactly — a typo like `ful` is an error, not a silent
+    /// full-scale run.
     pub fn from_env() -> Result<Scale, String> {
-        match std::env::var("ECNSHARP_SCALE") {
-            Ok(v) => v.parse(),
-            Err(std::env::VarError::NotPresent) => Ok(Scale::Full),
-            Err(e) => Err(format!("unreadable ECNSHARP_SCALE: {e}")),
-        }
+        crate::env::scale()
     }
 
     /// [`Scale::from_env`] for binaries: print the error and exit 2 instead
     /// of silently running at the wrong scale.
     pub fn from_env_or_exit() -> Scale {
-        match Scale::from_env() {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            }
-        }
+        crate::env::or_exit(Scale::from_env())
     }
 
     /// Flows per FCT run.
@@ -222,11 +213,10 @@ where
         .collect()
 }
 
-/// Results directory (override with `ECNSHARP_RESULTS`).
+/// Results directory (override with `ECNSHARP_RESULTS`; see
+/// [`crate::env::results_dir`]).
 pub fn results_dir() -> std::path::PathBuf {
-    std::env::var("ECNSHARP_RESULTS")
-        .unwrap_or_else(|_| "results".into())
-        .into()
+    crate::env::results_dir()
 }
 
 /// Default base seed for fault-injection sweeps when `ECNSHARP_FAULT_SEED`
@@ -247,26 +237,17 @@ pub fn parse_fault_seed(v: &str) -> Result<u64, String> {
     })
 }
 
-/// Read the fault-sweep base seed from `ECNSHARP_FAULT_SEED`. Unset means
-/// [`DEFAULT_FAULT_SEED`]; set-but-invalid is an error.
+/// Read the fault-sweep base seed from `ECNSHARP_FAULT_SEED` (see
+/// [`crate::env::fault_seed`]). Unset means [`DEFAULT_FAULT_SEED`];
+/// set-but-invalid is an error.
 pub fn fault_seed_from_env() -> Result<u64, String> {
-    match std::env::var("ECNSHARP_FAULT_SEED") {
-        Ok(v) => parse_fault_seed(&v),
-        Err(std::env::VarError::NotPresent) => Ok(DEFAULT_FAULT_SEED),
-        Err(e) => Err(format!("unreadable ECNSHARP_FAULT_SEED: {e}")),
-    }
+    crate::env::fault_seed()
 }
 
 /// [`fault_seed_from_env`] for binaries: print the error and exit 2
 /// instead of silently running with the wrong seed.
 pub fn fault_seed_or_exit() -> u64 {
-    match fault_seed_from_env() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    }
+    crate::env::or_exit(fault_seed_from_env())
 }
 
 #[cfg(test)]

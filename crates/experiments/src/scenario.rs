@@ -11,7 +11,7 @@ use ecnsharp_net::{
 use ecnsharp_sched::Dwrr;
 use ecnsharp_sim::{Duration, Rate, Rng, SimTime};
 use ecnsharp_stats::{FctBreakdown, QueueSummary};
-use ecnsharp_transport::{TcpConfig, TcpStack, TimerBackend};
+use ecnsharp_transport::{TcpConfig, TcpStack};
 use ecnsharp_workload::{IncastSpec, Pattern, PiecewiseCdf, RttVariation, TrafficSpec};
 
 /// Common knobs of an FCT experiment.
@@ -72,19 +72,16 @@ fn nic_port() -> PortConfig {
 /// Endpoint transport used by every scenario. `ECNSHARP_DELACK` overrides
 /// the delayed-ACK count (calibration experiments); `ECNSHARP_TIMER_BACKEND`
 /// (`wheel` | `legacy`) selects the timer backend — the equivalence test
-/// uses it to prove both produce byte-identical figures.
+/// uses it to prove both produce byte-identical figures. Both knobs are
+/// strict (see [`crate::env`]): a set-but-invalid value exits 2 instead of
+/// silently running the default configuration.
 fn endpoint_tcp() -> TcpConfig {
     let mut cfg = TcpConfig::dctcp();
-    if let Ok(v) = std::env::var("ECNSHARP_DELACK") {
-        if let Ok(n) = v.parse::<u32>() {
-            cfg.delack_count = n.max(1);
-        }
+    if let Some(n) = crate::env::or_exit(crate::env::delack()) {
+        cfg.delack_count = n;
     }
-    if let Ok(v) = std::env::var("ECNSHARP_TIMER_BACKEND") {
-        cfg.timer_backend = match v.as_str() {
-            "legacy" => TimerBackend::Legacy,
-            _ => TimerBackend::Wheel,
-        };
+    if let Some(backend) = crate::env::or_exit(crate::env::timer_backend()) {
+        cfg.timer_backend = backend;
     }
     cfg
 }

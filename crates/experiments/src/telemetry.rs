@@ -16,32 +16,15 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-/// Parse a path-valued telemetry knob. Unset means `None`; set-but-empty
-/// (or unreadable) is an error naming the knob.
+/// Parse a path-valued telemetry knob (see [`crate::env::path_knob`]).
+/// Unset means `None`; set-but-empty (or unreadable) is an error naming
+/// the knob.
 fn env_path(knob: &'static str) -> Result<Option<PathBuf>, String> {
-    match std::env::var(knob) {
-        Ok(v) => {
-            if v.trim().is_empty() {
-                Err(format!(
-                    "empty {knob} value (expected a writable file path)"
-                ))
-            } else {
-                Ok(Some(PathBuf::from(v)))
-            }
-        }
-        Err(std::env::VarError::NotPresent) => Ok(None),
-        Err(e) => Err(format!("unreadable {knob}: {e}")),
-    }
+    crate::env::path_knob(knob)
 }
 
 fn env_path_or_exit(knob: &'static str) -> Option<PathBuf> {
-    match env_path(knob) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    }
+    crate::env::or_exit(env_path(knob))
 }
 
 /// Read `ECNSHARP_TELEMETRY_JSON`. Unset means no sink; set-but-invalid

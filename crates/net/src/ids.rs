@@ -46,7 +46,7 @@ mod tests {
     #[test]
     // This test exists precisely to exercise the Hash impl; iteration
     // order is never observed.
-    #[allow(clippy::disallowed_types)] // lint: allow(hash-collections) Hash-impl smoke test
+    #[allow(clippy::disallowed_types)]
     fn hashable_and_ordered() {
         use std::collections::HashMap;
         let mut m = HashMap::new();

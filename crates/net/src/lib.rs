@@ -74,3 +74,19 @@ pub use trace::{TraceEvent, TraceKind, Tracer, MAX_TRACE_CAPACITY};
 // Re-export the subscriber vocabulary so downstream crates can attach
 // telemetry without depending on `ecnsharp-telemetry` directly.
 pub use ecnsharp_telemetry::{DropReason, NoopSubscriber, Subscriber};
+
+// Compile-time shard-safety proofs: a sharded engine (ROADMAP item 1)
+// hands whole `Network` instances to worker threads, so every piece of
+// the network model must stay `Send`. Lint rules R7/R8 guard the source
+// text; these assertions guard the types themselves.
+const fn assert_send<T: Send>() {}
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send::<Network<NoopSubscriber>>();
+    assert_send::<Box<dyn Agent>>();
+    assert_send::<PortConfig>();
+    assert_send::<FaultPlan>();
+    assert_send_sync::<Packet>();
+    assert_send_sync::<GilbertElliott>();
+    assert_send_sync::<Tracer>();
+};

@@ -108,3 +108,18 @@ pub(crate) mod testutil {
         served
     }
 }
+
+// Compile-time shard-safety proofs: schedulers sit on ports inside the
+// `Network` a sharded engine (ROADMAP item 1) moves across worker
+// threads — which is why the `Scheduler` trait itself requires `Send`.
+// Lint rules R7/R8 guard the source text; these assertions guard the
+// types.
+const fn assert_send<T: Send>() {}
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send::<Box<dyn Scheduler<u64>>>();
+    assert_send_sync::<Dwrr<u64>>();
+    assert_send_sync::<Fifo<u64>>();
+    assert_send_sync::<StrictPriority<u64>>();
+    assert_send_sync::<RoundRobin<u64>>();
+};

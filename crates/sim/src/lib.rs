@@ -40,3 +40,18 @@ pub use rate::{bytes, Rate};
 pub use rng::{hash_mix, Rng};
 pub use time::{Duration, SimTime};
 pub use wheel::{TimerToken, TimerWheel};
+
+// Compile-time shard-safety proofs: the sharded engine (ROADMAP item 1)
+// moves these values across worker threads, so losing `Send`/`Sync` must
+// be a compile error here, not a runtime surprise there. Lint rules R7/R8
+// guard the source text; these assertions guard the types themselves.
+const fn assert_send<T: Send>() {}
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send::<EventQueue<u64>>();
+    assert_send::<TimerWheel<u64>>();
+    assert_send_sync::<Rng>();
+    assert_send_sync::<Duration>();
+    assert_send_sync::<SimTime>();
+    assert_send_sync::<Rate>();
+};

@@ -102,7 +102,7 @@ enum Placement {
     Overflow,
 }
 
-struct Cell<E> {
+struct Entry<E> {
     time: SimTime,
     seq: u64,
     gen: u32,
@@ -126,7 +126,7 @@ pub enum Cancelled<E> {
 
 /// The hierarchical timing wheel. See the module docs for the design.
 pub struct TimerWheel<E> {
-    slab: Vec<Cell<E>>,
+    slab: Vec<Entry<E>>,
     free_head: u32,
     /// Intrusive list heads, `heads[level][slot]`.
     heads: Vec<[u32; SLOTS]>,
@@ -193,7 +193,7 @@ impl<E> TimerWheel<E> {
             idx
         } else {
             let idx = self.slab.len() as u32;
-            self.slab.push(Cell {
+            self.slab.push(Entry {
                 time,
                 seq,
                 gen: 0,

@@ -24,3 +24,14 @@ pub use hist::{ecdf_points, BoxStats, Histogram};
 pub use percentile::{mean, percentile, std_dev};
 pub use series::{monitor_csv, QueueSummary};
 pub use table::{ratio, us, Table};
+
+// Compile-time shard-safety proofs: per-shard statistics are merged on
+// the host thread after parallel runs (ROADMAP item 1). Lint rules
+// R7/R8 guard the source text; these assertions guard the types.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<FctBreakdown>();
+    assert_send_sync::<Histogram>();
+    assert_send_sync::<Table>();
+    assert_send_sync::<QueueSummary>();
+};

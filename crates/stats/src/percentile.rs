@@ -8,7 +8,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     }
     let p = p.clamp(0.0, 1.0);
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    v.sort_by(f64::total_cmp);
     let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
     Some(v[idx])
 }

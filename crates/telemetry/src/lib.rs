@@ -53,3 +53,16 @@ pub use json::JsonlWriter;
 pub use metrics::{Metric, MetricsAggregator, METRIC_COUNT, METRIC_NAMES};
 pub use subscribe::{NoopSubscriber, Subscriber};
 pub use timeline::TimelineSampler;
+
+// Compile-time shard-safety proofs: subscribers travel with their
+// `Network` across worker threads, and per-shard recorders are merged on
+// the host thread (ROADMAP item 1). Lint rules R7/R8 guard the source
+// text; these assertions guard the types themselves.
+const fn assert_send<T: Send>() {}
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send::<JsonlWriter<std::io::Sink>>();
+    assert_send_sync::<MetricsAggregator>();
+    assert_send_sync::<HistogramRecorder>();
+    assert_send_sync::<NoopSubscriber>();
+};

@@ -134,7 +134,7 @@ mod tests {
         assert!(matches!(c.cc, CcKind::Dctcp { g } if (g - 0.0625).abs() < 1e-12));
         assert_eq!(c.delack_count, 1);
         // 3 * 1460 is exact in f64.
-        #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact small-integer product
+        #[allow(clippy::float_cmp)]
         {
             assert_eq!(c.init_cwnd_bytes(), 4380.0);
         }

@@ -655,7 +655,7 @@ mod tests {
     fn dctcp_alpha_decays_without_marks_and_rises_with() {
         let (mut s, _) = established(100_000_000);
         // Initialization assigns the literal 1.0; no arithmetic involved.
-        #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact literal assignment
+        #[allow(clippy::float_cmp)]
         {
             assert_eq!(s.alpha, 1.0, "Linux-style init");
         }
@@ -740,7 +740,7 @@ mod tests {
         s.on_rto(&mut ctx);
         assert_eq!(s.timeouts, 1);
         // RTO assigns cwnd = mss as f64 exactly; no arithmetic involved.
-        #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact literal assignment
+        #[allow(clippy::float_cmp)]
         {
             assert_eq!(s.cwnd, 1460.0, "cwnd collapses to one segment");
         }

@@ -21,7 +21,7 @@ impl PiecewiseCdf {
     pub fn new(points: &[(f64, f64)]) -> Self {
         assert!(points.len() >= 2, "need at least two CDF points");
         // The anchor must be given as literal 0.0, not merely close to it.
-        #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact input-anchor validation
+        #[allow(clippy::float_cmp)]
         {
             assert_eq!(points[0].1, 0.0, "first point must have probability 0");
         }
@@ -51,7 +51,7 @@ impl PiecewiseCdf {
             if p <= pt.1 {
                 // Exact equality is the only true division-by-zero in the
                 // interpolation below; near-equal segments interpolate fine.
-                #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact div-by-zero guard
+                #[allow(clippy::float_cmp)]
                 if pt.1 == prev.1 {
                     return pt.0;
                 }
@@ -107,7 +107,7 @@ mod tests {
     #[test]
     // Interpolating the two-point uniform CDF at 0/0.5/1 involves only
     // exactly-representable values.
-    #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact interpolation endpoints
+    #[allow(clippy::float_cmp)]
     fn quantiles_of_uniform() {
         let c = uniform_0_100();
         assert_eq!(c.quantile(0.0), 0.0);

@@ -141,7 +141,7 @@ pub fn measure_case(case: Table1Case, n: usize, rng: &mut Rng) -> RttSampleStats
     let mut xs: Vec<f64> = (0..n)
         .map(|_| case.sample_rtt(rng).as_micros_f64())
         .collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(f64::total_cmp);
     let mean = xs.iter().sum::<f64>() / n as f64;
     let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
     let pick = |p: f64| xs[((n as f64 - 1.0) * p) as usize];

@@ -92,7 +92,7 @@ mod tests {
 
     #[test]
     // (10 + 20) / 2 is exact in f64.
-    #[allow(clippy::float_cmp)] // lint: allow(float-cmp) exact small-integer mean
+    #[allow(clippy::float_cmp)]
     fn fixed_and_uniform() {
         let mut rng = Rng::seed_from_u64(1);
         assert_eq!(SizeDist::Fixed(777).sample(&mut rng), 777);

@@ -1,19 +1,31 @@
-//! Clean fixture: every waivable rule present but properly waived, plus
-//! look-alike tokens that must NOT trigger (`Instantaneous`,
-//! `should_panic`, tuple field access, strings, comments).
+//! Clean fixture: every waivable rule (R1/R3/R4/R5/R7/R8/R9/R10)
+//! present but properly waived, plus look-alike tokens that must NOT
+//! trigger (`Instantaneous`, `should_panic`, tuple field access,
+//! strings, comments). Every waiver below suppresses a live finding —
+//! the selftest also strips the code and asserts they all go stale.
 
-use std::collections::HashMap; // lint: allow(hash-collections) membership-only, never iterated
+// lint: allow(hash-collections) membership-only, never iterated
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::AtomicU64;
 
 /// Times host execution of a figure binary, not simulated time.
-/// lint: allow(wall-clock) host-side harness timing
+// lint: allow(wall-clock) host-side harness timing
 pub fn host_elapsed(t0: std::time::Instant) -> u64 {
-    t0.elapsed().as_nanos() as u64 // lint: allow(wall-clock) host-side harness timing
+    t0.elapsed().as_nanos() as u64
 }
 
-/// Length is checked by the caller; waiver documents it.
-// lint: allow(hash-collections) membership-only, never iterated
-pub fn checked_head(queue: &[u64], lookup: &HashMap<u64, u64>) -> u64 {
+/// Process-wide call counter, reviewed: order-insensitive telemetry.
+// lint: allow(shared-state) order-insensitive host-side counter
+static CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Membership probe against a waived map; head is caller-guaranteed.
+pub fn checked_head(
+    queue: &[u64],
     // lint: allow(hash-collections) membership-only, never iterated
+    lookup: &HashMap<u64, u64>,
+) -> u64 {
+    let _ = CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let _present = lookup.contains_key(&0);
     // lint: allow(hot-path-panic) caller guarantees non-empty
     let head = queue.first().unwrap();
@@ -24,6 +36,25 @@ pub fn checked_head(queue: &[u64], lookup: &HashMap<u64, u64>) -> u64 {
 pub fn is_disabled(p: f64) -> bool {
     // lint: allow(float-cmp) 0.0 is an exact sentinel, never computed
     p == 0.0
+}
+
+/// Reviewed float sort: inputs are probabilities in [0,1], never NaN.
+pub fn sorted(mut xs: Vec<f64>) -> Vec<f64> {
+    // lint: allow(unordered-iteration) no NaN by construction lint: allow(hot-path-panic) no NaN by construction
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs
+}
+
+/// Shard-local immutable config handle, audited: never crosses threads.
+pub struct Handle {
+    // lint: allow(non-send-type) shard-local cache, never crosses threads
+    pub cache: Rc<u64>,
+}
+
+/// Fixture-only knob read outside `env.rs`, waived to prove R10 waives.
+pub fn knob() -> Option<String> {
+    // lint: allow(env-read) fixture demonstrates the waiver path
+    std::env::var("ECNSHARP_FIXTURE").ok()
 }
 
 /// Near-misses that must stay silent: `Instantaneous` is not `Instant`,

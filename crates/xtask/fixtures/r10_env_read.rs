@@ -1,0 +1,8 @@
+//! Seeded R10 violation: a knob read outside the crate's blessed
+//! `env.rs` module scatters configuration and dodges the strict exit-2
+//! validation path.
+
+/// Reads a knob directly instead of delegating to `env.rs`.
+pub fn scale() -> Option<String> {
+    std::env::var("ECNSHARP_SCALE").ok()
+}

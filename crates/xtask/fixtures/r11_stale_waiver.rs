@@ -1,0 +1,14 @@
+//! Seeded R11 violations: a waiver with no live finding under it rots
+//! the inventory; unknown slugs are rejected outright.
+
+/// Nothing here touches a hash collection any more; the waiver is stale.
+// lint: allow(hash-collections) was needed before the BTreeMap refactor
+pub fn sum(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+
+/// Typo'd slug: never valid.
+// lint: allow(no-such-rule) fat-fingered slug
+pub fn id(x: u64) -> u64 {
+    x
+}

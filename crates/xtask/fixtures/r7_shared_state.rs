@@ -1,0 +1,22 @@
+//! Seeded R7 violations: process-global mutable state silently couples
+//! shards — a sharded engine cannot replay one shard in isolation.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Mutex, OnceLock};
+
+/// Hidden cross-shard accumulator.
+pub static TOTAL_PACKETS: AtomicU64 = AtomicU64::new(0);
+
+/// Hidden cross-shard cache behind a lock.
+static ROUTE_CACHE: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// Lazily initialised global configuration.
+static CONFIG: OnceLock<u64> = OnceLock::new();
+
+/// The classic.
+static mut RAW_COUNTER: u64 = 0;
+
+/// A `'static` lifetime bound is NOT a static item and must stay silent.
+pub fn borrow(s: &'static str) -> &'static str {
+    s
+}

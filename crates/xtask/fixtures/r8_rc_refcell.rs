@@ -1,0 +1,22 @@
+//! Seeded R8 violation: `Rc`/`RefCell` in a public type of a shard
+//! boundary crate is not `Send`, so a sharded `Network` cannot move it
+//! across worker threads.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A sharded engine cannot move this across worker threads.
+pub struct ConnCache {
+    /// Shared mutable per-connection scratch.
+    pub scratch: Rc<RefCell<Vec<u64>>>,
+}
+
+/// Returning a non-`Send` handle from a public API leaks it too.
+pub fn shared_scratch() -> Rc<Vec<u64>> {
+    Rc::new(Vec::new())
+}
+
+/// Private types may use `Rc` internally without tripping the rule.
+struct InternalOnly {
+    _scratch: Rc<u64>,
+}

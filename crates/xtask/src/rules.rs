@@ -1,11 +1,14 @@
-//! The determinism lint rules (R1-R6) and the per-file checking engine.
+//! The determinism + shard-safety lint rules (R1-R11) and the per-file
+//! checking engine.
 //!
 //! Every rule reports [`Violation`]s carrying the rule id, a waiver slug
 //! (where waiving is permitted), and the offending location. A waiver is
 //! a comment `// lint: allow(<slug>) <reason>` on the violating line or
-//! the line directly above it.
+//! the line directly above it. The engine tracks which waivers actually
+//! suppressed something: a waiver that no longer matches a live finding
+//! is itself a violation (R11), so the waiver inventory can never rot.
 
-use crate::scan::{find_word, has_word, scan_lines, waiver_slugs};
+use crate::scan::{find_keyword, find_word, has_word, scan_lines, waivers_with_reasons};
 use crate::FileClass;
 use std::fmt;
 
@@ -28,10 +31,43 @@ pub enum Rule {
     /// R6: every crate's `lib.rs` forbids unsafe code and warns on
     /// missing docs.
     LintHeaders,
+    /// R7: no mutable `static`s and no `static` items with interior
+    /// mutability (`Mutex`/`RwLock`/`Atomic*`/`OnceLock`/…) in sim-facing
+    /// or harness code — hidden cross-shard coupling.
+    SharedState,
+    /// R8: no `Rc`/`RefCell`/`Cell` in the public types of the shard
+    /// boundary crates (`core`/`sim`/`net`/`aqm`/`sched`/`transport`) —
+    /// these types must stay `Send` for the sharded engine.
+    NonSendType,
+    /// R9: no unordered-collection iteration (`drain`/`retain`/
+    /// `into_iter`/…) feeding results, and no `partial_cmp(..).unwrap()`
+    /// float sort comparators.
+    UnorderedIteration,
+    /// R10: every `std::env::var` read lives in the crate's blessed
+    /// `env.rs` module (the strict-knob policy, enforced).
+    EnvOutsideEnvModule,
+    /// R11: a declared waiver must suppress a live violation; stale or
+    /// unknown waivers fail the lint.
+    StaleWaiver,
 }
 
+/// Every rule, in report order.
+pub const ALL_RULES: [Rule; 11] = [
+    Rule::WallClock,
+    Rule::NondeterministicRng,
+    Rule::HashCollections,
+    Rule::HotPathPanic,
+    Rule::FloatCmp,
+    Rule::LintHeaders,
+    Rule::SharedState,
+    Rule::NonSendType,
+    Rule::UnorderedIteration,
+    Rule::EnvOutsideEnvModule,
+    Rule::StaleWaiver,
+];
+
 impl Rule {
-    /// Short rule id used in reports ("R1".."R6").
+    /// Short rule id used in reports ("R1".."R11").
     pub fn id(self) -> &'static str {
         match self {
             Rule::WallClock => "R1",
@@ -40,6 +76,11 @@ impl Rule {
             Rule::HotPathPanic => "R4",
             Rule::FloatCmp => "R5",
             Rule::LintHeaders => "R6",
+            Rule::SharedState => "R7",
+            Rule::NonSendType => "R8",
+            Rule::UnorderedIteration => "R9",
+            Rule::EnvOutsideEnvModule => "R10",
+            Rule::StaleWaiver => "R11",
         }
     }
 
@@ -53,7 +94,19 @@ impl Rule {
             Rule::HotPathPanic => Some("hot-path-panic"),
             Rule::FloatCmp => Some("float-cmp"),
             Rule::LintHeaders => None,
+            Rule::SharedState => Some("shared-state"),
+            Rule::NonSendType => Some("non-send-type"),
+            Rule::UnorderedIteration => Some("unordered-iteration"),
+            Rule::EnvOutsideEnvModule => Some("env-read"),
+            Rule::StaleWaiver => None,
         }
+    }
+
+    /// The rule a waiver slug belongs to, if any.
+    pub fn for_slug(slug: &str) -> Option<Rule> {
+        ALL_RULES
+            .into_iter()
+            .find(|r| r.waiver_slug() == Some(slug))
     }
 }
 
@@ -88,38 +141,63 @@ impl fmt::Display for Violation {
     }
 }
 
-/// Check one file's source against every applicable rule.
-pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Violation> {
+/// One waiver declaration found in a file, with its usage status.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number of the declaring comment.
+    pub line: usize,
+    /// The `lint: allow(<slug>)` slug.
+    pub slug: String,
+    /// Free-text justification following the slug.
+    pub reason: String,
+    /// Whether the waiver suppressed at least one live violation.
+    pub used: bool,
+}
+
+/// Everything the engine learned about one file: surviving violations
+/// (including R11 stale-waiver findings) plus the full waiver inventory.
+#[derive(Debug, Clone, Default)]
+pub struct FileReport {
+    /// Violations that survived waiver resolution.
+    pub violations: Vec<Violation>,
+    /// Every waiver declared in the file, used or not.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Check one file's source against every applicable rule, resolving
+/// waivers and flagging stale ones (R11).
+pub fn analyze_file(path: &str, source: &str, class: &FileClass) -> FileReport {
     let lines = scan_lines(source);
     let raw: Vec<&str> = source.lines().collect();
-    let mut out = Vec::new();
 
-    // Waivers: slugs active on each line (declared there or the line above).
-    let waivers: Vec<Vec<String>> = lines.iter().map(|l| waiver_slugs(&l.comment)).collect();
-    let waived = |idx: usize, rule: Rule| -> bool {
-        let Some(slug) = rule.waiver_slug() else {
-            return false;
-        };
-        let mut active = waivers[idx].iter();
-        if active.any(|s| s == slug) {
-            return true;
-        }
-        idx > 0 && waivers[idx - 1].iter().any(|s| s == slug)
-    };
+    // Waiver inventory, indexed per line for resolution.
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let per_line: Vec<Vec<usize>> = lines
+        .iter()
+        .enumerate()
+        .map(|(idx, l)| {
+            waivers_with_reasons(&l.comment)
+                .into_iter()
+                .map(|(slug, reason)| {
+                    waivers.push(Waiver {
+                        path: path.to_string(),
+                        line: idx + 1,
+                        slug,
+                        reason,
+                        used: false,
+                    });
+                    waivers.len() - 1
+                })
+                .collect()
+        })
+        .collect();
 
-    // Heuristic test-section detection: everything at or below the first
-    // `#[cfg(test)]` is test code (the workspace convention keeps test
-    // modules at the end of each file).
-    let mut first_test_line = usize::MAX;
-    for (i, l) in lines.iter().enumerate() {
-        if l.code.contains("#[cfg(test)]") {
-            first_test_line = i;
-            break;
-        }
-    }
-
+    // Candidate violations before waiver resolution.
+    let mut candidates: Vec<Violation> = Vec::new();
     let mut push = |rule: Rule, idx: usize, message: String| {
-        out.push(Violation {
+        candidates.push(Violation {
             rule,
             path: path.to_string(),
             line: idx + 1,
@@ -129,13 +207,13 @@ pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Violation>
     };
 
     for (idx, l) in lines.iter().enumerate() {
-        let in_test = class.test_file || idx >= first_test_line;
+        let in_test = class.test_file || l.in_test;
         let code = l.code.as_str();
 
         // ── R1: wall clock ────────────────────────────────────────────
         if class.sim_facing {
             for word in ["Instant", "SystemTime"] {
-                if has_word(code, word) && !waived(idx, Rule::WallClock) {
+                if has_word(code, word) {
                     push(
                         Rule::WallClock,
                         idx,
@@ -169,7 +247,7 @@ pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Violation>
         // ── R3: default-hasher collections ────────────────────────────
         if class.sim_facing && !in_test {
             for word in ["HashMap", "HashSet"] {
-                if has_word(code, word) && !waived(idx, Rule::HashCollections) {
+                if has_word(code, word) {
                     push(
                         Rule::HashCollections,
                         idx,
@@ -202,7 +280,7 @@ pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Violation>
                 } else {
                     code.contains(tok)
                 };
-                if hit && !waived(idx, Rule::HotPathPanic) {
+                if hit {
                     push(
                         Rule::HotPathPanic,
                         idx,
@@ -219,21 +297,247 @@ pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Violation>
 
         // ── R5: float equality ────────────────────────────────────────
         for op_pos in float_eq_positions(code) {
-            if !waived(idx, Rule::FloatCmp) {
+            push(
+                Rule::FloatCmp,
+                idx,
+                format!(
+                    "`{}` on a floating-point expression; compare with an \
+                     epsilon or restructure",
+                    &code[op_pos..op_pos + 2]
+                ),
+            );
+        }
+
+        // ── R7: shared mutable state (sim-facing + harness) ───────────
+        if (class.sim_facing || class.harness) && !in_test {
+            if let Some(pos) = find_keyword(code, "static") {
+                // Only item declarations: `static X:` / `pub static X` /
+                // `static mut` — not `impl Trait + 'static` (excluded by
+                // the keyword scan) or `extern` blocks (none here).
+                let decl = static_decl_snippet(&lines, idx, pos);
+                if let Some(problem) = shared_state_problem(&decl) {
+                    push(
+                        Rule::SharedState,
+                        idx,
+                        format!(
+                            "{problem}; process-global mutable state couples \
+                             shards — pass state explicitly, or waive with \
+                             `// lint: allow(shared-state) <reason>`"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ── R8: non-Send types on the shard boundary ──────────────────
+        if class.boundary && !in_test {
+            for word in ["Rc", "RefCell", "Cell"] {
+                if has_word(code, word) && (l.in_pub_type || has_word(code, "pub")) {
+                    push(
+                        Rule::NonSendType,
+                        idx,
+                        format!(
+                            "`{word}` in a public type of a shard-boundary crate \
+                             is not `Send`; a sharded `Network` cannot move it \
+                             across threads — use owned state or atomics, or \
+                             waive with `// lint: allow(non-send-type) <reason>`"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ── R9: unordered iteration / float sort comparators ──────────
+        if (class.sim_facing || class.harness) && !in_test {
+            let unordered = has_word(code, "HashMap") || has_word(code, "HashSet");
+            if unordered {
+                for method in [
+                    ".drain(",
+                    ".retain(",
+                    ".into_iter()",
+                    ".iter()",
+                    ".keys()",
+                    ".values()",
+                ] {
+                    if code.contains(method) {
+                        push(
+                            Rule::UnorderedIteration,
+                            idx,
+                            format!(
+                                "`{method}` on a default-hasher collection feeds \
+                                 results in nondeterministic order; collect \
+                                 through a BTreeMap/Vec first",
+                                method = method.trim_start_matches('.')
+                            ),
+                        );
+                    }
+                }
+            }
+            if code.contains(".partial_cmp(")
+                && (code.contains(".unwrap()")
+                    || code.contains(".expect(")
+                    || code.contains("sort_by"))
+            {
                 push(
-                    Rule::FloatCmp,
+                    Rule::UnorderedIteration,
                     idx,
-                    format!(
-                        "`{}` on a floating-point expression; compare with an \
-                         epsilon or restructure",
-                        &code[op_pos..op_pos + 2]
-                    ),
+                    "`partial_cmp(..).unwrap()` comparators panic on NaN and \
+                     under-order floats; use `f64::total_cmp` for a \
+                     deterministic total order"
+                        .to_string(),
                 );
+            }
+        }
+
+        // ── R10: env reads outside the blessed env module ─────────────
+        if (class.sim_facing || class.harness) && !in_test && !is_env_module(path) {
+            for pat in ["env::var", "env::vars", "env::var_os"] {
+                if code.contains(pat) {
+                    push(
+                        Rule::EnvOutsideEnvModule,
+                        idx,
+                        format!(
+                            "`{pat}` outside the crate's blessed `env.rs` module; \
+                             all knob reads live in one strict module (exit-2 on \
+                             bad values) so configuration cannot scatter"
+                        ),
+                    );
+                    break;
+                }
             }
         }
     }
 
-    out
+    // ── waiver resolution ─────────────────────────────────────────────
+    // A waiver on line L suppresses matching violations on L and L+1;
+    // every matching waiver is marked used (duplicated adjacent waivers
+    // both count as intentional).
+    let mut violations: Vec<Violation> = Vec::new();
+    for v in candidates {
+        let Some(slug) = v.rule.waiver_slug() else {
+            violations.push(v);
+            continue;
+        };
+        let idx = v.line - 1;
+        let mut suppressed = false;
+        for cover in [Some(idx), idx.checked_sub(1)].into_iter().flatten() {
+            for &w in &per_line[cover] {
+                if waivers[w].slug == slug {
+                    waivers[w].used = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            violations.push(v);
+        }
+    }
+
+    // ── R11: stale / unknown waivers ──────────────────────────────────
+    for w in &waivers {
+        if Rule::for_slug(&w.slug).is_none() {
+            violations.push(Violation {
+                rule: Rule::StaleWaiver,
+                path: path.to_string(),
+                line: w.line,
+                message: format!(
+                    "unknown waiver slug `{}`; valid slugs: {}",
+                    w.slug,
+                    known_slugs().join(", ")
+                ),
+                excerpt: raw
+                    .get(w.line - 1)
+                    .map_or(String::new(), |s| s.trim().to_string()),
+            });
+        } else if !w.used {
+            violations.push(Violation {
+                rule: Rule::StaleWaiver,
+                path: path.to_string(),
+                line: w.line,
+                message: format!(
+                    "stale waiver `lint: allow({})` suppresses nothing here; \
+                     delete it (waivers must map 1:1 to live findings)",
+                    w.slug
+                ),
+                excerpt: raw
+                    .get(w.line - 1)
+                    .map_or(String::new(), |s| s.trim().to_string()),
+            });
+        }
+    }
+    violations.sort_by_key(|v| (v.line, v.rule));
+
+    FileReport {
+        violations,
+        waivers,
+    }
+}
+
+/// Check one file's source, returning only the surviving violations.
+pub fn check_file(path: &str, source: &str, class: &FileClass) -> Vec<Violation> {
+    analyze_file(path, source, class).violations
+}
+
+/// Every waivable slug, in rule order.
+pub fn known_slugs() -> Vec<&'static str> {
+    ALL_RULES
+        .into_iter()
+        .filter_map(Rule::waiver_slug)
+        .collect()
+}
+
+/// Is this file a crate's blessed environment-knob module (R10)?
+fn is_env_module(path: &str) -> bool {
+    path.ends_with("/env.rs") || path == "env.rs"
+}
+
+/// Join the code text of a `static` declaration from the keyword through
+/// its initializer `=` (or terminating `;`), capped at a few lines — the
+/// type portion is what R7 inspects.
+fn static_decl_snippet(lines: &[crate::scan::ScannedLine], idx: usize, pos: usize) -> String {
+    let mut snippet = String::new();
+    for (k, l) in lines.iter().enumerate().skip(idx).take(8) {
+        let code = if k == idx { &l.code[pos..] } else { &l.code };
+        snippet.push_str(code);
+        snippet.push(' ');
+        if code.contains('=') || code.contains(';') {
+            break;
+        }
+    }
+    snippet
+}
+
+/// Why a `static` declaration is shared mutable state, if it is.
+fn shared_state_problem(decl: &str) -> Option<&'static str> {
+    if find_word(decl, "mut").is_some() {
+        return Some("`static mut` is shared mutable state");
+    }
+    for ty in [
+        "Mutex",
+        "RwLock",
+        "OnceLock",
+        "OnceCell",
+        "LazyLock",
+        "RefCell",
+        "Cell",
+        "UnsafeCell",
+        "lazy_static",
+    ] {
+        if has_word(decl, ty) {
+            return Some("`static` with interior mutability is shared mutable state");
+        }
+    }
+    // Atomic* family by prefix: AtomicU64, AtomicUsize, AtomicBool, …
+    let b = decl.as_bytes();
+    let mut from = 0;
+    while let Some(p) = decl[from..].find("Atomic") {
+        let start = from + p;
+        if start == 0 || !(b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_') {
+            return Some("`static` atomic is shared mutable state");
+        }
+        from = start + 1;
+    }
+    None
 }
 
 /// R6: check a crate's `lib.rs` for the mandatory inner attributes.
@@ -379,14 +683,32 @@ mod tests {
             sim_facing: true,
             hot_path: false,
             test_file: false,
+            harness: false,
+            boundary: false,
         }
     }
 
     fn hot_class() -> FileClass {
         FileClass {
-            sim_facing: true,
             hot_path: true,
+            ..sim_class()
+        }
+    }
+
+    fn boundary_class() -> FileClass {
+        FileClass {
+            boundary: true,
+            ..sim_class()
+        }
+    }
+
+    fn harness_class() -> FileClass {
+        FileClass {
+            sim_facing: false,
+            hot_path: false,
             test_file: false,
+            harness: true,
+            boundary: false,
         }
     }
 
@@ -410,11 +732,13 @@ mod tests {
 
     #[test]
     fn r2_fires_everywhere_and_is_unwaivable() {
-        let src = "// lint: allow(nondeterministic-rng) nice try\nlet x = rand::thread_rng();";
+        let src = "let x = rand::thread_rng();";
         let class = FileClass {
             sim_facing: false,
             hot_path: false,
             test_file: false,
+            harness: false,
+            boundary: false,
         };
         let v = check_file("x.rs", src, &class);
         assert!(rules_of(&v).contains(&Rule::NondeterministicRng));
@@ -429,6 +753,15 @@ mod tests {
         assert!(check_file("x.rs", waived, &sim_class()).is_empty());
         let test_src = "#[cfg(test)]\nmod tests { use std::collections::HashSet; }";
         assert!(check_file("x.rs", test_src, &sim_class()).is_empty());
+    }
+
+    #[test]
+    fn mid_file_test_modules_no_longer_shadow_later_production_code() {
+        // The old engine treated everything below the first `#[cfg(test)]`
+        // as test code; the region tracker scopes it to the module body.
+        let src = "#[cfg(test)]\nmod tests { }\nuse std::collections::HashMap;";
+        let v = check_file("x.rs", src, &sim_class());
+        assert_eq!(rules_of(&v), vec![Rule::HashCollections]);
     }
 
     #[test]
@@ -502,5 +835,158 @@ mod tests {
         let v = check_lib_headers("lib.rs", bad);
         assert_eq!(v.len(), 2);
         assert!(v.iter().all(|x| x.rule == Rule::LintHeaders));
+    }
+
+    #[test]
+    fn r7_fires_on_interior_mutability_statics() {
+        for src in [
+            "static COUNT: AtomicU64 = AtomicU64::new(0);",
+            "pub static CACHE: Mutex<Vec<u64>> = Mutex::new(Vec::new());",
+            "static mut RAW: u64 = 0;",
+            "static ONCE: OnceLock<Config> = OnceLock::new();",
+        ] {
+            let v = check_file("x.rs", src, &sim_class());
+            assert_eq!(rules_of(&v), vec![Rule::SharedState], "src: {src}");
+            let h = check_file("x.rs", src, &harness_class());
+            assert_eq!(rules_of(&h), vec![Rule::SharedState], "harness src: {src}");
+        }
+    }
+
+    #[test]
+    fn r7_ignores_immutable_statics_and_lifetimes() {
+        for src in [
+            "static NAMES: [&str; 2] = [\"a\", \"b\"];",
+            "pub const K: u64 = 65;",
+            "fn f(s: &'static str) -> &'static Mutex<u8> { todo!() }",
+            "let m: Mutex<u64> = Mutex::new(0);",
+        ] {
+            let v = check_file("x.rs", src, &sim_class());
+            assert!(
+                !rules_of(&v).contains(&Rule::SharedState),
+                "src: {src} -> {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn r7_spans_multiline_declarations_and_is_waivable() {
+        let src = "static BIG:\n    RwLock<Vec<u64>> = RwLock::new(Vec::new());";
+        let v = check_file("x.rs", src, &sim_class());
+        assert_eq!(rules_of(&v), vec![Rule::SharedState]);
+        let waived = "// lint: allow(shared-state) host-side accumulator, order-insensitive\n\
+             static COUNT: AtomicU64 = AtomicU64::new(0);";
+        assert!(check_file("x.rs", waived, &sim_class()).is_empty());
+    }
+
+    #[test]
+    fn r8_fires_on_rc_refcell_in_pub_types_of_boundary_crates() {
+        let in_struct = "pub struct Shard {\n    cache: Rc<Config>,\n}";
+        let v = check_file("x.rs", in_struct, &boundary_class());
+        assert_eq!(rules_of(&v), vec![Rule::NonSendType]);
+        let in_sig = "pub fn shared() -> RefCell<u64> { RefCell::new(0) }";
+        let v = check_file("x.rs", in_sig, &boundary_class());
+        assert_eq!(rules_of(&v), vec![Rule::NonSendType]);
+    }
+
+    #[test]
+    fn r8_ignores_private_types_and_non_boundary_crates() {
+        let private = "struct Internal {\n    cache: Rc<Config>,\n}";
+        assert!(check_file("x.rs", private, &boundary_class()).is_empty());
+        let in_struct = "pub struct Shard {\n    cache: Rc<Config>,\n}";
+        assert!(check_file("x.rs", in_struct, &sim_class()).is_empty());
+    }
+
+    #[test]
+    fn r9_fires_on_unordered_iteration_and_float_comparators() {
+        let drain = "let out: Vec<_> = HashMap::from(pairs).into_iter().collect();";
+        let v = check_file("x.rs", drain, &sim_class());
+        assert!(rules_of(&v).contains(&Rule::UnorderedIteration), "{v:?}");
+        let cmp = "xs.sort_by(|a, b| a.partial_cmp(b).unwrap());";
+        let v = check_file("x.rs", cmp, &sim_class());
+        assert_eq!(rules_of(&v), vec![Rule::UnorderedIteration]);
+        let expect_cmp = "xs.sort_by(|a, b| a.partial_cmp(b).expect(\"NaN\"));";
+        let v = check_file("x.rs", expect_cmp, &harness_class());
+        assert_eq!(rules_of(&v), vec![Rule::UnorderedIteration]);
+    }
+
+    #[test]
+    fn r9_ignores_ordered_collections_and_partial_cmp_impls() {
+        for src in [
+            "let out: Vec<_> = BTreeMap::from(pairs).into_iter().collect();",
+            "xs.sort_by(f64::total_cmp);",
+            "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { Some(self.cmp(other)) }",
+            "entries.retain(|e| e.live);",
+        ] {
+            let v = check_file("x.rs", src, &sim_class());
+            assert!(
+                !rules_of(&v).contains(&Rule::UnorderedIteration),
+                "src: {src} -> {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn r10_fires_outside_env_module_only() {
+        let src = "let v = std::env::var(\"ECNSHARP_SCALE\");";
+        let v = check_file("crates/experiments/src/runner.rs", src, &harness_class());
+        assert_eq!(rules_of(&v), vec![Rule::EnvOutsideEnvModule]);
+        let ok = check_file("crates/experiments/src/env.rs", src, &harness_class());
+        assert!(ok.is_empty(), "env.rs is the blessed module");
+        let non_sim = check_file(
+            "crates/xtask/src/main.rs",
+            src,
+            &FileClass {
+                sim_facing: false,
+                hot_path: false,
+                test_file: false,
+                harness: false,
+                boundary: false,
+            },
+        );
+        assert!(non_sim.is_empty(), "host tooling is out of scope");
+    }
+
+    #[test]
+    fn r11_flags_stale_and_unknown_waivers() {
+        let stale = "// lint: allow(hash-collections) nothing here uses one\nlet x = 1;";
+        let v = check_file("x.rs", stale, &sim_class());
+        assert_eq!(rules_of(&v), vec![Rule::StaleWaiver]);
+        assert!(v[0].message.contains("stale"), "{}", v[0].message);
+        let unknown = "let x = 1; // lint: allow(no-such-rule) oops";
+        let v = check_file("x.rs", unknown, &sim_class());
+        assert_eq!(rules_of(&v), vec![Rule::StaleWaiver]);
+        assert!(v[0].message.contains("unknown"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r11_used_waivers_are_inventoried_not_flagged() {
+        let src = "use std::collections::HashMap; // lint: allow(hash-collections) membership";
+        let report = analyze_file("x.rs", src, &sim_class());
+        assert!(report.violations.is_empty());
+        assert_eq!(report.waivers.len(), 1);
+        assert!(report.waivers[0].used);
+        assert_eq!(report.waivers[0].slug, "hash-collections");
+        assert_eq!(report.waivers[0].reason, "membership");
+    }
+
+    #[test]
+    fn r11_waiver_for_inapplicable_rule_is_stale() {
+        // R1 does not apply outside sim-facing crates, so a wall-clock
+        // waiver there suppresses nothing and must be deleted.
+        let src = "// lint: allow(wall-clock) host-side timing\nlet t = Instant::now();";
+        let v = check_file("x.rs", src, &harness_class());
+        assert_eq!(rules_of(&v), vec![Rule::StaleWaiver]);
+    }
+
+    #[test]
+    fn every_waivable_rule_has_a_distinct_slug() {
+        let slugs = known_slugs();
+        let mut dedup = slugs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(slugs.len(), dedup.len());
+        for slug in slugs {
+            assert!(Rule::for_slug(slug).is_some());
+        }
     }
 }

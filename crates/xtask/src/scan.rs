@@ -1,6 +1,9 @@
 //! Line-level preprocessing for the lint pass: a lightweight Rust lexer
 //! that separates each line into *code text* (string/char literals and
-//! comments blanked out) and *comment text* (where waivers live).
+//! comments blanked out) and *comment text* (where waivers live), plus a
+//! region tracker that follows brace depth, `#[cfg(test)]`/`mod tests`
+//! regions, and `pub struct`/`pub enum`/`pub union` bodies so rules can
+//! scope themselves to production code and public type declarations.
 //!
 //! The lexer is deliberately approximate — it understands line comments,
 //! nested block comments, string/raw-string/char literals and skips
@@ -14,6 +17,14 @@ pub struct ScannedLine {
     pub code: String,
     /// Concatenated comment text of the line (line + block comments).
     pub comment: String,
+    /// Brace depth at the start of the line (0 = file top level).
+    pub depth: u32,
+    /// Line belongs to a `#[cfg(test)]` item or a `mod tests { .. }`
+    /// body (including the attribute/declaration lines themselves).
+    pub in_test: bool,
+    /// Line is inside the body of a `pub struct`/`pub enum`/`pub union`
+    /// declaration (or is the declaration line itself).
+    pub in_pub_type: bool,
 }
 
 /// Lexer state carried across lines.
@@ -23,14 +34,156 @@ struct LexState {
     block_comment_depth: u32,
     /// Inside a raw string: number of `#` in its delimiter, if any.
     raw_string_hashes: Option<u32>,
+    /// Inside an ordinary `"…"` string that continues past a line break
+    /// (multi-line literals and `\`-continuations).
+    in_string: bool,
 }
 
-/// Lex a whole file into per-line code/comment views.
+/// A brace-delimited region the tracker cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionKind {
+    /// `#[cfg(test)]` item body or `mod tests { .. }`.
+    Test,
+    /// `pub struct` / `pub enum` / `pub union` body.
+    PubType,
+}
+
+/// Region-tracking state carried across lines (operates on lexed code
+/// text, so braces in strings/comments are invisible to it).
+#[derive(Debug, Clone, Default)]
+struct RegionState {
+    /// Current brace depth.
+    depth: u32,
+    /// Open regions as `(kind, body_depth)`: the region is live while
+    /// `depth >= body_depth`.
+    stack: Vec<(RegionKind, u32)>,
+    /// A `#[cfg(test)]` attribute (or `mod tests` header) was seen and
+    /// its item's opening brace is still pending; value is the depth the
+    /// attribute appeared at.
+    pending_test: Option<u32>,
+    /// A `pub struct/enum/union` header was seen and its body brace is
+    /// still pending; value is the depth the header appeared at.
+    pending_pub_type: Option<u32>,
+}
+
+impl RegionState {
+    fn test_active(&self) -> bool {
+        self.pending_test.is_some() || self.stack.iter().any(|&(k, _)| k == RegionKind::Test)
+    }
+
+    fn pub_type_active(&self) -> bool {
+        self.pending_pub_type.is_some() || self.stack.iter().any(|&(k, _)| k == RegionKind::PubType)
+    }
+
+    /// Advance over one line of lexed code text.
+    fn advance(&mut self, code: &str) {
+        // Header detection first: the braces that open these regions may
+        // sit on the same line, and `{` consumes the pending marker.
+        if has_cfg_test_attr(code) || is_mod_tests_header(code) {
+            self.pending_test = Some(self.depth);
+        }
+        if is_pub_type_header(code) {
+            self.pending_pub_type = Some(self.depth);
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if self.pending_test == Some(self.depth) {
+                        self.pending_test = None;
+                        self.pending_pub_type = None;
+                        self.stack.push((RegionKind::Test, self.depth + 1));
+                    } else if self.pending_pub_type == Some(self.depth) {
+                        self.pending_pub_type = None;
+                        self.stack.push((RegionKind::PubType, self.depth + 1));
+                    }
+                    self.depth += 1;
+                }
+                '}' => {
+                    self.depth = self.depth.saturating_sub(1);
+                    while matches!(self.stack.last(), Some(&(_, d)) if d > self.depth) {
+                        self.stack.pop();
+                    }
+                }
+                ';' => {
+                    // A braceless item (e.g. `#[cfg(test)] use x;` or
+                    // `mod tests;`) consumes its pending marker.
+                    if self.pending_test == Some(self.depth) {
+                        self.pending_test = None;
+                    }
+                    if self.pending_pub_type == Some(self.depth) {
+                        self.pending_pub_type = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Does the code text carry a `#[cfg(test)]` attribute (whitespace
+/// tolerated inside the brackets)?
+fn has_cfg_test_attr(code: &str) -> bool {
+    let squashed: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+    squashed.contains("#[cfg(test)]")
+}
+
+/// Is this line a `mod tests` header (`mod tests {` / `pub mod tests`)?
+fn is_mod_tests_header(code: &str) -> bool {
+    let Some(pos) = find_word(code, "mod") else {
+        return false;
+    };
+    let rest = code[pos + "mod".len()..].trim_start();
+    rest.starts_with("tests") && {
+        let after = &rest["tests".len()..];
+        after.is_empty() || !after.starts_with(|c: char| c.is_alphanumeric() || c == '_')
+    }
+}
+
+/// Is this line a `pub struct`/`pub enum`/`pub union` header? Handles
+/// `pub(crate)`/`pub(super)` restricted visibility too.
+fn is_pub_type_header(code: &str) -> bool {
+    for kw in ["struct", "enum", "union"] {
+        if let Some(pos) = find_word(code, kw) {
+            let before = code[..pos].trim_end();
+            if before.ends_with("pub") {
+                return true;
+            }
+            if let Some(open) = before.rfind("pub") {
+                // `pub(crate)` / `pub(in path)` between `pub` and the kw.
+                let between = &before[open + "pub".len()..];
+                let between = between.trim();
+                if between.starts_with('(') && between.ends_with(')') {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Lex a whole file into per-line code/comment views with region info.
 pub fn scan_lines(source: &str) -> Vec<ScannedLine> {
     let mut state = LexState::default();
+    let mut regions = RegionState::default();
     source
         .lines()
-        .map(|line| scan_line(line, &mut state))
+        .map(|line| {
+            let mut scanned = scan_line(line, &mut state);
+            scanned.depth = regions.depth;
+            let test_before = regions.test_active();
+            let pub_before = regions.pub_type_active();
+            regions.advance(&scanned.code);
+            // A header whose pending marker is consumed on its own line
+            // (`pub struct W(u32);`, `#[cfg(test)] use x;`) still counts
+            // for the line it appears on.
+            scanned.in_test = test_before
+                || regions.test_active()
+                || has_cfg_test_attr(&scanned.code)
+                || is_mod_tests_header(&scanned.code);
+            scanned.in_pub_type =
+                pub_before || regions.pub_type_active() || is_pub_type_header(&scanned.code);
+            scanned
+        })
         .collect()
 }
 
@@ -81,6 +234,27 @@ fn scan_line(line: &str, state: &mut LexState) -> ScannedLine {
             i += 1;
             continue;
         }
+        if state.in_string {
+            if bytes[i] == '\\' {
+                // Escape: blank the backslash and (when present) the
+                // escaped character; a trailing `\` continues the string
+                // onto the next line.
+                code.push(' ');
+                i += 1;
+                if i < bytes.len() {
+                    code.push(' ');
+                    i += 1;
+                }
+            } else if bytes[i] == '"' {
+                state.in_string = false;
+                code.push(' ');
+                i += 1;
+            } else {
+                code.push(' ');
+                i += 1;
+            }
+            continue;
+        }
 
         let c = bytes[i];
         match c {
@@ -98,24 +272,12 @@ fn scan_line(line: &str, state: &mut LexState) -> ScannedLine {
                 i += 2;
             }
             '"' => {
-                // Ordinary string literal: skip to unescaped closing quote.
+                // Ordinary string literal: the shared `in_string` state
+                // handles the contents, including continuation across
+                // line breaks (multi-line literals).
+                state.in_string = true;
                 code.push(' ');
                 i += 1;
-                while i < bytes.len() {
-                    if bytes[i] == '\\' {
-                        code.push_str("  ");
-                        i += 2;
-                    } else if bytes[i] == '"' {
-                        code.push(' ');
-                        i += 1;
-                        break;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-                // Unterminated ordinary strings continuing across lines are
-                // not used in this workspace; treat line end as terminator.
             }
             'r' if bytes.get(i + 1) == Some(&'"')
                 || (bytes.get(i + 1) == Some(&'#') && !is_ident_char_before(&bytes, i)) =>
@@ -154,8 +316,10 @@ fn scan_line(line: &str, state: &mut LexState) -> ScannedLine {
                         code.push(' ');
                         i += 1;
                     }
-                    code.push(' ');
-                    i += 1;
+                    if i < bytes.len() {
+                        code.push(' ');
+                        i += 1;
+                    }
                 } else if bytes.get(i + 2) == Some(&'\'') {
                     code.push_str("   ");
                     i += 3;
@@ -171,7 +335,11 @@ fn scan_line(line: &str, state: &mut LexState) -> ScannedLine {
         }
     }
 
-    ScannedLine { code, comment }
+    ScannedLine {
+        code,
+        comment,
+        ..ScannedLine::default()
+    }
 }
 
 fn is_ident_char_before(bytes: &[char], i: usize) -> bool {
@@ -201,22 +369,61 @@ pub fn find_word(code: &str, word: &str) -> Option<usize> {
     None
 }
 
+/// [`find_word`] excluding matches directly preceded by a lifetime tick:
+/// `'static` is a lifetime, `static X: …` is an item.
+pub fn find_keyword(code: &str, word: &str) -> Option<usize> {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0 || (!is_ident_byte(b[start - 1]) && b[start - 1] != b'\'');
+        let after_ok = end >= b.len() || !is_ident_byte(b[end]);
+        if before_ok && after_ok {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
 fn is_ident_byte(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
 }
 
 /// Waiver slugs declared on a comment via `lint: allow(<slug>)`.
 pub fn waiver_slugs(comment: &str) -> Vec<String> {
-    let mut out = Vec::new();
+    waivers_with_reasons(comment)
+        .into_iter()
+        .map(|(slug, _)| slug)
+        .collect()
+}
+
+/// Waiver declarations on a comment: `(slug, reason)` for every
+/// `lint: allow(<slug>) <reason>` occurrence, in order. The reason runs
+/// to the next waiver declaration or the end of the comment. Only
+/// kebab-case slugs (`[a-z0-9-]+`) count as declarations, so prose that
+/// merely quotes the syntax (e.g. a literal `<slug>` placeholder) is
+/// not a waiver.
+pub fn waivers_with_reasons(comment: &str) -> Vec<(String, String)> {
+    const NEEDLE: &str = "lint: allow(";
+    let mut out: Vec<(String, String)> = Vec::new();
     let mut rest = comment;
-    while let Some(pos) = rest.find("lint: allow(") {
-        let after = &rest[pos + "lint: allow(".len()..];
-        if let Some(close) = after.find(')') {
-            out.push(after[..close].trim().to_string());
-            rest = &after[close..];
-        } else {
-            break;
+    while let Some(pos) = rest.find(NEEDLE) {
+        let after = &rest[pos + NEEDLE.len()..];
+        let Some(close) = after.find(')') else { break };
+        let slug = after[..close].trim().to_string();
+        let tail = &after[close + 1..];
+        let reason_end = tail.find(NEEDLE).unwrap_or(tail.len());
+        let reason = tail[..reason_end].trim().to_string();
+        if !slug.is_empty()
+            && slug
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            out.push((slug, reason));
         }
+        rest = &after[close..];
     }
     out
 }
@@ -271,11 +478,253 @@ mod tests {
     }
 
     #[test]
+    fn keyword_excludes_lifetimes() {
+        assert!(find_keyword("static X: u32 = 0;", "static").is_some());
+        assert!(find_keyword("fn f(v: &'static str) {}", "static").is_none());
+        assert!(find_keyword("pub static mut Y: u32 = 0;", "static").is_some());
+    }
+
+    #[test]
     fn waiver_parsing() {
         let slugs = waiver_slugs("// lint: allow(hash-collections) membership only");
         assert_eq!(slugs, vec!["hash-collections".to_string()]);
         let two = waiver_slugs("lint: allow(a) and lint: allow(b)");
         assert_eq!(two, vec!["a".to_string(), "b".to_string()]);
         assert!(waiver_slugs("plain comment").is_empty());
+    }
+
+    #[test]
+    fn waiver_reasons_are_captured() {
+        let ws = waivers_with_reasons("// lint: allow(float-cmp) exact sentinel value");
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].0, "float-cmp");
+        assert_eq!(ws[0].1, "exact sentinel value");
+        let ws = waivers_with_reasons("lint: allow(a) first lint: allow(b) second");
+        assert_eq!(
+            ws,
+            vec![
+                ("a".to_string(), "first".to_string()),
+                ("b".to_string(), "second".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn multiline_strings_do_not_leak_into_later_lines() {
+        let src =
+            "let s = \"first \\\n // lint: allow(hash-collections) not a waiver\";\nlet t = 1;";
+        let s = scan_lines(src);
+        assert!(
+            s[1].comment.is_empty(),
+            "string content is not comment text"
+        );
+        assert!(!s[1].code.contains("lint"), "string content is not code");
+        assert!(s[2].code.contains("let t = 1"));
+    }
+
+    #[test]
+    fn placeholder_slugs_are_not_waiver_declarations() {
+        assert!(waivers_with_reasons("doc says `lint: allow(<slug>) <reason>`").is_empty());
+        assert!(waivers_with_reasons("lint: allow() empty slug").is_empty());
+        assert!(waivers_with_reasons("lint: allow(Uppercase) wrong case").is_empty());
+    }
+
+    #[test]
+    fn brace_depth_is_tracked() {
+        let s = scan_lines("fn f() {\n    if x {\n        y();\n    }\n}\nfn g() {}");
+        assert_eq!(s[0].depth, 0);
+        assert_eq!(s[1].depth, 1);
+        assert_eq!(s[2].depth, 2);
+        assert_eq!(s[3].depth, 2);
+        assert_eq!(s[4].depth, 1);
+        assert_eq!(s[5].depth, 0);
+    }
+
+    #[test]
+    fn braces_in_strings_and_comments_do_not_count() {
+        let s = scan_lines("let a = \"{{{\"; // }}}\nlet b = 2;");
+        assert_eq!(s[1].depth, 0);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module_body_only() {
+        let src = "pub fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn helper() {}\n\
+                   }\n\
+                   pub fn also_prod() {}";
+        let s = scan_lines(src);
+        assert!(!s[0].in_test, "production fn before the module");
+        assert!(s[1].in_test, "the attribute line itself");
+        assert!(s[2].in_test, "module header");
+        assert!(s[3].in_test, "module body");
+        assert!(s[4].in_test, "closing brace");
+        assert!(!s[5].in_test, "production fn after the module");
+    }
+
+    #[test]
+    fn mod_tests_without_attribute_is_a_test_region() {
+        let s = scan_lines("mod tests {\n    fn t() {}\n}\nfn prod() {}");
+        assert!(s[0].in_test && s[1].in_test && s[2].in_test);
+        assert!(!s[3].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_leak() {
+        let s = scan_lines("#[cfg(test)]\nuse std::collections::HashMap;\nfn prod() {}");
+        assert!(s[0].in_test && s[1].in_test);
+        assert!(!s[2].in_test, "pending marker consumed by the `;`");
+    }
+
+    #[test]
+    fn cfg_test_fn_region() {
+        let src = "#[cfg(test)]\nfn helper() {\n    work();\n}\nfn prod() {}";
+        let s = scan_lines(src);
+        assert!(s[0].in_test && s[1].in_test && s[2].in_test && s[3].in_test);
+        assert!(!s[4].in_test);
+    }
+
+    #[test]
+    fn mod_tests_lookalikes_stay_production() {
+        for src in [
+            "mod tests_helpers {}",
+            "let mod_tests = 1;",
+            "fn run_mod(tests: u32) {}",
+        ] {
+            let s = scan_lines(src);
+            assert!(!s[0].in_test, "src: {src}");
+        }
+    }
+
+    #[test]
+    fn pub_type_regions() {
+        let src = "pub struct Foo {\n    inner: u32,\n}\nstruct Private {\n    x: u32,\n}";
+        let s = scan_lines(src);
+        assert!(s[0].in_pub_type && s[1].in_pub_type && s[2].in_pub_type);
+        assert!(!s[3].in_pub_type && !s[4].in_pub_type);
+    }
+
+    #[test]
+    fn pub_crate_enum_counts_as_pub_type() {
+        let s = scan_lines("pub(crate) enum E {\n    A,\n}");
+        assert!(s[0].in_pub_type && s[1].in_pub_type);
+    }
+
+    #[test]
+    fn tuple_struct_semicolon_closes_pending() {
+        let s = scan_lines("pub struct Wrapper(u32);\nfn body() {\n    x();\n}");
+        assert!(s[0].in_pub_type, "the declaration line itself");
+        assert!(!s[1].in_pub_type && !s[2].in_pub_type);
+    }
+
+    use proptest::prelude::*;
+
+    /// Fragment vocabulary for the lexer properties: line comments, block
+    /// comments (nested, multi-line, stray closers), ordinary / raw /
+    /// multi-line strings (including an unterminated one), char literals,
+    /// lifetimes, braces, and region headers — the constructs the lexer
+    /// has to keep straight across arbitrary interleavings.
+    const FRAGMENTS: [&str; 16] = [
+        "let a = 1; // trailing comment with HashMap",
+        "let s = \"string with // fake comment and }\";",
+        "/* one-line block */ let b = 2;",
+        "/* open block with { brace",
+        "nested /* inner */ still outer",
+        "close */ let c = 3;",
+        "let r = r#\"raw \"quote\" inside\"#;",
+        "let q = r\"plain raw\";",
+        "let ch = '{'; let lt: &'static str = \"x\";",
+        "fn f() {",
+        "}",
+        "#[cfg(test)]",
+        "mod tests {",
+        "pub struct S {",
+        "let multi = \"starts here \\",
+        "let unterminated = \"no close",
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Shape invariant: whatever state the lexer is dragged through,
+        /// every line's code view has exactly as many chars as the source
+        /// line (blanking substitutes, never deletes), the line count is
+        /// preserved, and lexing is a pure function of the source.
+        #[test]
+        fn lexing_preserves_line_shape(
+            picks in collection::vec(0usize..FRAGMENTS.len(), 1..40),
+        ) {
+            let src: String = picks
+                .iter()
+                .map(|&i| FRAGMENTS[i])
+                .collect::<Vec<_>>()
+                .join("\n");
+            let scanned = scan_lines(&src);
+            prop_assert_eq!(scanned.len(), src.lines().count());
+            for (line, s) in src.lines().zip(&scanned) {
+                prop_assert_eq!(
+                    s.code.chars().count(),
+                    line.chars().count(),
+                    "line {:?} lexed to {:?}",
+                    line,
+                    s.code
+                );
+            }
+            let again = scan_lines(&src);
+            for (a, b) in scanned.iter().zip(&again) {
+                prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            }
+        }
+
+        /// Concealment invariant: a marker that only ever appears inside
+        /// comments or string literals (all fragments self-terminated)
+        /// never surfaces in any line's code view, no matter how the
+        /// fragments interleave.
+        #[test]
+        fn literal_and_comment_content_never_reaches_code(
+            picks in collection::vec(0usize..6usize, 1..30),
+        ) {
+            const HIDDEN: [&str; 6] = [
+                "// ZZMARKER in a line comment",
+                "let s = \"ZZMARKER in a string\";",
+                "/* ZZMARKER in a block */",
+                "let r = r#\"ZZMARKER in a raw string\"#;",
+                "/* spans\nZZMARKER mid-comment\nlines */",
+                "let m = \"continues \\\nZZMARKER after break\";",
+            ];
+            let src: String = picks
+                .iter()
+                .map(|&i| HIDDEN[i])
+                .collect::<Vec<_>>()
+                .join("\n");
+            for s in scan_lines(&src) {
+                prop_assert!(
+                    !s.code.contains("ZZMARKER"),
+                    "leaked into code view: {:?}",
+                    s.code
+                );
+            }
+        }
+
+        /// Waiver round-trip: any sequence of kebab-case declarations
+        /// formatted with the documented syntax parses back exactly.
+        #[test]
+        fn waiver_declarations_round_trip(
+            slugs in collection::vec(0usize..5usize, 1..4),
+        ) {
+            const WORDS: [&str; 5] =
+                ["wall-clock", "hash-collections", "float-cmp", "env-read", "r9"];
+            let mut comment = String::from("//");
+            for (k, &i) in slugs.iter().enumerate() {
+                comment.push_str(&format!(" lint: allow({}) reason number {k}", WORDS[i]));
+            }
+            let parsed = waivers_with_reasons(&comment);
+            prop_assert_eq!(parsed.len(), slugs.len());
+            for (k, (&i, (slug, reason))) in slugs.iter().zip(&parsed).enumerate() {
+                prop_assert_eq!(slug.as_str(), WORDS[i]);
+                prop_assert_eq!(reason.as_str(), format!("reason number {k}").as_str());
+            }
+        }
     }
 }

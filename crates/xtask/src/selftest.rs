@@ -1,12 +1,13 @@
-//! Lint self-test: proves every rule R1-R6 actually fires on a seeded
-//! violation, that waivers suppress as documented, and that a seeded
-//! violation drives the whole `lint` entry point to a non-zero exit.
+//! Lint self-test: proves every rule R1-R11 actually fires on a seeded
+//! violation, that waivers suppress as documented, that stale waivers
+//! are rejected, and that a seeded violation drives the whole `lint`
+//! entry point to a non-zero exit.
 //!
 //! The seeded violations live as real files under `crates/xtask/fixtures/`
 //! (excluded from the workspace walk) so they are reviewable and cannot
 //! drift out of sync with the engine.
 
-use crate::rules::{check_file, check_lib_headers, Rule};
+use crate::rules::{analyze_file, check_file, check_lib_headers, Rule};
 use crate::{classify, lint_workspace, FileClass};
 use std::fs;
 use std::path::Path;
@@ -19,7 +20,7 @@ struct Case {
     expect: Rule,
 }
 
-const CASES: [Case; 6] = [
+const CASES: [Case; 11] = [
     Case {
         fixture: "r1_wall_clock.rs",
         pretend_path: "crates/sim/src/seeded.rs",
@@ -50,6 +51,31 @@ const CASES: [Case; 6] = [
         pretend_path: "crates/sim/src/lib.rs",
         expect: Rule::LintHeaders,
     },
+    Case {
+        fixture: "r7_shared_state.rs",
+        pretend_path: "crates/sched/src/seeded.rs",
+        expect: Rule::SharedState,
+    },
+    Case {
+        fixture: "r8_rc_refcell.rs",
+        pretend_path: "crates/transport/src/seeded.rs",
+        expect: Rule::NonSendType,
+    },
+    Case {
+        fixture: "r9_unordered.rs",
+        pretend_path: "crates/aqm/src/seeded.rs",
+        expect: Rule::UnorderedIteration,
+    },
+    Case {
+        fixture: "r10_env_read.rs",
+        pretend_path: "crates/experiments/src/seeded.rs",
+        expect: Rule::EnvOutsideEnvModule,
+    },
+    Case {
+        fixture: "r11_stale_waiver.rs",
+        pretend_path: "crates/net/src/seeded.rs",
+        expect: Rule::StaleWaiver,
+    },
 ];
 
 /// Run the full self-test. `Err` carries a human-readable report of the
@@ -78,23 +104,56 @@ pub fn run(workspace_root: &Path) -> Result<(), String> {
         }
     }
 
-    // Waivers must suppress every waivable rule.
+    // Waivers must suppress every waivable rule — and every waiver in
+    // the fixture must come back marked used (no stale residue).
     let waived = fs::read_to_string(fixtures.join("clean_waivers.rs"))
         .map_err(|e| format!("fixture clean_waivers.rs unreadable: {e}"))?;
     let class = FileClass {
         sim_facing: true,
         hot_path: true,
         test_file: false,
+        harness: true,
+        boundary: true,
     };
-    let residue = check_file("crates/core/src/seeded.rs", &waived, &class);
-    if !residue.is_empty() {
+    let report = analyze_file("crates/core/src/seeded.rs", &waived, &class);
+    if !report.violations.is_empty() {
         return Err(format!(
             "waivered fixture must be clean, got:\n{}",
-            residue
+            report
+                .violations
                 .iter()
                 .map(|v| v.to_string())
                 .collect::<Vec<_>>()
                 .join("\n")
+        ));
+    }
+    let waivable: Vec<&str> = crate::rules::known_slugs();
+    for slug in &waivable {
+        if !report.waivers.iter().any(|w| w.slug == *slug && w.used) {
+            return Err(format!(
+                "clean_waivers.rs must exercise every waivable slug; `{slug}` missing or unused"
+            ));
+        }
+    }
+
+    // Stale-waiver rejection: the same fixture with its violations
+    // deleted must flip every waiver into an R11 finding.
+    let stale_only: String = waived
+        .lines()
+        .filter(|l| l.trim_start().starts_with("//"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let stale_report = analyze_file("crates/core/src/seeded.rs", &stale_only, &class);
+    let stale_count = stale_report
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::StaleWaiver)
+        .count();
+    if stale_count < waivable.len() {
+        return Err(format!(
+            "deleting the violations must leave every waiver stale (R11): \
+             expected >= {}, got {stale_count}",
+            waivable.len()
         ));
     }
 
@@ -133,19 +192,13 @@ pub fn run(workspace_root: &Path) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::ALL_RULES;
     use crate::workspace_root;
 
     #[test]
     fn every_rule_has_a_fixture() {
         let covered: Vec<Rule> = CASES.iter().map(|c| c.expect).collect();
-        for rule in [
-            Rule::WallClock,
-            Rule::NondeterministicRng,
-            Rule::HashCollections,
-            Rule::HotPathPanic,
-            Rule::FloatCmp,
-            Rule::LintHeaders,
-        ] {
+        for rule in ALL_RULES {
             assert!(covered.contains(&rule), "no fixture for {rule}");
         }
     }
