@@ -161,6 +161,15 @@ pub trait Aqm: Send {
     fn take_episode_transition(&mut self) -> Option<EpisodeTransition> {
         None
     }
+
+    /// Downcast hook for white-box inspection of scheme-internal state
+    /// (e.g. ECN♯'s `MarkStats`) behind the `Box<dyn Aqm>` a port holds.
+    /// Schemes opt in by returning `Some(self)`; the default `None` keeps
+    /// internals private. Used by equivalence tests that must assert a
+    /// scheme's counters are identical across execution modes.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// One entry into — or exit from — a marking episode, as reported by an

@@ -1,0 +1,101 @@
+//! Conservative-PDES scaling: wall time of the *run phase* of one
+//! fat-tree workload at 1/2/4/8 shards (PERFORMANCE.md "Scaling").
+//!
+//! Topology construction and flow scheduling happen in `iter_batched`
+//! setup so the timed region is exactly the engine — the serial event
+//! loop at 1 shard, `run_sharded_until_idle` otherwise. Every variant
+//! replays the same seed, so by the CONCURRENCY.md determinism contract
+//! the simulated outcome is byte-identical across the row; only the
+//! wall clock differs. A single-hardware-thread host therefore measures
+//! the engine's partitioning overhead (and the smaller-queue locality
+//! win at k=16) rather than parallel speedup — see PERFORMANCE.md for
+//! how to read the numbers on 1-core CI versus a multicore box.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ecnsharp_aqm::DropTail;
+use ecnsharp_experiments::{Scheme, SchemeParams};
+use ecnsharp_net::topology::fat_tree;
+use ecnsharp_net::{FlowId, Network, PortConfig, ShardPlan};
+use ecnsharp_sim::{Duration, Rate, Rng, SimTime};
+use ecnsharp_transport::{TcpConfig, TcpStack};
+use ecnsharp_workload::{dists, Pattern, RttVariation, TrafficSpec};
+use std::hint::black_box;
+
+const FLOWS: u64 = 200;
+const SEED: u64 = 11;
+
+/// Build the k-ary fat-tree with ECN# switch ports and DCTCP endpoints,
+/// schedule the all-to-all web-search workload, and cut the shard plan —
+/// everything the run phase needs, none of it timed.
+fn setup(k: usize, shards: u32) -> (Network, Option<ShardPlan>) {
+    let rtt = RttVariation::sim_3x();
+    let rate = Rate::from_gbps(10);
+    let params = SchemeParams::derive(&rtt, rate);
+    let scheme = Scheme::EcnSharp(None);
+    let link_delay = Duration::from_nanos(rtt.min().as_nanos() / 12);
+    let topo = fat_tree(
+        SEED,
+        k,
+        rate,
+        rate,
+        link_delay,
+        |_| TcpStack::boxed(TcpConfig::dctcp()),
+        || PortConfig::fifo(4_000_000, Box::new(DropTail::new())),
+        || params.port(&scheme, 200_000, 0xFA7),
+    );
+    let spec = TrafficSpec {
+        cdf: dists::web_search(),
+        load: 0.5,
+        bottleneck: rate,
+        pattern: Pattern::AllToAll {
+            hosts: topo.hosts.clone(),
+        },
+        rtt,
+        class: 0,
+        start: SimTime::ZERO,
+    };
+    let n_hosts = topo.hosts.len();
+    let mut rng = Rng::seed_from_u64(SEED ^ 0x1EAF);
+    let mean_gap = spec.mean_interarrival() / n_hosts as u64;
+    let mut t = SimTime::ZERO;
+    let plan = (shards >= 2).then(|| topo.shard_plan(shards));
+    let mut net = topo.net;
+    for f in 0..FLOWS {
+        t += rng.exp_duration(mean_gap);
+        let mut cmds = spec.generate(1, 1 + f, &mut rng);
+        let (_, mut cmd) = cmds.pop().expect("one command per call");
+        cmd.flow = FlowId(1 + f);
+        net.schedule_flow(t, cmd);
+    }
+    (net, plan)
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_scaling");
+    g.sample_size(5);
+    for k in [8usize, 16] {
+        for shards in [1u32, 2, 4, 8] {
+            g.bench_function(&format!("fat_tree_k{k}_s{shards}"), |b| {
+                b.iter_batched(
+                    || setup(k, shards),
+                    |(mut net, plan)| {
+                        match &plan {
+                            Some(p) => {
+                                net.run_sharded_until_idle(p);
+                            }
+                            None => {
+                                net.run_until_idle();
+                            }
+                        }
+                        black_box(net.steps())
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

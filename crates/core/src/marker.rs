@@ -210,6 +210,10 @@ impl Aqm for EcnSharp {
         "ECN#"
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn on_enqueue(&mut self, _now: SimTime, _q: &QueueState, _pkt: &PacketView) -> EnqueueVerdict {
         EnqueueVerdict::Admit
     }

@@ -16,6 +16,7 @@
 //! | `ECNSHARP_DELACK` | u32 ≥ 1 | transport default |
 //! | `ECNSHARP_TIMER_BACKEND` | `wheel`/`legacy` | `wheel` |
 //! | `ECNSHARP_INJECT_PANIC` | `worker` | unset = no injection |
+//! | `ECNSHARP_SHARDS` | u32 ≥ 1 | `1` (serial) |
 
 use crate::runner::{parse_fault_seed, DEFAULT_FAULT_SEED};
 use crate::Scale;
@@ -111,6 +112,25 @@ pub fn timer_backend() -> Result<Option<TimerBackend>, String> {
             )),
         },
         None => Ok(None),
+    }
+}
+
+/// `ECNSHARP_SHARDS`: shard count for the conservative-PDES engine (see
+/// CONCURRENCY.md). Unset or `1` means the serial event loop; `n ≥ 2`
+/// makes shard-capable scenarios partition their fabric into `n` shards
+/// and run them on `n` worker threads. Outputs are byte-identical either
+/// way (the shard-equivalence suite pins this), so the knob is purely a
+/// wall-clock trade. Set values must parse as a u32 ≥ 1; scenarios clamp
+/// to their topology's natural shard ceiling (e.g. the leaf count).
+pub fn shards() -> Result<u32, String> {
+    match read("ECNSHARP_SHARDS")? {
+        Some(v) => match v.parse::<u32>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "unrecognized ECNSHARP_SHARDS value {v:?} (expected an integer >= 1)"
+            )),
+        },
+        None => Ok(1),
     }
 }
 

@@ -23,10 +23,11 @@ pub use runner::{
     try_parallel_map, Scale, SweepOutcome, DEFAULT_FAULT_SEED,
 };
 pub use scenario::{
-    run_chaos_leaf_spine, run_dwrr, run_incast_micro, run_incast_micro_with,
-    run_incast_micro_with_subscriber, run_leaf_spine, run_leaf_spine_with_subscriber,
-    run_testbed_star, run_testbed_star_with_subscriber, ChaosResult, DwrrResult, FctScenario,
-    IncastResult, IncastTimeline,
+    run_chaos_leaf_spine, run_chaos_leaf_spine_sharded, run_dwrr, run_fat_tree,
+    run_fat_tree_sharded, run_incast_micro, run_incast_micro_with,
+    run_incast_micro_with_subscriber, run_leaf_spine, run_leaf_spine_sharded,
+    run_leaf_spine_with_subscriber, run_testbed_star, run_testbed_star_with_subscriber,
+    ChaosResult, DwrrResult, FctScenario, IncastResult, IncastTimeline,
 };
 pub use scheme::{Scheme, SchemeParams};
 pub use telemetry::{

@@ -3,10 +3,11 @@
 use crate::scheme::{Scheme, SchemeParams};
 use ecnsharp_aqm::DropTail;
 use ecnsharp_net::topology::{
-    leaf_spine, leaf_spine_with_subscriber, star, star_with_subscriber, LeafSpine, Star,
+    fat_tree, leaf_spine, leaf_spine_with_subscriber, star, star_with_subscriber, LeafSpine, Star,
 };
 use ecnsharp_net::{
-    FaultPlan, FlowId, GilbertElliott, NodeId, NoopSubscriber, PortConfig, Subscriber,
+    FaultPlan, FlowId, GilbertElliott, Network, NodeId, NoopSubscriber, PortConfig, ShardPlan,
+    ShardSubscriber, Subscriber,
 };
 use ecnsharp_sched::Dwrr;
 use ecnsharp_sim::{Duration, Rate, Rng, SimTime};
@@ -67,6 +68,37 @@ impl FctScenario {
 /// the switch).
 fn nic_port() -> PortConfig {
     PortConfig::fifo(4_000_000, Box::new(DropTail::new()))
+}
+
+/// Run `net` to completion, serial (`plan` = `None`) or on the
+/// conservative-PDES engine ([`Network::run_sharded_until_idle`]).
+///
+/// The shard-equivalence suite pins that both paths produce
+/// byte-identical figures, so callers treat the choice purely as a
+/// wall-clock knob.
+fn run_to_idle<S: ShardSubscriber>(net: &mut Network<S>, plan: Option<&ShardPlan>) {
+    match plan {
+        Some(p) => {
+            net.run_sharded_until_idle(p);
+        }
+        None => {
+            net.run_until_idle();
+        }
+    }
+}
+
+/// Clamp a requested shard count to a topology's natural ceiling (leaf
+/// count, pod count). Requests above it are clamped rather than rejected
+/// so `ECNSHARP_SHARDS=8` works across a sweep of differently-sized
+/// fabrics; 0/1 means serial.
+fn effective_shards(requested: u32, max_shards: usize) -> u32 {
+    requested.clamp(1, (max_shards as u32).max(1))
+}
+
+/// The `ECNSHARP_SHARDS` knob (strict; see [`crate::env::shards`]),
+/// unwrapped for scenario use.
+fn env_shards() -> u32 {
+    crate::env::or_exit(crate::env::shards())
 }
 
 /// Endpoint transport used by every scenario. `ECNSHARP_DELACK` overrides
@@ -144,24 +176,62 @@ pub fn run_testbed_star_with_subscriber<S: Subscriber>(
 
 /// Run the §5.3 leaf-spine fabric (all-to-all traffic, ECMP). Scaled by
 /// `hosts_per_leaf`/`n_leaves`/`n_spines` so tests can shrink it.
+///
+/// Honors `ECNSHARP_SHARDS`: with `n ≥ 2` the fabric is partitioned per
+/// leaf and run on the sharded engine, byte-identically (see
+/// CONCURRENCY.md).
 pub fn run_leaf_spine(
     sc: &FctScenario,
     n_spines: usize,
     n_leaves: usize,
     hosts_per_leaf: usize,
 ) -> FctBreakdown {
-    let (fct, _) =
-        run_leaf_spine_with_subscriber(sc, n_spines, n_leaves, hosts_per_leaf, NoopSubscriber);
-    fct
+    run_leaf_spine_sharded(sc, n_spines, n_leaves, hosts_per_leaf, env_shards())
 }
 
-/// [`run_leaf_spine`] with a telemetry subscriber attached for the whole
-/// run; returns it alongside the FCT breakdown.
-pub fn run_leaf_spine_with_subscriber<S: Subscriber>(
+/// [`run_leaf_spine`] with an explicit shard count instead of the
+/// `ECNSHARP_SHARDS` knob (1 = serial). The shard-equivalence suite uses
+/// this to pin sharded and serial outputs against each other in one
+/// process.
+pub fn run_leaf_spine_sharded(
     sc: &FctScenario,
     n_spines: usize,
     n_leaves: usize,
     hosts_per_leaf: usize,
+    shards: u32,
+) -> FctBreakdown {
+    let (fct, _) = run_leaf_spine_inner(
+        sc,
+        n_spines,
+        n_leaves,
+        hosts_per_leaf,
+        shards,
+        NoopSubscriber,
+    );
+    fct
+}
+
+/// [`run_leaf_spine`] with a telemetry subscriber attached for the whole
+/// run; returns it alongside the FCT breakdown. Sharded runs fork the
+/// subscriber per shard and merge deterministically, so the bound is
+/// [`ShardSubscriber`] — order-sensitive sinks are rejected at compile
+/// time rather than silently reordered.
+pub fn run_leaf_spine_with_subscriber<S: ShardSubscriber>(
+    sc: &FctScenario,
+    n_spines: usize,
+    n_leaves: usize,
+    hosts_per_leaf: usize,
+    sub: S,
+) -> (FctBreakdown, S) {
+    run_leaf_spine_inner(sc, n_spines, n_leaves, hosts_per_leaf, env_shards(), sub)
+}
+
+fn run_leaf_spine_inner<S: ShardSubscriber>(
+    sc: &FctScenario,
+    n_spines: usize,
+    n_leaves: usize,
+    hosts_per_leaf: usize,
+    shards: u32,
     sub: S,
 ) -> (FctBreakdown, S) {
     let params = sc.params();
@@ -211,10 +281,73 @@ pub fn run_leaf_spine_with_subscriber<S: Subscriber>(
     for (at, cmd) in flows {
         topo.net.schedule_flow(at, cmd);
     }
-    topo.net.run_until_idle();
+    let n = effective_shards(shards, n_leaves);
+    let plan = (n >= 2).then(|| topo.shard_plan(n));
+    run_to_idle(&mut topo.net, plan.as_ref());
     crate::perf::absorb(&topo.net);
     let fct = FctBreakdown::from_records(topo.net.records());
     (fct, topo.net.into_subscriber())
+}
+
+/// Run an all-to-all workload on a k-ary fat-tree
+/// ([`ecnsharp_net::topology::fat_tree`]) — the datacenter-scale shape the
+/// sharded engine exists for (k=16 is 1024 hosts). Honors
+/// `ECNSHARP_SHARDS` with a per-pod cut (ceiling `k`).
+pub fn run_fat_tree(sc: &FctScenario, k: usize) -> FctBreakdown {
+    run_fat_tree_sharded(sc, k, env_shards())
+}
+
+/// [`run_fat_tree`] with an explicit shard count instead of the
+/// `ECNSHARP_SHARDS` knob (1 = serial).
+pub fn run_fat_tree_sharded(sc: &FctScenario, k: usize, shards: u32) -> FctBreakdown {
+    let params = sc.params();
+    // host→edge→agg→core→agg→edge→host: 12 propagation legs per RTT.
+    let link_delay = Duration::from_nanos(sc.rtt.min().as_nanos() / 12);
+    let scheme = sc.scheme.clone();
+    let buffer = sc.buffer;
+    let mut topo = fat_tree(
+        sc.seed,
+        k,
+        sc.rate,
+        sc.rate,
+        link_delay,
+        |_| TcpStack::boxed(endpoint_tcp()),
+        nic_port,
+        || params.port(&scheme, buffer, 0xFA7),
+    );
+    let spec = TrafficSpec {
+        cdf: sc.cdf.clone(),
+        load: sc.load,
+        bottleneck: sc.rate,
+        pattern: Pattern::AllToAll {
+            hosts: topo.hosts.clone(),
+        },
+        rtt: sc.rtt,
+        class: 0,
+        start: SimTime::ZERO,
+    };
+    // As in the leaf-spine runner: per-edge-link load, aggregated over all
+    // hosts sourcing flows.
+    let n_hosts = topo.hosts.len();
+    let mut rng = Rng::seed_from_u64(sc.seed ^ 0xFA77);
+    let mean_gap = spec.mean_interarrival() / n_hosts as u64;
+    let mut t = SimTime::ZERO;
+    let mut flows = Vec::with_capacity(sc.n_flows);
+    for idx in 0..sc.n_flows {
+        t += rng.exp_duration(mean_gap);
+        let mut cmds = spec.generate(1, 1 + idx as u64, &mut rng);
+        let (_, mut cmd) = cmds.pop().expect("one");
+        cmd.flow = FlowId(1 + idx as u64);
+        flows.push((t, cmd));
+    }
+    for (at, cmd) in flows {
+        topo.net.schedule_flow(at, cmd);
+    }
+    let n = effective_shards(shards, k);
+    let plan = (n >= 2).then(|| topo.shard_plan(n));
+    run_to_idle(&mut topo.net, plan.as_ref());
+    crate::perf::absorb(&topo.net);
+    FctBreakdown::from_records(topo.net.records())
 }
 
 /// Result of one chaos-sweep point: FCT over the flows that completed,
@@ -254,6 +387,21 @@ pub fn run_chaos_leaf_spine(
     flap_period: Option<Duration>,
     n_flows: usize,
     seed: u64,
+) -> ChaosResult {
+    run_chaos_leaf_spine_sharded(scheme, mean_loss, flap_period, n_flows, seed, env_shards())
+}
+
+/// [`run_chaos_leaf_spine`] with an explicit shard count instead of the
+/// `ECNSHARP_SHARDS` knob (1 = serial). Fault application — flaps, GE
+/// loss, route rebuilds — crosses shard boundaries, so the equivalence
+/// suite leans on this variant to prove chaos outputs stay byte-identical.
+pub fn run_chaos_leaf_spine_sharded(
+    scheme: Scheme,
+    mean_loss: f64,
+    flap_period: Option<Duration>,
+    n_flows: usize,
+    seed: u64,
+    shards: u32,
 ) -> ChaosResult {
     let rate = Rate::from_gbps(10);
     let rtt = RttVariation::sim_3x();
@@ -316,7 +464,9 @@ pub fn run_chaos_leaf_spine(
     for (at, cmd) in flows {
         topo.net.schedule_flow(at, cmd);
     }
-    topo.net.run_until_idle();
+    let n = effective_shards(shards, topo.leaves.len());
+    let plan = (n >= 2).then(|| topo.shard_plan(n));
+    run_to_idle(&mut topo.net, plan.as_ref());
     let perf = topo.net.perf();
     let fct = FctBreakdown::from_records(topo.net.records());
     crate::perf::absorb(&topo.net);
@@ -635,6 +785,103 @@ mod tests {
         let sc = FctScenario::testbed(Scheme::DctcpRedTail, dists::web_search(), 0.3, 40, 2);
         let fct = run_leaf_spine(&sc, 2, 2, 4);
         assert_eq!(fct.overall.count, 40);
+    }
+
+    #[test]
+    fn leaf_spine_sharded_matches_serial() {
+        let sc = FctScenario::testbed(Scheme::EcnSharp(None), dists::web_search(), 0.3, 30, 5);
+        let serial = run_leaf_spine_sharded(&sc, 2, 2, 4, 1);
+        let sharded = run_leaf_spine_sharded(&sc, 2, 2, 4, 2);
+        assert_eq!(format!("{serial:?}"), format!("{sharded:?}"));
+    }
+
+    fn tmp_run_ft_records(shards: u32) -> (u64, Vec<String>) {
+        let sc = FctScenario::testbed(Scheme::EcnSharp(None), dists::web_search(), 0.2, 30, 6);
+        let params = sc.params();
+        let link_delay = Duration::from_nanos(sc.rtt.min().as_nanos() / 12);
+        let scheme = sc.scheme.clone();
+        let buffer = sc.buffer;
+        let mut topo = fat_tree(
+            sc.seed,
+            4,
+            sc.rate,
+            sc.rate,
+            link_delay,
+            |_| TcpStack::boxed(endpoint_tcp()),
+            nic_port,
+            || params.port(&scheme, buffer, 0xFA7),
+        );
+        let spec = TrafficSpec {
+            cdf: sc.cdf.clone(),
+            load: sc.load,
+            bottleneck: sc.rate,
+            pattern: Pattern::AllToAll {
+                hosts: topo.hosts.clone(),
+            },
+            rtt: sc.rtt,
+            class: 0,
+            start: SimTime::ZERO,
+        };
+        let n_hosts = topo.hosts.len();
+        let mut rng = Rng::seed_from_u64(sc.seed ^ 0xFA77);
+        let mean_gap = spec.mean_interarrival() / n_hosts as u64;
+        let mut t = SimTime::ZERO;
+        for idx in 0..sc.n_flows {
+            t += rng.exp_duration(mean_gap);
+            let mut cmds = spec.generate(1, 1 + idx as u64, &mut rng);
+            let (_, mut cmd) = cmds.pop().expect("one");
+            cmd.flow = FlowId(1 + idx as u64);
+            topo.net.schedule_flow(t, cmd);
+        }
+        let plan = (shards >= 2).then(|| topo.shard_plan(shards));
+        run_to_idle(&mut topo.net, plan.as_ref());
+        let mut out: Vec<String> = topo
+            .net
+            .records()
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        for node in 0..topo.net.node_count() {
+            let n = NodeId(node);
+            for port in 0..topo.net.port_count(n) {
+                out.push(format!(
+                    "port {node}.{port} {:?}",
+                    topo.net.port_stats(n, port)
+                ));
+            }
+        }
+        (topo.net.steps(), out)
+    }
+
+    #[test]
+    fn tmp_bisect_ls4() {
+        let sc = FctScenario::testbed(Scheme::EcnSharp(None), dists::web_search(), 0.2, 30, 6);
+        let a = format!("{:?}", run_leaf_spine_sharded(&sc, 4, 4, 4, 1));
+        let b = format!("{:?}", run_leaf_spine_sharded(&sc, 4, 4, 4, 4));
+        assert_eq!(a, b, "ls 4x4x4 4 shards");
+    }
+
+    #[test]
+    fn tmp_bisect() {
+        let (steps_s, recs_s) = tmp_run_ft_records(1);
+        let (steps_2, recs_2) = tmp_run_ft_records(2);
+        eprintln!("steps serial={steps_s} sharded={steps_2}");
+        for (a, b) in recs_s.iter().zip(recs_2.iter()) {
+            if a != b {
+                eprintln!("DIVERGENT:\n  serial:  {a}\n  sharded: {b}");
+            }
+        }
+        assert_eq!(recs_s.len(), recs_2.len());
+        assert!(recs_s == recs_2);
+    }
+
+    #[test]
+    fn fat_tree_smoke() {
+        let sc = FctScenario::testbed(Scheme::EcnSharp(None), dists::web_search(), 0.2, 30, 6);
+        let serial = run_fat_tree_sharded(&sc, 4, 1);
+        assert_eq!(serial.overall.count, 30);
+        let sharded = run_fat_tree_sharded(&sc, 4, 4);
+        assert_eq!(format!("{serial:?}"), format!("{sharded:?}"));
     }
 
     #[test]

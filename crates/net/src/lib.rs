@@ -60,6 +60,7 @@ pub mod network;
 pub mod node;
 pub mod packet;
 pub mod port;
+pub mod shard;
 pub mod topology;
 pub mod trace;
 
@@ -69,11 +70,12 @@ pub use ids::{FlowId, NodeId, PortId};
 pub use network::{Network, PerfCounters, QueueMonitor};
 pub use packet::{Ecn, Flags, Packet};
 pub use port::{EgressPort, PortConfig, PortSched, PortStats};
+pub use shard::ShardPlan;
 pub use trace::{TraceEvent, TraceKind, Tracer, MAX_TRACE_CAPACITY};
 
 // Re-export the subscriber vocabulary so downstream crates can attach
 // telemetry without depending on `ecnsharp-telemetry` directly.
-pub use ecnsharp_telemetry::{DropReason, NoopSubscriber, Subscriber};
+pub use ecnsharp_telemetry::{DropReason, NoopSubscriber, ShardSubscriber, Subscriber};
 
 // Compile-time shard-safety proofs: a sharded engine (ROADMAP item 1)
 // hands whole `Network` instances to worker threads, so every piece of
@@ -89,4 +91,9 @@ const _: () = {
     assert_send_sync::<Packet>();
     assert_send_sync::<GilbertElliott>();
     assert_send_sync::<Tracer>();
+    // The sharded runner moves these between threads: whole engines into
+    // the worker scope, cross-shard packets through the mailboxes, and
+    // the plan's owner map behind an Arc.
+    assert_send::<network::OutMsg>();
+    assert_send_sync::<ShardPlan>();
 };

@@ -5,9 +5,22 @@
 //! [`Network::step`]; there is no shared mutable state between components,
 //! so runs are deterministic and the borrow checker stays happy without
 //! `Rc<RefCell>`.
+//!
+//! # Canonical event tags
+//!
+//! Events are ordered by `(time, tag)` where the tag is **content-derived**
+//! rather than a global push counter: an event pushed while node `g`'s
+//! event was being processed gets `tag = (g + 1) << 40 | k`, with `k` that
+//! node's private push counter. Pushes outside any node's event (topology
+//! setup, scheduled flows, fault application) share the reserved base `0`
+//! and one setup counter. Because a node's tag sequence depends only on
+//! the events *that node* processes, the global `(time, tag)` order is
+//! identical no matter how the network is partitioned into shards — this
+//! is the determinism contract the sharded engine (see [`crate::shard`]
+//! and `CONCURRENCY.md`) is built on.
 
 use crate::agent::{Action, Agent, Ctx, FlowCmd, FlowOutcome, FlowRecord};
-use crate::fault::{FaultAction, FaultEvent, FaultPlan};
+use crate::fault::{FaultAction, FaultPlan};
 use crate::ids::{FlowId, NodeId};
 use crate::node::{Node, NodeKind};
 use crate::port::{EgressPort, PortConfig, PortStats};
@@ -22,6 +35,17 @@ use ecnsharp_telemetry::{
 };
 use ecnsharp_telemetry::{DropReason, NoopSubscriber, Subscriber};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Bit position splitting a canonical tag into `(pusher + 1, k)`. 24 bits
+/// of pusher (16M nodes) over 40 bits of per-node counter (1T pushes per
+/// node) — both far beyond any simulated fabric.
+pub(crate) const TAG_SHIFT: u32 = 40;
+
+/// `cur_node` sentinel: pushes not attributable to a node's event
+/// (topology setup, `schedule_flow`, fault application) draw tags from the
+/// shared setup counter under pusher base `0`.
+pub(crate) const SETUP_CTX: usize = usize::MAX;
 
 /// Aggregate engine counters of one run, cheap enough to maintain
 /// unconditionally and only assembled when asked for — reading them cannot
@@ -84,7 +108,7 @@ pub struct QueueMonitor {
     pub samples: Vec<(SimTime, u64, u64)>,
 }
 
-enum Event {
+pub(crate) enum Event {
     /// Packet finished its wire journey and arrives at `node`.
     Arrive {
         node: NodeId,
@@ -104,8 +128,23 @@ enum Event {
     },
     /// Take a queue-monitor sample.
     Sample { id: usize },
-    /// Apply the `idx`-th installed fault-plan event.
-    Fault { idx: usize },
+}
+
+/// A cross-shard packet arrival, buffered in the sending shard's outbox
+/// during a window and delivered into the receiving shard's queue at the
+/// window barrier. The tag was assigned by the sender, so delivery order
+/// within the receiver is canonical regardless of mailbox append order.
+pub(crate) struct OutMsg {
+    /// Destination shard (the owner of `node`).
+    pub(crate) shard: u32,
+    /// Arrival time (≥ send-window end + lookahead by construction).
+    pub(crate) at: SimTime,
+    /// Canonical tag assigned by the sending shard.
+    pub(crate) tag: u64,
+    /// Receiving node.
+    pub(crate) node: NodeId,
+    /// The packet on the wire.
+    pub(crate) pkt: crate::packet::Packet,
 }
 
 /// The simulated network, generic over an attached telemetry
@@ -121,28 +160,59 @@ pub struct Network<S: Subscriber = NoopSubscriber> {
     /// (drained after every agent callback; reused across calls).
     #[cfg(feature = "telemetry")]
     scratch_events: Vec<TransportEvent>,
-    nodes: Vec<Node>,
-    events: EventQueue<Event>,
-    rng: Rng,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) events: EventQueue<Event>,
+    /// Network seed: drives the ECMP salt and every port's fault dice.
+    pub(crate) seed: u64,
     ecmp_salt: u64,
     /// Flows started but not yet completed: flow → (cmd, start time).
-    pending: BTreeMap<FlowId, (FlowCmd, SimTime)>,
-    /// Live cancellable timers: `(node, key)` → wheel token. Entries are
-    /// removed when the timer fires, is cancelled, or is replaced.
-    timer_tokens: BTreeMap<(NodeId, u64), TimerToken>,
-    records: Vec<FlowRecord>,
-    monitors: Vec<QueueMonitor>,
+    pub(crate) pending: BTreeMap<FlowId, (FlowCmd, SimTime)>,
+    /// Live cancellable timers: `(node, key)` → wheel token plus the armed
+    /// `(time, tag)` (the key under which the pending event is queued).
+    pub(crate) timer_tokens: BTreeMap<(NodeId, u64), (TimerToken, SimTime, u64)>,
+    pub(crate) records: Vec<FlowRecord>,
+    /// Provenance key of each record, aligned with `records`: `(finish,
+    /// tag of the completing event, index among that event's records)`.
+    /// This is the exact serial processing order, so shard merges can
+    /// reproduce it with a key-ordered merge.
+    pub(crate) record_keys: Vec<(SimTime, u64, u32)>,
+    pub(crate) monitors: Vec<QueueMonitor>,
     scratch: Vec<Action>,
-    steps: u64,
-    /// Installed fault-plan events, indexed by `Event::Fault::idx`.
-    faults: Vec<FaultEvent>,
+    pub(crate) steps: u64,
+    /// Pending fault-plan events as `(at, tag, action)`, sorted by
+    /// `(at, tag)`; `next_fault` is the cursor of the first unapplied one.
+    /// Faults live outside the event queue so the sharded runner can use
+    /// them as epoch boundaries, but they interleave with events at their
+    /// exact `(time, tag)` position either way.
+    pub(crate) fault_queue: Vec<(SimTime, u64, FaultAction)>,
+    pub(crate) next_fault: usize,
     /// Has `compute_routes` run at least once? Link up/down transitions
     /// only trigger a route rebuild after the initial computation.
-    routes_built: bool,
-    flows_failed: u64,
-    no_route_drops: u64,
+    pub(crate) routes_built: bool,
+    pub(crate) flows_failed: u64,
+    pub(crate) no_route_drops: u64,
+    // ── sharding state (serial runs: identity values) ─────────────────
+    /// Which shard this engine instance is (0 when serial).
+    pub(crate) my_shard: u32,
+    /// Global node → owning shard map; `None` when serial (everything
+    /// local). Shared read-only across all shards of a run.
+    pub(crate) owner: Option<Arc<Vec<u32>>>,
+    /// Cross-shard arrivals produced in the current window.
+    pub(crate) outbox: Vec<OutMsg>,
+    /// Per-node canonical tag counters (`k` of `(g+1)<<40 | k`).
+    pub(crate) tag_k: Vec<u64>,
+    /// Shared setup/fault tag counter (pusher base 0).
+    pub(crate) setup_k: u64,
+    /// Node whose event is being processed ([`SETUP_CTX`] outside one).
+    pub(crate) cur_node: usize,
+    /// Tag of the event being processed (record provenance).
+    cur_tag: u64,
+    /// Records already pushed by the event being processed.
+    rec_sub: u32,
+    /// Queue perf counters inherited from merged shard queues.
+    pub(crate) carry: ecnsharp_sim::queue::QueuePerf,
     #[cfg(feature = "packet-trace")]
-    tracer: Option<Tracer>,
+    pub(crate) tracer: Option<Tracer>,
 }
 
 impl Network {
@@ -168,18 +238,99 @@ impl<S: Subscriber> Network<S> {
             scratch_events: Vec::new(),
             nodes: Vec::new(),
             events: EventQueue::new(),
-            rng,
+            seed,
             ecmp_salt,
             pending: BTreeMap::new(),
             timer_tokens: BTreeMap::new(),
             records: Vec::new(),
+            record_keys: Vec::new(),
             monitors: Vec::new(),
             scratch: Vec::new(),
             steps: 0,
-            faults: Vec::new(),
+            fault_queue: Vec::new(),
+            next_fault: 0,
             routes_built: false,
             flows_failed: 0,
             no_route_drops: 0,
+            my_shard: 0,
+            owner: None,
+            outbox: Vec::new(),
+            tag_k: Vec::new(),
+            setup_k: 0,
+            cur_node: SETUP_CTX,
+            cur_tag: 0,
+            rec_sub: 0,
+            carry: Default::default(),
+            #[cfg(feature = "packet-trace")]
+            tracer: None,
+        }
+    }
+
+    /// Next canonical event tag for the current push context (see the
+    /// module docs): node-attributed when inside [`Self::step`], the
+    /// shared setup counter otherwise.
+    #[inline]
+    pub(crate) fn next_tag(&mut self) -> u64 {
+        if self.cur_node == SETUP_CTX {
+            let t = self.setup_k;
+            self.setup_k += 1;
+            t
+        } else {
+            let k = &mut self.tag_k[self.cur_node];
+            let t = ((self.cur_node as u64 + 1) << TAG_SHIFT) | *k;
+            *k += 1;
+            t
+        }
+    }
+
+    /// Schedule `ev` at `at` under the next canonical tag.
+    #[inline]
+    fn push_event(&mut self, at: SimTime, ev: Event) {
+        let tag = self.next_tag();
+        if self.cur_node == SETUP_CTX {
+            // Setup tags sort below same-time runtime tags, so a push at
+            // `now` into a network that already popped runtime events at
+            // this instant (re-injection between runs, manual link-up
+            // kicks) legally lands below the strict pop-order watermark.
+            self.events.rewind_order_watermark();
+        }
+        self.events.schedule_tagged(at, tag, ev);
+    }
+
+    /// An empty engine for shard `idx` of this network's run: same seed,
+    /// salt, and monitor/route configuration, fresh queue and counters,
+    /// `sub` attached. Nodes start empty — the splitter moves owned nodes
+    /// in and fills the rest with placeholders.
+    pub(crate) fn shard_shell(&self, idx: u32, owner: Arc<Vec<u32>>, sub: S) -> Network<S> {
+        Network {
+            sub,
+            #[cfg(feature = "telemetry")]
+            scratch_events: Vec::new(),
+            nodes: Vec::new(),
+            events: EventQueue::new(),
+            seed: self.seed,
+            ecmp_salt: self.ecmp_salt,
+            pending: BTreeMap::new(),
+            timer_tokens: BTreeMap::new(),
+            records: Vec::new(),
+            record_keys: Vec::new(),
+            monitors: self.monitors.clone(),
+            scratch: Vec::new(),
+            steps: 0,
+            fault_queue: Vec::new(),
+            next_fault: 0,
+            routes_built: self.routes_built,
+            flows_failed: 0,
+            no_route_drops: 0,
+            my_shard: idx,
+            owner: Some(owner),
+            outbox: Vec::new(),
+            tag_k: self.tag_k.clone(),
+            setup_k: 0,
+            cur_node: SETUP_CTX,
+            cur_tag: 0,
+            rec_sub: 0,
+            carry: Default::default(),
             #[cfg(feature = "packet-trace")]
             tracer: None,
         }
@@ -231,12 +382,14 @@ impl<S: Subscriber> Network<S> {
     /// Add a host running `agent`; returns its id.
     pub fn add_host(&mut self, agent: Box<dyn Agent>) -> NodeId {
         self.nodes.push(Node::host(agent));
+        self.tag_k.push(0);
         NodeId(self.nodes.len() - 1)
     }
 
     /// Add a switch; returns its id.
     pub fn add_switch(&mut self) -> NodeId {
         self.nodes.push(Node::switch());
+        self.tag_k.push(0);
         NodeId(self.nodes.len() - 1)
     }
 
@@ -258,10 +411,12 @@ impl<S: Subscriber> Network<S> {
         let mut port_a = EgressPort::new(b, pb, rate, delay, cfg_a);
         port_a.owner = a;
         port_a.owner_port = pa as u64;
+        port_a.seed_dice(hash_mix(self.seed ^ ((a.0 as u64 + 1) << 24) ^ pa as u64));
         self.nodes[a.0].ports.push(port_a);
         let mut port_b = EgressPort::new(a, pa, rate, delay, cfg_b);
         port_b.owner = b;
         port_b.owner_port = pb as u64;
+        port_b.seed_dice(hash_mix(self.seed ^ ((b.0 as u64 + 1) << 24) ^ pb as u64));
         self.nodes[b.0].ports.push(port_b);
         (pa, pb)
     }
@@ -271,7 +426,6 @@ impl<S: Subscriber> Network<S> {
     /// built; link up/down transitions re-run it automatically afterwards.
     pub fn compute_routes(&mut self) {
         self.routes_built = true;
-        let n = self.nodes.len();
         // Adjacency over up links: for each node, (port index, peer).
         let adj: Vec<Vec<(usize, NodeId)>> = self
             .nodes
@@ -285,55 +439,33 @@ impl<S: Subscriber> Network<S> {
                     .collect()
             })
             .collect();
-        for node in &mut self.nodes {
-            node.routes = vec![Vec::new(); n];
-        }
-        for dst in 0..n {
-            if !self.nodes[dst].is_host() {
-                continue;
-            }
-            // BFS distances from dst (links are symmetric).
-            let mut dist = vec![usize::MAX; n];
-            dist[dst] = 0;
-            let mut queue = std::collections::VecDeque::from([dst]);
-            while let Some(u) = queue.pop_front() {
-                for &(_, peer) in &adj[u] {
-                    if dist[peer.0] == usize::MAX {
-                        dist[peer.0] = dist[u] + 1;
-                        queue.push_back(peer.0);
-                    }
-                }
-            }
-            // Next hops: ports whose peer is strictly closer to dst.
-            for u in 0..n {
-                if u == dst || dist[u] == usize::MAX {
-                    continue;
-                }
-                let hops: Vec<usize> = adj[u]
-                    .iter()
-                    .filter(|&&(_, peer)| dist[peer.0] + 1 == dist[u])
-                    .map(|&(i, _)| i)
-                    .collect();
-                self.nodes[u].routes[dst] = hops;
-            }
-        }
-        for node in &mut self.nodes {
+        let hosts: Vec<bool> = self.nodes.iter().map(|n| n.is_host()).collect();
+        let tables = route_tables(&adj, &hosts);
+        for (node, routes) in self.nodes.iter_mut().zip(tables) {
+            node.routes = routes;
             node.rebuild_flat_routes();
         }
     }
 
     // ── fault injection ────────────────────────────────────────────────
 
-    /// Install `plan`: every event is scheduled into the ordinary event
-    /// queue, so fault timing shares the deterministic `(time, seq)` total
-    /// order with packets and timers. May be called more than once; plans
-    /// accumulate.
+    /// Install `plan`: every event joins the fault list with a canonical
+    /// setup tag, so fault timing shares the deterministic `(time, tag)`
+    /// total order with packets and timers — and, because setup tags sort
+    /// below every runtime tag, a fault always applies before same-time
+    /// packet events, on serial and sharded runs alike. May be called more
+    /// than once; plans accumulate.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
         for ev in plan.events {
-            let idx = self.faults.len();
-            self.faults.push(ev);
-            self.events.schedule(ev.at, Event::Fault { idx });
+            let tag = self.next_tag();
+            self.fault_queue.push((ev.at, tag, ev.action));
         }
+        assert_eq!(
+            self.next_fault, 0,
+            "fault plans must be installed before the run starts"
+        );
+        self.fault_queue
+            .sort_unstable_by_key(|&(at, tag, _)| (at, tag));
     }
 
     /// Set the `a`↔`b` link's state (both directions). Idempotent: setting
@@ -342,6 +474,14 @@ impl<S: Subscriber> Network<S> {
     /// ran) so ECMP fails over; on an up transition both egress ports are
     /// kicked so backlogged packets resume immediately.
     pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        let at = self.now();
+        self.set_link_up_at(at, a, b, up);
+    }
+
+    /// [`Self::set_link_up`] at an explicit time `at >= now`: fault
+    /// application runs *between* queue pops, so the transition time comes
+    /// from the fault list, not from the queue clock.
+    pub(crate) fn set_link_up_at(&mut self, at: SimTime, a: NodeId, b: NodeId, up: bool) {
         let pa = self
             .port_towards(a, b)
             .unwrap_or_else(|| panic!("no link between {a} and {b}"));
@@ -355,11 +495,26 @@ impl<S: Subscriber> Network<S> {
         }
         self.nodes[a.0].ports[pa].link_up = up;
         self.nodes[b.0].ports[pb].link_up = up;
+        self.emit_link_state(at, a, b, up);
+        if self.routes_built {
+            self.compute_routes();
+        }
+        if up {
+            self.kick(at, a, pa);
+            self.kick(at, b, pb);
+        }
+    }
+
+    /// Emit a [`LinkStateChanged`] telemetry event (also used by the
+    /// sharded fault path, where the transition spans two engines and the
+    /// event is attributed to `a`'s owner).
+    pub(crate) fn emit_link_state(&mut self, at: SimTime, a: NodeId, b: NodeId, up: bool) {
+        let _ = (at, a, b, up);
         emit!(
             &mut self.sub,
             on_link_state_changed,
             Meta {
-                at: self.events.now(),
+                at,
                 node: a.0 as u64,
             },
             LinkStateChanged {
@@ -368,14 +523,6 @@ impl<S: Subscriber> Network<S> {
                 up,
             }
         );
-        if self.routes_built {
-            self.compute_routes();
-        }
-        if up {
-            let now = self.now();
-            self.kick(now, a, pa);
-            self.kick(now, b, pb);
-        }
     }
 
     /// Is the `a`↔`b` link currently up?
@@ -386,10 +533,10 @@ impl<S: Subscriber> Network<S> {
         self.nodes[a.0].ports[pa].link_up
     }
 
-    fn apply_fault(&mut self, action: FaultAction) {
+    pub(crate) fn apply_fault_at(&mut self, at: SimTime, action: FaultAction) {
         match action {
-            FaultAction::LinkDown { a, b } => self.set_link_up(a, b, false),
-            FaultAction::LinkUp { a, b } => self.set_link_up(a, b, true),
+            FaultAction::LinkDown { a, b } => self.set_link_up_at(at, a, b, false),
+            FaultAction::LinkUp { a, b } => self.set_link_up_at(at, a, b, true),
             FaultAction::SetLinkRate { a, b, rate } => {
                 let pa = self
                     .port_towards(a, b)
@@ -427,6 +574,11 @@ impl<S: Subscriber> Network<S> {
         self.nodes.len()
     }
 
+    /// Number of egress ports on `node`.
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.nodes[node.0].ports.len()
+    }
+
     /// Statistics of `node`'s `port`.
     pub fn port_stats(&self, node: NodeId, port: usize) -> PortStats {
         self.nodes[node.0].ports[port].stats()
@@ -450,6 +602,13 @@ impl<S: Subscriber> Network<S> {
         self.nodes[node.0].ports.iter().position(|p| p.peer == peer)
     }
 
+    /// Downcast access to the AQM on `node`'s `port`, for schemes that opt
+    /// into [`ecnsharp_aqm::Aqm::as_any`]. White-box equivalence tests use
+    /// this to read e.g. ECN♯'s `MarkStats` after a run.
+    pub fn aqm_as_any(&self, node: NodeId, port: usize) -> Option<&dyn std::any::Any> {
+        self.nodes[node.0].ports[port].aqm_as_any()
+    }
+
     /// Completed-flow records so far.
     pub fn records(&self) -> &[FlowRecord] {
         &self.records
@@ -457,6 +616,7 @@ impl<S: Subscriber> Network<S> {
 
     /// Drain completed-flow records.
     pub fn take_records(&mut self) -> Vec<FlowRecord> {
+        self.record_keys.clear();
         std::mem::take(&mut self.records)
     }
 
@@ -480,14 +640,20 @@ impl<S: Subscriber> Network<S> {
     /// this (or not) has no effect on the simulation.
     pub fn perf(&self) -> PerfCounters {
         let q = self.events.perf();
+        // `carry` holds queue traffic accumulated in per-shard queues
+        // before a sharded merge; zero on never-sharded networks. Queue
+        // counters are NOT comparable between serial and sharded runs of
+        // the same scenario (the split re-pushes pending events and
+        // `peak_pending` sums per-shard peaks) — port-level packet/mark/
+        // drop totals below are exact either way.
         let mut c = PerfCounters {
-            events_pushed: q.pushed,
-            events_popped: q.popped,
-            peak_pending: q.peak_pending,
-            timers_armed: q.timers_armed,
-            timers_cancelled: q.timers_cancelled,
-            timers_fired: q.timers_fired,
-            timers_stale_suppressed: q.timers_stale_suppressed,
+            events_pushed: q.pushed + self.carry.pushed,
+            events_popped: q.popped + self.carry.popped,
+            peak_pending: q.peak_pending + self.carry.peak_pending,
+            timers_armed: q.timers_armed + self.carry.timers_armed,
+            timers_cancelled: q.timers_cancelled + self.carry.timers_cancelled,
+            timers_fired: q.timers_fired + self.carry.timers_fired,
+            timers_stale_suppressed: q.timers_stale_suppressed + self.carry.timers_stale_suppressed,
             flows_failed: self.flows_failed,
             no_route_drops: self.no_route_drops,
             ..PerfCounters::default()
@@ -510,7 +676,7 @@ impl<S: Subscriber> Network<S> {
 
     /// Schedule `cmd` to start at `at`.
     pub fn schedule_flow(&mut self, at: SimTime, cmd: FlowCmd) {
-        self.events.schedule(at, Event::FlowStart(cmd));
+        self.push_event(at, Event::FlowStart(cmd));
     }
 
     /// Attach a queue monitor sampling `(node, port)` every `interval`
@@ -532,14 +698,28 @@ impl<S: Subscriber> Network<S> {
             until,
             samples: Vec::new(),
         });
-        self.events.schedule(from, Event::Sample { id });
+        self.push_event(from, Event::Sample { id });
         id
+    }
+
+    /// The `(time, tag)` key of the next step — the minimum over the event
+    /// queue and the fault list. `None` when both are exhausted.
+    pub(crate) fn next_key(&mut self) -> Option<(SimTime, u64)> {
+        let ev = self.events.peek_key();
+        let fault = self
+            .fault_queue
+            .get(self.next_fault)
+            .map(|&(at, tag, _)| (at, tag));
+        match (ev, fault) {
+            (Some(e), Some(f)) => Some(e.min(f)),
+            (e, f) => e.or(f),
+        }
     }
 
     /// Process events until the queue is empty or `deadline` is passed.
     /// Returns the time of the last processed event.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(t) = self.events.peek_time() {
+        while let Some((t, _)) = self.next_key() {
             if t > deadline {
                 break;
             }
@@ -549,66 +729,110 @@ impl<S: Subscriber> Network<S> {
     }
 
     /// Process events until nothing is left (all flows done, all timers
-    /// fired).
+    /// fired, all faults applied).
     pub fn run_until_idle(&mut self) -> SimTime {
-        while !self.events.is_empty() {
-            self.step();
-        }
+        while self.step() {}
         self.now()
     }
 
-    /// Process a single event. Returns `false` when the queue was empty.
+    /// Process queued events with `time < hi` — the body of one
+    /// conservative parallel window. Faults are untouched: sharded runs
+    /// apply them cross-shard at epoch boundaries, outside the windows.
+    pub(crate) fn run_events_before(&mut self, hi: SimTime) {
+        while let Some((t, _)) = self.events.peek_key() {
+            if t >= hi {
+                break;
+            }
+            self.step_queued();
+        }
+    }
+
+    /// Process a single event or due fault. Returns `false` when both the
+    /// queue and the fault list are exhausted.
     pub fn step(&mut self) -> bool {
-        let Some((now, ev)) = self.events.pop() else {
+        // Interleave faults by the same global (time, tag) order as queued
+        // events. Fault tags come from the setup range, which sorts below
+        // every runtime tag, so a fault wins ties at its own timestamp.
+        if let Some(&(at, tag, action)) = self.fault_queue.get(self.next_fault) {
+            let due = match self.events.peek_key() {
+                Some(key) => (at, tag) < key,
+                None => true,
+            };
+            if due {
+                self.next_fault += 1;
+                self.steps += 1;
+                self.events.advance_now(at);
+                self.apply_fault_at(at, action);
+                return true;
+            }
+        }
+        self.step_queued()
+    }
+
+    /// Pop and process one queued event (never a fault). Returns `false`
+    /// on an empty queue.
+    fn step_queued(&mut self) -> bool {
+        let Some((now, tag, ev)) = self.events.pop_keyed() else {
             return false;
         };
         self.steps += 1;
+        // Tag context for everything this event pushes: `cur_node` selects
+        // the per-node counter (canonical across shard counts), `cur_tag`
+        // keys any flow records the event completes.
+        self.cur_tag = tag;
+        self.rec_sub = 0;
         match ev {
             Event::Arrive { node, pkt } => {
+                self.cur_node = node.0;
                 self.trace(now, node, TraceKind::Arrive, &pkt);
                 self.on_arrive(now, node, pkt);
             }
             Event::TxDone { node, port } => {
+                self.cur_node = node.0;
                 self.nodes[node.0].ports[port].busy = false;
                 self.kick(now, node, port);
             }
             Event::Timer { node, key } => {
+                self.cur_node = node.0;
                 // A wheel-armed timer that fires is spent: drop its token
-                // so a later cancel/re-arm for the key starts fresh.
-                // (One-shot `SetTimer` events share the variant and have
-                // no token; the remove is then a no-op.)
-                self.timer_tokens.remove(&(node, key));
+                // so a later cancel/re-arm for the key starts fresh, and
+                // hand it back so the wheel can free the drained cell's
+                // marker. (One-shot `SetTimer` events share the variant
+                // and have no token; the remove is then a no-op.)
+                if let Some((tok, _, _)) = self.timer_tokens.remove(&(node, key)) {
+                    self.events.timer_fired(tok);
+                }
                 self.agent_callback(now, node, |agent, ctx| {
                     agent.on_timer(ctx, key);
                 })
             }
             Event::FlowStart(cmd) => {
                 let src = cmd.src;
+                self.cur_node = src.0;
                 self.pending.insert(cmd.flow, (cmd.clone(), now));
                 self.agent_callback(now, src, |agent, ctx| {
                     agent.on_flow_cmd(ctx, cmd);
                 });
             }
             Event::NicSend { node, pkt } => {
+                self.cur_node = node.0;
                 self.trace(now, node, TraceKind::Enqueue, &pkt);
                 self.nodes[node.0].ports[0].enqueue(now, pkt, &mut self.sub);
                 self.kick(now, node, 0);
             }
             Event::Sample { id } => {
+                self.cur_node = self.monitors[id].node.0;
                 let m = &self.monitors[id];
                 let (bytes, pkts) = self.backlog(m.node, m.port);
                 let m = &mut self.monitors[id];
                 m.samples.push((now, bytes, pkts));
                 let next = now + m.interval;
                 if next <= m.until {
-                    self.events.schedule(next, Event::Sample { id });
+                    self.push_event(next, Event::Sample { id });
                 }
             }
-            Event::Fault { idx } => {
-                let action = self.faults[idx].action;
-                self.apply_fault(action);
-            }
         }
+        self.cur_node = SETUP_CTX;
         true
     }
 
@@ -682,14 +906,13 @@ impl<S: Subscriber> Network<S> {
     }
 
     /// Start transmitting on `(node, port)` if idle and backlogged.
-    fn kick(&mut self, now: SimTime, node: NodeId, port: usize) {
-        let rng = &mut self.rng;
+    pub(crate) fn kick(&mut self, now: SimTime, node: NodeId, port: usize) {
         let sub = &mut self.sub;
         let p = &mut self.nodes[node.0].ports[port];
         if p.busy || !p.link_up {
             return;
         }
-        if let Some(tx) = p.next_tx(now, || rng.f64(), sub) {
+        if let Some(tx) = p.next_tx_dice(now, sub) {
             p.busy = true;
             let peer = p.peer;
             let delay = p.delay;
@@ -698,15 +921,31 @@ impl<S: Subscriber> Network<S> {
             // Arrive event without copying.
             #[cfg(feature = "packet-trace")]
             let traced_pkt = self.tracer.is_some().then(|| tx.pkt.clone());
+            // Draw both tags before routing: TxDone then Arrive, always in
+            // that order, so the pusher's counter advances identically
+            // whether the arrival stays local or crosses a shard boundary.
+            let tx_tag = self.next_tag();
+            let arr_tag = self.next_tag();
             self.events
-                .schedule(now + tx.tx_time, Event::TxDone { node, port });
-            self.events.schedule(
-                now + tx.tx_time + delay,
-                Event::Arrive {
+                .schedule_tagged(now + tx.tx_time, tx_tag, Event::TxDone { node, port });
+            let at = now + tx.tx_time + delay;
+            match &self.owner {
+                Some(owner) if owner[peer.0] != self.my_shard => self.outbox.push(OutMsg {
+                    shard: owner[peer.0],
+                    at,
+                    tag: arr_tag,
                     node: peer,
                     pkt: tx.pkt,
-                },
-            );
+                }),
+                _ => self.events.schedule_tagged(
+                    at,
+                    arr_tag,
+                    Event::Arrive {
+                        node: peer,
+                        pkt: tx.pkt,
+                    },
+                ),
+            }
             #[cfg(feature = "packet-trace")]
             if let Some(pkt) = traced_pkt {
                 self.trace(now, node, TraceKind::TxStart, &pkt);
@@ -779,36 +1018,42 @@ impl<S: Subscriber> Network<S> {
                         self.nodes[node.0].ports[0].enqueue(now, pkt, &mut self.sub);
                         self.kick(now, node, 0);
                     } else {
-                        self.events
-                            .schedule(now + delay, Event::NicSend { node, pkt });
+                        self.push_event(now + delay, Event::NicSend { node, pkt });
                     }
                 }
                 Action::SetTimer(at, key) => {
-                    self.events
-                        .schedule(at.max(now), Event::Timer { node, key });
+                    self.push_event(at.max(now), Event::Timer { node, key });
                 }
                 Action::ArmTimer(at, key) => {
                     // Entry API: one tree descent per arm instead of a
                     // get + insert pair (this is the per-ACK hot path).
                     use std::collections::btree_map::Entry;
                     let at = at.max(now);
+                    let tag = self.next_tag();
                     match self.timer_tokens.entry((node, key)) {
                         Entry::Occupied(mut o) => {
-                            let prev = Some(*o.get());
-                            *o.get_mut() =
-                                self.events
-                                    .rearm_timer(prev, at, Event::Timer { node, key });
+                            let prev = Some(o.get().0);
+                            let tok = self.events.rearm_timer_tagged(
+                                prev,
+                                at,
+                                tag,
+                                Event::Timer { node, key },
+                            );
+                            *o.get_mut() = (tok, at, tag);
                         }
                         Entry::Vacant(v) => {
-                            v.insert(
-                                self.events
-                                    .rearm_timer(None, at, Event::Timer { node, key }),
+                            let tok = self.events.rearm_timer_tagged(
+                                None,
+                                at,
+                                tag,
+                                Event::Timer { node, key },
                             );
+                            v.insert((tok, at, tag));
                         }
                     }
                 }
                 Action::CancelTimer(key) => {
-                    if let Some(tok) = self.timer_tokens.remove(&(node, key)) {
+                    if let Some((tok, _, _)) = self.timer_tokens.remove(&(node, key)) {
                         self.events.cancel_timer(tok);
                     }
                 }
@@ -828,6 +1073,8 @@ impl<S: Subscriber> Network<S> {
                                 completed: true,
                             }
                         );
+                        self.record_keys.push((now, self.cur_tag, self.rec_sub));
+                        self.rec_sub += 1;
                         self.records.push(FlowRecord {
                             flow,
                             src: cmd.src,
@@ -858,6 +1105,8 @@ impl<S: Subscriber> Network<S> {
                                 completed: false,
                             }
                         );
+                        self.record_keys.push((now, self.cur_tag, self.rec_sub));
+                        self.rec_sub += 1;
                         self.records.push(FlowRecord {
                             flow,
                             src: cmd.src,
@@ -875,6 +1124,45 @@ impl<S: Subscriber> Network<S> {
         }
         self.scratch = actions;
     }
+}
+
+/// ECMP next-hop tables for every node towards every host, from an
+/// up-link adjacency list (`adj[u]` = `(port index, peer)` pairs) and a
+/// host mask. Shared by [`Network::compute_routes`] and the sharded
+/// engine's global route recompute at fault boundaries — both must
+/// produce bit-identical tables for replay to be shard-invariant.
+pub(crate) fn route_tables(adj: &[Vec<(usize, NodeId)>], hosts: &[bool]) -> Vec<Vec<Vec<usize>>> {
+    let n = adj.len();
+    let mut tables = vec![vec![Vec::new(); n]; n];
+    for dst in 0..n {
+        if !hosts[dst] {
+            continue;
+        }
+        // BFS distances from dst (links are symmetric).
+        let mut dist = vec![usize::MAX; n];
+        dist[dst] = 0;
+        let mut queue = std::collections::VecDeque::from([dst]);
+        while let Some(u) = queue.pop_front() {
+            for &(_, peer) in &adj[u] {
+                if dist[peer.0] == usize::MAX {
+                    dist[peer.0] = dist[u] + 1;
+                    queue.push_back(peer.0);
+                }
+            }
+        }
+        // Next hops: ports whose peer is strictly closer to dst.
+        for u in 0..n {
+            if u == dst || dist[u] == usize::MAX {
+                continue;
+            }
+            tables[u][dst] = adj[u]
+                .iter()
+                .filter(|&&(_, peer)| dist[peer.0] + 1 == dist[u])
+                .map(|&(i, _)| i)
+                .collect();
+        }
+    }
+    tables
 }
 
 #[cfg(test)]
@@ -911,10 +1199,11 @@ mod tests {
         (net, a, b, s)
     }
 
-    /// Inject a raw packet send from a host (test helper).
+    /// Inject a raw packet send from a host (test helper). Uses the setup
+    /// tag range, like any other before-the-run push.
     fn inject(net: &mut Network, from: NodeId, pkt: Packet) {
-        net.events
-            .schedule(net.now(), Event::NicSend { node: from, pkt });
+        let at = net.now();
+        net.push_event(at, Event::NicSend { node: from, pkt });
     }
 
     #[test]
@@ -1243,7 +1532,7 @@ mod tests {
             ));
             for f in 0..200u64 {
                 let t = SimTime::from_nanos(f * 1_000);
-                net.events.schedule(
+                net.push_event(
                     t,
                     Event::NicSend {
                         node: a,

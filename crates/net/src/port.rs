@@ -7,7 +7,7 @@ use crate::ids::NodeId;
 use crate::packet::{Ecn, Packet};
 use ecnsharp_aqm::{Aqm, DequeueVerdict, EnqueueVerdict, PacketView, QueueState};
 use ecnsharp_sched::{Dequeued, Fifo, Scheduler};
-use ecnsharp_sim::{Duration, Rate, SimTime};
+use ecnsharp_sim::{Duration, Rate, Rng, SimTime};
 use ecnsharp_telemetry::Subscriber;
 #[cfg(feature = "telemetry")]
 use ecnsharp_telemetry::{
@@ -210,6 +210,12 @@ pub struct EgressPort {
     pub(crate) owner: NodeId,
     /// Index of this port within its owner (telemetry event identity).
     pub(crate) owner_port: u64,
+    /// Fault-injection dice stream owned by this port, seeded from the
+    /// network seed and the port's identity at [`crate::Network::connect`]
+    /// time. Per-port streams (rather than one network-global RNG) make
+    /// fault outcomes a pure function of the port's own traffic, which is
+    /// what lets a sharded run consume dice identically to a serial run.
+    pub(crate) dice: Rng,
 }
 
 /// Outcome of asking a port for its next transmission.
@@ -250,6 +256,33 @@ impl EgressPort {
             accounted_out_bytes: 0,
             owner: NodeId(0),
             owner_port: 0,
+            dice: Rng::seed_from_u64(0),
+        }
+    }
+
+    /// (Re)seed the port's fault-injection dice stream.
+    pub(crate) fn seed_dice(&mut self, seed: u64) {
+        self.dice = Rng::seed_from_u64(seed);
+    }
+
+    /// [`Self::next_tx`] drawing dice from the port's own seeded stream.
+    ///
+    /// Ports without any fault knob never consume dice (the injector
+    /// short-circuits on `p > 0.0` / `ge.is_some()`), so the common
+    /// fault-free path skips the stream entirely.
+    pub(crate) fn next_tx_dice<S: Subscriber>(
+        &mut self,
+        now: SimTime,
+        sub: &mut S,
+    ) -> Option<TxStart> {
+        if self.fault_drop_p > 0.0 || self.corrupt_p > 0.0 || self.ge.is_some() {
+            let mut rng = std::mem::replace(&mut self.dice, Rng::seed_from_u64(0));
+            let tx = self.next_tx(now, || rng.f64(), sub);
+            self.dice = rng;
+            tx
+        } else {
+            // Never called: every dice site is behind a knob checked above.
+            self.next_tx(now, || 0.0, sub)
         }
     }
 
@@ -271,6 +304,12 @@ impl EgressPort {
     /// AQM scheme name (for reports).
     pub fn aqm_name(&self) -> &'static str {
         self.aqm.name()
+    }
+
+    /// Downcast access to the AQM's internals, for schemes that opt into
+    /// [`ecnsharp_aqm::Aqm::as_any`] (white-box equivalence assertions).
+    pub fn aqm_as_any(&self) -> Option<&dyn std::any::Any> {
+        self.aqm.as_any()
     }
 
     /// Cumulative transmitted payload bytes per service class (classes the

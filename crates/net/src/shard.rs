@@ -1,0 +1,819 @@
+//! Conservative parallel execution: partition a [`Network`] into shards,
+//! run them on worker threads, and keep replay byte-identical to the
+//! serial engine.
+//!
+//! # Model
+//!
+//! A [`ShardPlan`] assigns every node to one shard. Each shard is a full
+//! `Network` engine — its own event queue, timer wheel, and forked
+//! telemetry subscriber — whose `nodes` vector keeps *placeholders* in the
+//! slots it does not own, so node indices stay global and the hot paths
+//! need no translation. A packet whose next hop lives on another shard is
+//! buffered in the sender's outbox and delivered through a mailbox at the
+//! next window barrier.
+//!
+//! # Conservative lookahead
+//!
+//! The engine uses classic conservative PDES windows: with `L` the minimum
+//! propagation delay over all links that cross a shard boundary, every
+//! cross-shard arrival sent from a window starting at `W` lands at
+//! `≥ W + L`. All shards therefore process their local events with
+//! `time < min(W + L, epoch end)` in parallel, exchange outboxes at a
+//! barrier, agree on the next global minimum event time, and jump there
+//! (idle stretches cost one barrier round, not simulated time).
+//!
+//! # Determinism
+//!
+//! Event order inside each shard is the canonical `(time, tag)` order of
+//! the serial engine (see the `network` module docs: tags are derived from
+//! the *pushing node*, not from a global counter, so they are identical
+//! under any partitioning). Mailbox append order may race; delivery order
+//! does not depend on it because the receiving queue re-sorts by
+//! `(time, tag)`. Fault-plan entries bound each epoch: at a fault's
+//! timestamp the worker threads are joined, stragglers are drained in
+//! global key order, the fault is applied across shards (including a
+//! global ECMP route rebuild), and the next epoch starts. The result —
+//! flow records, port statistics, telemetry aggregates, monitor samples —
+//! is byte-identical to a serial run of the same seed; `CONCURRENCY.md`
+//! carries the full argument and `tests/shard_equivalence.rs` in
+//! `ecnsharp-experiments` pins it in CI.
+
+use crate::ids::NodeId;
+use crate::network::{route_tables, Event, Network, OutMsg};
+use crate::node::Node;
+use ecnsharp_sim::SimTime;
+use ecnsharp_telemetry::ShardSubscriber;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use crate::fault::FaultAction;
+
+/// A node-to-shard assignment for [`Network::run_sharded_until_idle`].
+///
+/// Construct one with [`ShardPlan::new`] from an `owner` vector (`owner[i]`
+/// = shard of node `i`), or use the topology helpers
+/// ([`crate::topology::Star::shard_plan`],
+/// [`crate::topology::LeafSpine::shard_plan`],
+/// [`crate::topology::FatTree::shard_plan`]) that cut along natural fabric
+/// boundaries.
+///
+/// ```
+/// use ecnsharp_net::ShardPlan;
+///
+/// // Nodes 0 and 2 on shard 0, nodes 1 and 3 on shard 1.
+/// let plan = ShardPlan::new(vec![0, 1, 0, 1]);
+/// assert_eq!(plan.shard_count(), 2);
+/// assert_eq!(plan.owner_of(ecnsharp_net::NodeId(3)), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    owner: Arc<Vec<u32>>,
+    shards: u32,
+}
+
+impl ShardPlan {
+    /// Validate and wrap an owner map. Shard ids must form a contiguous
+    /// `0..=max` range with every shard owning at least one node.
+    ///
+    /// # Panics
+    ///
+    /// On an empty map or a shard id with no nodes.
+    pub fn new(owner: Vec<u32>) -> Self {
+        assert!(!owner.is_empty(), "a shard plan needs at least one node");
+        let shards = owner.iter().copied().max().unwrap() + 1;
+        let mut population = vec![0u64; shards as usize];
+        for &s in &owner {
+            population[s as usize] += 1;
+        }
+        for (s, &n) in population.iter().enumerate() {
+            assert!(n > 0, "shard {s} owns no nodes (ids must be contiguous)");
+        }
+        ShardPlan {
+            owner: Arc::new(owner),
+            shards,
+        }
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard owning `node`.
+    pub fn owner_of(&self, node: NodeId) -> u32 {
+        self.owner[node.0]
+    }
+
+    /// The full owner map, one entry per node.
+    pub fn owners(&self) -> &[u32] {
+        &self.owner
+    }
+}
+
+impl<S: ShardSubscriber> Network<S> {
+    /// Run the network to completion on `plan.shard_count()` worker
+    /// threads, producing **byte-identical results to
+    /// [`Network::run_until_idle`]** for the same seed: flow records, port
+    /// statistics, queue-monitor samples, and merged telemetry aggregates
+    /// all match the serial engine exactly (`steps()` too). Returns the
+    /// final simulation time.
+    ///
+    /// Must be called on a freshly built network (`steps() == 0`):
+    /// topology, routes, fault plans, scheduled flows and monitors are
+    /// installed first, then the run is sharded once. Packet tracing
+    /// ([`Network::enable_trace`]) is serial-only.
+    ///
+    /// The subscriber must implement
+    /// [`ShardSubscriber`] — the
+    /// order-insensitive fork/merge contract; order-sensitive sinks like
+    /// `JsonlWriter` are rejected at compile time.
+    ///
+    /// # Panics
+    ///
+    /// If the network already ran (`steps() > 0`), if `plan` does not
+    /// cover exactly this network's nodes, if a cross-shard link has zero
+    /// propagation delay (no conservative lookahead), or if packet tracing
+    /// is enabled.
+    ///
+    /// ```
+    /// use ecnsharp_net::{topology, FlowCmd, FlowId, Network, NullAgent, PortConfig, ShardPlan};
+    /// use ecnsharp_net::{Agent, Ctx, Packet};
+    /// use ecnsharp_sim::{Duration, Rate, SimTime};
+    /// use ecnsharp_aqm::DropTail;
+    ///
+    /// /// Sends its whole flow as one packet; completes on the echoed ACK.
+    /// struct OneShot;
+    /// impl Agent for OneShot {
+    ///     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+    ///         if pkt.flags.ack {
+    ///             ctx.flow_done(pkt.flow, 0);
+    ///         } else {
+    ///             ctx.send(Packet::ack(pkt.flow, pkt.dst, pkt.src, pkt.seq_end()));
+    ///         }
+    ///     }
+    ///     fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) {}
+    ///     fn on_flow_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: FlowCmd) {
+    ///         ctx.send(Packet::data(cmd.flow, cmd.src, cmd.dst, 0, cmd.size));
+    ///     }
+    /// }
+    ///
+    /// let cfg = || PortConfig::fifo(1 << 20, Box::new(DropTail::new()));
+    /// let star = topology::star(
+    ///     7, 4, Rate::from_gbps(10), Duration::from_micros(1),
+    ///     |_| Box::new(OneShot), cfg, cfg,
+    /// );
+    /// let mut net = star.net;
+    /// net.schedule_flow(SimTime::ZERO, FlowCmd {
+    ///     flow: FlowId(1), src: star.hosts[0], dst: star.hosts[3],
+    ///     size: 4000, class: 0, extra_delay: Duration::ZERO,
+    /// });
+    ///
+    /// // Hosts 0/1 on shard 0; hosts 2/3 and the switch on shard 1.
+    /// let plan = ShardPlan::new(vec![0, 0, 1, 1, 1]);
+    /// net.run_sharded_until_idle(&plan);
+    /// assert_eq!(net.records().len(), 1);
+    /// assert_eq!(net.unfinished_flows(), 0);
+    /// ```
+    pub fn run_sharded_until_idle(&mut self, plan: &ShardPlan) -> SimTime {
+        assert_eq!(
+            plan.owner.len(),
+            self.nodes.len(),
+            "shard plan covers {} nodes but the network has {}",
+            plan.owner.len(),
+            self.nodes.len()
+        );
+        assert_eq!(
+            self.steps, 0,
+            "sharded runs must start from a fresh network (steps() == 0)"
+        );
+        #[cfg(feature = "packet-trace")]
+        assert!(
+            self.tracer.is_none(),
+            "packet tracing is serial-only; drop enable_trace or run serially"
+        );
+        if plan.shard_count() == 1 {
+            return self.run_until_idle();
+        }
+        let owner = plan.owner.clone();
+        let n_shards = plan.shard_count();
+        let n_nodes = self.nodes.len();
+
+        // ── split ─────────────────────────────────────────────────────
+        debug_assert!(self.pending.is_empty() && self.records.is_empty());
+        let mut shards: Vec<Network<S>> = (0..n_shards)
+            .map(|i| {
+                let sub = self.subscriber().fork_shard(i);
+                self.shard_shell(i as u32, owner.clone(), sub)
+            })
+            .collect();
+        // Owned nodes move to their shard; every other slot gets an
+        // inert placeholder so indices stay global.
+        for (i, node) in std::mem::take(&mut self.nodes).into_iter().enumerate() {
+            let own = owner[i] as usize;
+            let mut slot = Some(node);
+            for (s, shard) in shards.iter_mut().enumerate() {
+                shard.nodes.push(if s == own {
+                    slot.take().unwrap()
+                } else {
+                    Node::switch()
+                });
+            }
+        }
+        // Distribute the pre-run event backlog by each event's owner,
+        // preserving the canonical (time, tag) keys. `drain_entries`
+        // rejects armed timers, but none can exist at steps() == 0. The
+        // re-push is split bookkeeping, not simulation work: its count is
+        // backed out of the merged perf below so `events_pushed` matches
+        // the serial run.
+        let mut split_pushes = 0u64;
+        for (at, tag, ev) in self.events.drain_entries() {
+            let s = match &ev {
+                Event::Arrive { node, .. }
+                | Event::TxDone { node, .. }
+                | Event::Timer { node, .. }
+                | Event::NicSend { node, .. } => owner[node.0],
+                Event::FlowStart(cmd) => owner[cmd.src.0],
+                Event::Sample { id } => owner[self.monitors[*id].node.0],
+            };
+            shards[s as usize].events.schedule_tagged(at, tag, ev);
+            split_pushes += 1;
+        }
+        // The global setup-tag counter continues across fault boundaries
+        // so fault-triggered pushes get the same tags as a serial run.
+        let mut setup_k = self.setup_k;
+        let mut fault_steps = 0u64;
+        // Serial runs advance the clock through every fault application,
+        // even past the last packet event; mirror that for `now()` parity.
+        let mut last_fault_at = SimTime::ZERO;
+
+        // ── epochs: parallel windows bounded by fault times ───────────
+        loop {
+            let fault = self.fault_queue.get(self.next_fault).copied();
+            let end = fault.map_or(u64::MAX, |(at, _, _)| at.as_nanos());
+            let la = lookahead_nanos(&shards, &owner);
+            run_windows(&mut shards, la, end);
+            let Some((at, ftag, _)) = fault else { break };
+            // Stragglers strictly before the fault's global key (usually
+            // none: the windows stop at `end` and fault tags sort below
+            // every same-time runtime tag).
+            drain_serial(&mut shards, (at, ftag));
+            // Apply every fault at this instant, in tag order, exactly as
+            // the serial engine interleaves them.
+            while let Some(&(fat, _, action)) = self.fault_queue.get(self.next_fault) {
+                if fat != at {
+                    break;
+                }
+                self.next_fault += 1;
+                fault_steps += 1;
+                last_fault_at = fat;
+                apply_fault_sharded(&mut shards, &owner, fat, action, &mut setup_k);
+            }
+        }
+
+        // ── merge ─────────────────────────────────────────────────────
+        self.nodes = (0..n_nodes).map(|_| Node::switch()).collect();
+        let mut max_now = self.now();
+        let mut keyed_records = Vec::new();
+        for (s, mut shard) in shards.into_iter().enumerate() {
+            max_now = max_now.max(shard.now());
+            add_queue_perf(&mut self.carry, &shard.events.perf());
+            add_queue_perf(&mut self.carry, &shard.carry);
+            self.steps += shard.steps;
+            self.flows_failed += shard.flows_failed;
+            self.no_route_drops += shard.no_route_drops;
+            for i in 0..n_nodes {
+                if owner[i] == s as u32 {
+                    self.nodes[i] = std::mem::replace(&mut shard.nodes[i], Node::switch());
+                    self.tag_k[i] = shard.tag_k[i];
+                }
+            }
+            for id in 0..self.monitors.len() {
+                if owner[self.monitors[id].node.0] == s as u32 {
+                    std::mem::swap(&mut self.monitors[id], &mut shard.monitors[id]);
+                }
+            }
+            self.pending.append(&mut shard.pending);
+            keyed_records.extend(
+                std::mem::take(&mut shard.record_keys)
+                    .into_iter()
+                    .zip(std::mem::take(&mut shard.records)),
+            );
+            // Ascending shard order: the merge contract of ShardSubscriber.
+            let sub = shard.into_subscriber();
+            self.subscriber_mut().merge_shard(sub);
+        }
+        // Back out the backlog-redistribution pushes: counted once on the
+        // serial queue at schedule time and once more on the shard queues
+        // at split time, so the merged total would exceed a serial run's.
+        self.carry.pushed -= split_pushes;
+        // Records in exact serial order: the provenance key (finish, tag
+        // of the completing event, sub-index) is the serial processing
+        // order by construction.
+        keyed_records.sort_unstable_by_key(|r| r.0);
+        for (key, record) in keyed_records {
+            self.record_keys.push(key);
+            self.records.push(record);
+        }
+        self.steps += fault_steps;
+        self.setup_k = setup_k;
+        self.events.advance_now(max_now.max(last_fault_at));
+        self.now()
+    }
+}
+
+/// Minimum propagation delay (ns) over all links crossing a shard
+/// boundary — the conservative lookahead. `None` when no link crosses
+/// (fully independent shards). Panics on a zero-delay cross link: it
+/// would force zero-width windows.
+fn lookahead_nanos<S: ShardSubscriber>(shards: &[Network<S>], owner: &[u32]) -> Option<u64> {
+    let mut min: Option<u64> = None;
+    for (i, &o) in owner.iter().enumerate() {
+        for p in &shards[o as usize].nodes[i].ports {
+            if owner[p.peer.0] != o {
+                let d = p.delay.as_nanos();
+                assert!(
+                    d > 0,
+                    "cross-shard link {}–{} has zero propagation delay: \
+                     no conservative lookahead (keep zero-delay links inside one shard)",
+                    i,
+                    p.peer.0
+                );
+                min = Some(min.map_or(d, |m| m.min(d)));
+            }
+        }
+    }
+    min
+}
+
+/// One epoch's parallel phase: barrier-synchronized conservative windows
+/// until every shard's next event is at or past `end` (ns).
+fn run_windows<S: ShardSubscriber>(shards: &mut [Network<S>], la: Option<u64>, end: u64) {
+    let n = shards.len();
+    let mailboxes: Vec<Mutex<Vec<OutMsg>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let barrier = Barrier::new(n);
+    std::thread::scope(|scope| {
+        for (i, shard) in shards.iter_mut().enumerate() {
+            let (mailboxes, slots, barrier) = (&mailboxes, &slots, &barrier);
+            scope.spawn(move || {
+                let next =
+                    |sh: &mut Network<S>| sh.events.peek_time().map_or(u64::MAX, |t| t.as_nanos());
+                slots[i].store(next(shard), Ordering::Release);
+                barrier.wait();
+                loop {
+                    // Every thread computes the same minimum from the same
+                    // slot values (stable between the publishing barrier
+                    // and the next flush barrier), so all make the same
+                    // break/window decision — no coordinator needed.
+                    let m = slots
+                        .iter()
+                        .map(|s| s.load(Ordering::Acquire))
+                        .min()
+                        .unwrap();
+                    if m >= end {
+                        break;
+                    }
+                    let hi = match la {
+                        Some(l) => end.min(m.saturating_add(l)),
+                        None => end,
+                    };
+                    shard.run_events_before(SimTime::from_nanos(hi));
+                    for msg in shard.outbox.drain(..) {
+                        mailboxes[msg.shard as usize].lock().unwrap().push(msg);
+                    }
+                    barrier.wait(); // outboxes flushed
+                    for msg in mailboxes[i].lock().unwrap().drain(..) {
+                        shard.events.schedule_tagged(
+                            msg.at,
+                            msg.tag,
+                            Event::Arrive {
+                                node: msg.node,
+                                pkt: msg.pkt,
+                            },
+                        );
+                    }
+                    slots[i].store(next(shard), Ordering::Release);
+                    barrier.wait(); // next-event times published
+                }
+            });
+        }
+    });
+}
+
+/// Serially process every queued event with key strictly below `bound`,
+/// across all shards in global `(time, tag)` order, delivering cross-shard
+/// sends immediately.
+fn drain_serial<S: ShardSubscriber>(shards: &mut [Network<S>], bound: (SimTime, u64)) {
+    loop {
+        let mut best: Option<(usize, (SimTime, u64))> = None;
+        for (i, sh) in shards.iter_mut().enumerate() {
+            if let Some(k) = sh.events.peek_key() {
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        match best {
+            Some((i, k)) if k < bound => {
+                shards[i].step();
+                deliver_outbox(shards, i);
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Move shard `from`'s buffered cross-shard arrivals into their
+/// destination queues (used outside the parallel phase, where direct
+/// access replaces the mailboxes).
+fn deliver_outbox<S: ShardSubscriber>(shards: &mut [Network<S>], from: usize) {
+    let msgs = std::mem::take(&mut shards[from].outbox);
+    for msg in msgs {
+        shards[msg.shard as usize].events.schedule_tagged(
+            msg.at,
+            msg.tag,
+            Event::Arrive {
+                node: msg.node,
+                pkt: msg.pkt,
+            },
+        );
+    }
+}
+
+/// Apply one fault-plan action across shards, mirroring the serial
+/// `apply_fault_at` semantics: port state flips on the owning shards, the
+/// ECMP rebuild runs on the *global* adjacency, and link-up kicks draw
+/// their tags from the threaded global setup counter.
+fn apply_fault_sharded<S: ShardSubscriber>(
+    shards: &mut [Network<S>],
+    owner: &[u32],
+    at: SimTime,
+    action: FaultAction,
+    setup_k: &mut u64,
+) {
+    match action {
+        FaultAction::LinkDown { a, b } => set_link_sharded(shards, owner, at, a, b, false, setup_k),
+        FaultAction::LinkUp { a, b } => set_link_sharded(shards, owner, at, a, b, true, setup_k),
+        FaultAction::SetLinkRate { a, b, rate } => {
+            let (pa, pb) = cross_ports(shards, owner, a, b);
+            shards[owner[a.0] as usize].nodes[a.0].ports[pa].rate = rate;
+            shards[owner[b.0] as usize].nodes[b.0].ports[pb].rate = rate;
+        }
+        FaultAction::SetLinkDelay { a, b, delay } => {
+            let (pa, pb) = cross_ports(shards, owner, a, b);
+            shards[owner[a.0] as usize].nodes[a.0].ports[pa].delay = delay;
+            shards[owner[b.0] as usize].nodes[b.0].ports[pb].delay = delay;
+        }
+    }
+}
+
+/// Port indices of the `a`↔`b` link, each looked up on its owner's shard.
+fn cross_ports<S: ShardSubscriber>(
+    shards: &[Network<S>],
+    owner: &[u32],
+    a: NodeId,
+    b: NodeId,
+) -> (usize, usize) {
+    let pa = shards[owner[a.0] as usize]
+        .port_towards(a, b)
+        .unwrap_or_else(|| panic!("no link between {a} and {b}"));
+    let pb = shards[owner[b.0] as usize]
+        .port_towards(b, a)
+        .unwrap_or_else(|| panic!("no link between {b} and {a}"));
+    (pa, pb)
+}
+
+/// Cross-shard [`Network::set_link_up_at`]: same transition semantics,
+/// with the route rebuild computed from the global adjacency and written
+/// back to each node's owning shard.
+fn set_link_sharded<S: ShardSubscriber>(
+    shards: &mut [Network<S>],
+    owner: &[u32],
+    at: SimTime,
+    a: NodeId,
+    b: NodeId,
+    up: bool,
+    setup_k: &mut u64,
+) {
+    let (sa, sb) = (owner[a.0] as usize, owner[b.0] as usize);
+    let (pa, pb) = cross_ports(shards, owner, a, b);
+    let changed = shards[sa].nodes[a.0].ports[pa].link_up != up
+        || shards[sb].nodes[b.0].ports[pb].link_up != up;
+    if !changed {
+        return;
+    }
+    shards[sa].nodes[a.0].ports[pa].link_up = up;
+    shards[sb].nodes[b.0].ports[pb].link_up = up;
+    shards[sa].emit_link_state(at, a, b, up);
+    if shards[0].routes_built {
+        let n = owner.len();
+        let adj: Vec<Vec<(usize, NodeId)>> = (0..n)
+            .map(|i| {
+                shards[owner[i] as usize].nodes[i]
+                    .ports
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.link_up)
+                    .map(|(pi, p)| (pi, p.peer))
+                    .collect()
+            })
+            .collect();
+        let hosts: Vec<bool> = (0..n)
+            .map(|i| shards[owner[i] as usize].nodes[i].is_host())
+            .collect();
+        let tables = route_tables(&adj, &hosts);
+        for (i, table) in tables.into_iter().enumerate() {
+            let sh = &mut shards[owner[i] as usize];
+            sh.nodes[i].routes = table;
+            sh.nodes[i].rebuild_flat_routes();
+        }
+    }
+    if up {
+        // Serial order: kick a's port, then b's, threading the global
+        // setup counter through each owning shard so the kicked events'
+        // tags match a serial run tag-for-tag.
+        for (s, node, port) in [(sa, a, pa), (sb, b, pb)] {
+            let sh = &mut shards[s];
+            sh.setup_k = *setup_k;
+            sh.kick(at, node, port);
+            *setup_k = sh.setup_k;
+            deliver_outbox(shards, s);
+        }
+    }
+}
+
+/// Accumulate `q` into `carry`, field by field.
+fn add_queue_perf(carry: &mut ecnsharp_sim::queue::QueuePerf, q: &ecnsharp_sim::queue::QueuePerf) {
+    carry.pushed += q.pushed;
+    carry.popped += q.popped;
+    carry.peak_pending += q.peak_pending;
+    carry.timers_armed += q.timers_armed;
+    carry.timers_cancelled += q.timers_cancelled;
+    carry.timers_fired += q.timers_fired;
+    carry.timers_stale_suppressed += q.timers_stale_suppressed;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, Ctx, FlowCmd};
+    use crate::fault::FaultPlan;
+    use crate::packet::Packet;
+    use crate::port::PortConfig;
+    use crate::topology;
+    use ecnsharp_aqm::DropTail;
+    use ecnsharp_sim::{Duration, Rate};
+
+    /// Sends its flow as back-to-back MTU packets immediately, counts the
+    /// echoed per-packet ACKs, and completes on the last one. Stateless
+    /// congestion control keeps the test about the engine, not transport.
+    struct Blaster {
+        want: std::collections::BTreeMap<u64, u64>,
+    }
+
+    impl Agent for Blaster {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            if pkt.flags.ack {
+                let left = self.want.get_mut(&pkt.flow.0).expect("known flow");
+                *left -= 1;
+                if *left == 0 {
+                    ctx.flow_done(pkt.flow, 0);
+                }
+            } else {
+                ctx.send(Packet::ack(pkt.flow, pkt.dst, pkt.src, pkt.seq_end()));
+            }
+        }
+        fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) {}
+        fn on_flow_cmd(&mut self, ctx: &mut Ctx<'_>, cmd: FlowCmd) {
+            let mut seq = 0;
+            let mut pkts = 0;
+            while seq < cmd.size {
+                let bytes = 1460.min(cmd.size - seq);
+                ctx.send(Packet::data(cmd.flow, cmd.src, cmd.dst, seq, bytes));
+                seq += bytes;
+                pkts += 1;
+            }
+            self.want.insert(cmd.flow.0, pkts);
+        }
+    }
+
+    fn cfg() -> PortConfig {
+        PortConfig::fifo(60_000, Box::new(DropTail::new()))
+    }
+
+    /// 2 spines × 2 leaves × 4 hosts, all-to-all short flows plus an
+    /// optional fault plan. Returns a fingerprint of everything that must
+    /// be shard-invariant.
+    fn run(shards: Option<&ShardPlan>, faults: bool) -> String {
+        let ls = topology::leaf_spine(
+            42,
+            2,
+            2,
+            4,
+            Rate::from_gbps(10),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+            |_| {
+                Box::new(Blaster {
+                    want: Default::default(),
+                })
+            },
+            cfg,
+            cfg,
+        );
+        let mut net = ls.net;
+        if faults {
+            net.install_fault_plan(
+                FaultPlan::new()
+                    .flap(
+                        ls.leaves[0],
+                        ls.spines[0],
+                        SimTime::from_micros(3),
+                        Duration::from_micros(15),
+                        Duration::from_micros(10),
+                        SimTime::from_micros(200),
+                    )
+                    .at(
+                        SimTime::from_micros(40),
+                        crate::fault::FaultAction::SetLinkRate {
+                            a: ls.leaves[1],
+                            b: ls.spines[1],
+                            rate: Rate::from_gbps(1),
+                        },
+                    ),
+            );
+        }
+        let n = ls.hosts.len() as u64;
+        for f in 0..3 * n {
+            let (src, dst) = ((f % n) as usize, ((f * 5 + 3) % n) as usize);
+            if src == dst {
+                continue;
+            }
+            net.schedule_flow(
+                SimTime::from_nanos(137 * f),
+                FlowCmd {
+                    flow: crate::ids::FlowId(f),
+                    src: ls.hosts[src],
+                    dst: ls.hosts[dst],
+                    size: 1460 * (1 + f % 7),
+                    class: 0,
+                    extra_delay: Duration::ZERO,
+                },
+            );
+        }
+        match shards {
+            Some(plan) => net.run_sharded_until_idle(plan),
+            None => net.run_until_idle(),
+        };
+        fingerprint(&net)
+    }
+
+    /// Everything that must be shard-invariant, as one comparable string.
+    fn fingerprint<S: ShardSubscriber>(net: &Network<S>) -> String {
+        let mut out = format!("now={:?} steps={} perf={:?}\n", net.now(), net.steps(), {
+            // Queue counters are mode-dependent (documented); blank them.
+            let mut p = net.perf();
+            p.events_pushed = 0;
+            p.events_popped = 0;
+            p.peak_pending = 0;
+            p
+        });
+        for node in 0..net.node_count() {
+            let n = crate::ids::NodeId(node);
+            for port in 0..net.nodes[node].ports.len() {
+                out.push_str(&format!("{node}.{port} {:?}\n", net.port_stats(n, port)));
+            }
+        }
+        out.push_str(&format!("records={:?}\n", net.records()));
+        out
+    }
+
+    /// A k=4 fat-tree (16 hosts, 4 pods) with cross-pod flows that
+    /// traverse the core; pod-granular shard plans from
+    /// [`topology::FatTree::shard_plan`].
+    fn run_ft(shards: Option<&ShardPlan>) -> String {
+        let ft = topology::fat_tree(
+            7,
+            4,
+            Rate::from_gbps(10),
+            Rate::from_gbps(10),
+            Duration::from_micros(1),
+            |_| {
+                Box::new(Blaster {
+                    want: Default::default(),
+                })
+            },
+            cfg,
+            cfg,
+        );
+        let mut net = ft.net;
+        let n = ft.hosts.len() as u64;
+        for f in 0..2 * n {
+            let (src, dst) = ((f % n) as usize, ((f * 7 + 5) % n) as usize);
+            if src == dst {
+                continue;
+            }
+            net.schedule_flow(
+                SimTime::from_nanos(211 * f),
+                FlowCmd {
+                    flow: crate::ids::FlowId(f),
+                    src: ft.hosts[src],
+                    dst: ft.hosts[dst],
+                    size: 1460 * (1 + f % 5),
+                    class: 0,
+                    extra_delay: Duration::ZERO,
+                },
+            );
+        }
+        match shards {
+            Some(plan) => net.run_sharded_until_idle(plan),
+            None => net.run_until_idle(),
+        };
+        fingerprint(&net)
+    }
+
+    #[test]
+    fn fat_tree_sharded_matches_serial() {
+        // Same seed and shape → same node ids, so a throwaway instance
+        // can supply the plans.
+        let plan_of = |n_shards| {
+            topology::fat_tree(
+                7,
+                4,
+                Rate::from_gbps(10),
+                Rate::from_gbps(10),
+                Duration::from_micros(1),
+                |_| Box::new(crate::agent::NullAgent),
+                cfg,
+                cfg,
+            )
+            .shard_plan(n_shards)
+        };
+        let serial = run_ft(None);
+        assert_eq!(serial, run_ft(Some(&plan_of(2))), "2 shards");
+        assert_eq!(serial, run_ft(Some(&plan_of(4))), "4 shards");
+    }
+
+    /// Hosts follow their leaf; leaves pair with a spine each.
+    fn plan_for(n_shards: u32) -> ShardPlan {
+        // Node order from `leaf_spine`: 8 hosts, then leaves [8, 9], then
+        // spines [10, 11].
+        let owner: Vec<u32> = (0..12)
+            .map(|i| {
+                let pod = match i {
+                    0..=3 => 0, // hosts of leaf 0
+                    4..=7 => 1, // hosts of leaf 1
+                    8 => 0,     // leaf 0
+                    9 => 1,     // leaf 1
+                    10 => 0,    // spine 0
+                    _ => 1,     // spine 1
+                };
+                pod % n_shards
+            })
+            .collect();
+        ShardPlan::new(owner)
+    }
+
+    /// Four shards: each leaf's hosts, then leaves, then spines.
+    fn plan_4way() -> ShardPlan {
+        ShardPlan::new(vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 3, 3])
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_exactly() {
+        let serial = run(None, false);
+        assert_eq!(serial, run(Some(&plan_for(2)), false), "2 shards");
+        assert_eq!(serial, run(Some(&plan_4way()), false), "4 shards");
+        assert!(serial.contains("records="), "fingerprint sane");
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_under_faults() {
+        let serial = run(None, true);
+        assert_eq!(serial, run(Some(&plan_for(2)), true), "2 shards + faults");
+        assert_eq!(serial, run(Some(&plan_4way()), true), "4 shards + faults");
+    }
+
+    #[test]
+    fn single_shard_plan_falls_back_to_serial() {
+        let serial = run(None, true);
+        assert_eq!(serial, run(Some(&plan_for(1)), true));
+    }
+
+    #[test]
+    #[should_panic(expected = "owns no nodes")]
+    fn plan_rejects_gaps() {
+        let _ = ShardPlan::new(vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero propagation delay")]
+    fn zero_delay_cross_link_is_rejected() {
+        let mut net = Network::new(1);
+        let a = net.add_host(Box::new(crate::agent::NullAgent));
+        let b = net.add_host(Box::new(crate::agent::NullAgent));
+        net.connect(a, cfg(), b, cfg(), Rate::from_gbps(10), Duration::ZERO);
+        net.compute_routes();
+        net.run_sharded_until_idle(&ShardPlan::new(vec![0, 1]));
+    }
+}

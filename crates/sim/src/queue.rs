@@ -1,9 +1,14 @@
 //! The event queue at the heart of the discrete-event engine.
 //!
-//! Events are ordered by `(time, sequence)`: among events scheduled for the
-//! same instant, insertion order wins. This total order makes every
-//! simulation run deterministic — a property the integration tests assert
-//! end-to-end (same seed ⇒ bit-identical flow completion times).
+//! Events are ordered by `(time, key)`. With [`EventQueue::schedule`] the
+//! key is an internal sequence counter, so among events scheduled for the
+//! same instant insertion order wins (FIFO). With
+//! [`EventQueue::schedule_tagged`] the caller supplies the key — the
+//! sharded engine derives it from event provenance so the total order is
+//! independent of how the network is partitioned. Either way the total
+//! order makes every simulation run deterministic — a property the
+//! integration tests assert end-to-end (same seed ⇒ bit-identical flow
+//! completion times).
 //!
 //! # Implementation: calendar lanes in front of a heap
 //!
@@ -242,16 +247,50 @@ impl<E> EventQueue<E> {
 
     /// Schedule `event` at absolute time `at`.
     ///
+    /// The tie-break key is drawn from the queue's internal sequence
+    /// counter, so same-instant events pop in insertion order (FIFO).
+    ///
     /// # Panics
     /// Debug-panics when scheduling into the past; the engine never rewinds.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.schedule_tagged(at, seq, event);
+    }
+
+    /// Schedule `event` at `at` with a **caller-supplied** tie-break key.
+    ///
+    /// Events pop in `(time, key)` order. This is the hook the sharded
+    /// engine uses for its canonical content-derived tags (see
+    /// `ecnsharp-net`): when the key is a pure function of the simulation
+    /// state that produced the event, the pop order is independent of how
+    /// the simulation is partitioned, which is what makes sharded replay
+    /// byte-identical to serial replay.
+    ///
+    /// Callers own key discipline: keys must be unique per queue among
+    /// in-flight events (the strict-invariants total-order check rejects
+    /// duplicates at equal times), and a queue should not interleave
+    /// tagged and untagged scheduling for the same run — the internal
+    /// sequence counter knows nothing about caller tags.
+    ///
+    /// ```
+    /// use ecnsharp_sim::{EventQueue, SimTime};
+    /// let mut q: EventQueue<&str> = EventQueue::new();
+    /// let t = SimTime::from_micros(1);
+    /// q.schedule_tagged(t, 7, "late");
+    /// q.schedule_tagged(t, 3, "early");
+    /// assert_eq!(q.pop().unwrap().1, "early"); // (time, key) order, not insertion order
+    /// ```
+    ///
+    /// # Panics
+    /// Debug-panics when scheduling into the past; the engine never rewinds.
+    pub fn schedule_tagged(&mut self, at: SimTime, key: u64, event: E) {
         crate::invariant!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
             self.now
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = key;
         let b = bucket(at);
         if b <= self.cursor {
             // The bucket being drained (b < cursor is impossible for
@@ -313,13 +352,28 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Debug-panics when arming into the past; the engine never rewinds.
     pub fn schedule_timer(&mut self, at: SimTime, event: E) -> TimerToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.schedule_timer_tagged(at, seq, event)
+    }
+
+    /// Arm a cancellable timer with a **caller-supplied** tie-break key —
+    /// the timer counterpart of [`schedule_tagged`], with the same key
+    /// discipline and the same cancel/re-arm semantics as
+    /// [`schedule_timer`].
+    ///
+    /// [`schedule_tagged`]: EventQueue::schedule_tagged
+    /// [`schedule_timer`]: EventQueue::schedule_timer
+    ///
+    /// # Panics
+    /// Debug-panics when arming into the past; the engine never rewinds.
+    pub fn schedule_timer_tagged(&mut self, at: SimTime, key: u64, event: E) -> TimerToken {
         crate::invariant!(
             at >= self.now,
             "arming a timer in the past: {at} < {}",
             self.now
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = key;
         let b = bucket(at);
         let tok = if b <= self.cursor {
             // Expiry inside the bucket being drained (sub-lane timers,
@@ -330,6 +384,9 @@ impl<E> EventQueue<E> {
                 seq,
                 event,
             });
+            // Counted as fired on delivery to the pop path (mirroring the
+            // refill drain); a cancel that catches it first decrements.
+            self.perf.timers_fired += 1;
             self.wheel.arm_external(at, seq)
         } else {
             self.wheel.arm(at, seq, event)
@@ -353,6 +410,15 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Release the wheel's bookkeeping marker behind a timer that just
+    /// popped and fired. Drained-but-unpopped timers keep their slab cell
+    /// as an External marker so a cancel racing ahead of the pop can
+    /// still remove the batched event; once the event actually fires the
+    /// owner calls this to return the cell. No-op on stale tokens.
+    pub fn timer_fired(&mut self, tok: TimerToken) {
+        self.wheel.release_external(tok);
+    }
+
     /// Cancel-and-re-arm in one step: the timer behind `tok` (if any is
     /// still live) is removed without ever reaching the pop path, and a
     /// fresh timer is armed at `at`. This is the per-ACK RTO pattern.
@@ -365,6 +431,25 @@ impl<E> EventQueue<E> {
         self.schedule_timer(at, event)
     }
 
+    /// Cancel-and-re-arm with a caller-supplied tie-break key — the tagged
+    /// counterpart of [`rearm_timer`].
+    ///
+    /// [`rearm_timer`]: EventQueue::rearm_timer
+    pub fn rearm_timer_tagged(
+        &mut self,
+        tok: Option<TimerToken>,
+        at: SimTime,
+        key: u64,
+        event: E,
+    ) -> TimerToken {
+        if let Some(t) = tok {
+            if self.take_live(t) {
+                self.perf.timers_stale_suppressed += 1;
+            }
+        }
+        self.schedule_timer_tagged(at, key, event)
+    }
+
     /// Remove a live timer (wheel-resident or already in the drain batch)
     /// without perf attribution; `false` on a stale token.
     fn take_live(&mut self, tok: TimerToken) -> bool {
@@ -375,19 +460,24 @@ impl<E> EventQueue<E> {
                 true
             }
             Cancelled::External(t, s) => {
-                // Rare path: the timer was armed into the draining batch.
-                // If it is still there (sorted batch or inbox overlay),
-                // remove it; otherwise it already popped and the cancel
-                // is stale.
+                // The timer's payload was already delivered to the pop
+                // path (armed into the draining batch, or drained from
+                // the wheel by an eager refill — the sharded engine's
+                // barrier peeks do this routinely). If it is still there
+                // (sorted batch or inbox overlay), remove it and undo the
+                // delivery-time fired count; otherwise it already popped
+                // and the cancel is stale.
                 if let Some(pos) = self.current.iter().position(|e| (e.0, e.1) == (t, s)) {
                     self.current.remove(pos);
                     self.len -= 1;
+                    self.perf.timers_fired -= 1;
                     true
                 } else if self.inbox.iter().any(|e| (e.time, e.seq) == (t, s)) {
                     let mut entries = std::mem::take(&mut self.inbox).into_vec();
                     entries.retain(|e| (e.time, e.seq) != (t, s));
                     self.inbox = entries.into();
                     self.len -= 1;
+                    self.perf.timers_fired -= 1;
                     true
                 } else {
                     false
@@ -494,7 +584,7 @@ impl<E> EventQueue<E> {
             self.merge_two_runs(meta.first_run_len as usize);
         } else {
             self.current
-                .sort_unstable_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+                .sort_unstable_by_key(|e| std::cmp::Reverse((e.0, e.1)));
         }
     }
 
@@ -507,7 +597,7 @@ impl<E> EventQueue<E> {
             // Defensive: meta out of sync would mean a logic bug, but a
             // sort is always a correct answer.
             self.current
-                .sort_unstable_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+                .sort_unstable_by_key(|e| std::cmp::Reverse((e.0, e.1)));
             return;
         }
         self.scratch.clear();
@@ -536,6 +626,17 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(t, _, e)| (t, e))
+    }
+
+    /// Pop the earliest event together with its tie-break key.
+    ///
+    /// The sharded engine needs the key of the event being processed (it
+    /// seeds the provenance of any records that event produces); plain
+    /// [`pop`] discards it.
+    ///
+    /// [`pop`]: EventQueue::pop
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         if self.current.is_empty() && self.inbox.is_empty() {
             if self.len == 0 {
                 return None;
@@ -568,7 +669,7 @@ impl<E> EventQueue<E> {
             self.last_popped = Some((time, seq));
         }
         self.now = time;
-        Some((time, event))
+        Some((time, seq, event))
     }
 
     /// Timestamp of the next event without popping it.
@@ -592,6 +693,107 @@ impl<E> EventQueue<E> {
             (Some(c), None) => Some(c.0),
             (None, Some(i)) => Some(i.time),
             (None, None) => None,
+        }
+    }
+
+    /// `(time, key)` of the next event without popping it — the ordering
+    /// key the next [`pop`] will honour. The serial engine uses this to
+    /// interleave out-of-queue work (fault application) at its exact
+    /// `(time, tag)` position; the sharded engine uses it to publish each
+    /// shard's next-event time at window barriers.
+    ///
+    /// Takes `&mut self` for the same refill reason as [`peek_time`].
+    ///
+    /// [`pop`]: EventQueue::pop
+    /// [`peek_time`]: EventQueue::peek_time
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        if self.current.is_empty() && self.inbox.is_empty() {
+            if self.len == 0 {
+                return None;
+            }
+            self.refill();
+        }
+        match (self.current.last(), self.inbox.peek()) {
+            (Some(c), Some(i)) => Some(if (i.time, i.seq) < (c.0, c.1) {
+                (i.time, i.seq)
+            } else {
+                (c.0, c.1)
+            }),
+            (Some(c), None) => Some((c.0, c.1)),
+            (None, Some(i)) => Some((i.time, i.seq)),
+            (None, None) => None,
+        }
+    }
+
+    /// Remove and return **all** pending events as `(time, key, event)`
+    /// triples sorted by `(time, key)`, leaving the queue empty but its
+    /// clock and counters intact.
+    ///
+    /// This is the shard-split primitive: setup events scheduled on a
+    /// serial network are drained here and re-scheduled (with their keys
+    /// preserved) onto the owning shard's queue. Perf counters are not
+    /// attributed — a split is bookkeeping, not simulation work.
+    ///
+    /// # Panics
+    /// Panics if any cancellable timer is still armed: timer tokens index
+    /// this queue's wheel and cannot be migrated. Shard a network before
+    /// arming timers (in practice: before the first `run_*` call).
+    pub fn drain_entries(&mut self) -> Vec<(SimTime, u64, E)> {
+        let mut out: Vec<(SimTime, u64, E)> = Vec::with_capacity(self.len);
+        out.append(&mut self.current);
+        out.extend(
+            std::mem::take(&mut self.inbox)
+                .into_iter()
+                .map(|e| (e.time, e.seq, e.event)),
+        );
+        if self.lanes_len > 0 {
+            for lane in &mut self.lanes {
+                out.append(&mut lane.entries);
+                lane.meta = LaneMeta::default();
+            }
+        }
+        out.extend(
+            std::mem::take(&mut self.heap)
+                .into_iter()
+                .map(|e| (e.time, e.seq, e.event)),
+        );
+        assert!(
+            out.len() == self.len,
+            "drain_entries with {} armed timer(s): timers cannot migrate across shards",
+            self.len - out.len()
+        );
+        self.occupied = [0; WORDS];
+        self.lanes_len = 0;
+        self.len = 0;
+        out.sort_unstable_by_key(|e| (e.0, e.1));
+        out
+    }
+
+    /// Restart the strict-invariants pop-order watermark.
+    ///
+    /// The `(time, seq)` total-order check assumes keys only ever grow
+    /// along the pop stream — true for everything the engine schedules
+    /// (strictly future times), but *setup-context* scheduling may
+    /// legally land at `now` with a key below ones already popped at
+    /// this instant: re-injecting events into a network whose run
+    /// already finished, or a manual link-up kick between runs (setup
+    /// tags sort below every same-time runtime tag by design, see
+    /// CONCURRENCY.md). Callers doing that restart the watermark so the
+    /// next pop is checked against the new stream, not the old one.
+    /// No-op outside `strict-invariants` builds (the watermark is never
+    /// written there).
+    pub fn rewind_order_watermark(&mut self) {
+        self.last_popped = None;
+    }
+
+    /// Advance the queue's clock to `t` without popping anything, so later
+    /// `schedule` calls measure "the past" against `t`. Used when a queue
+    /// stands for a simulation whose time advanced elsewhere (the shard
+    /// coordinator after a parallel phase). `t` earlier than `now` is a
+    /// no-op — the clock never rewinds.
+    pub fn advance_now(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
         }
     }
 
@@ -673,6 +875,72 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 2);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn tagged_order_is_key_order_not_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(100);
+        q.schedule_tagged(t, 30, "c");
+        q.schedule_tagged(t, 10, "a");
+        q.schedule_tagged(t, 20, "b");
+        // Across buckets too: far-future heap entry with a small key.
+        q.schedule_tagged(SimTime::from_millis(50), 1, "far");
+        let order: Vec<(u64, &str)> =
+            std::iter::from_fn(|| q.pop_keyed().map(|(_, k, e)| (k, e))).collect();
+        assert_eq!(order, vec![(10, "a"), (20, "b"), (30, "c"), (1, "far")]);
+    }
+
+    #[test]
+    fn peek_key_matches_next_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_tagged(SimTime::from_nanos(40), 9, ());
+        q.schedule_tagged(SimTime::from_nanos(40), 4, ());
+        assert_eq!(q.peek_key(), Some((SimTime::from_nanos(40), 4)));
+        let (t, k, ()) = q.pop_keyed().unwrap();
+        assert_eq!((t, k), (SimTime::from_nanos(40), 4));
+        assert_eq!(q.peek_key(), Some((SimTime::from_nanos(40), 9)));
+        q.pop();
+        assert_eq!(q.peek_key(), None);
+    }
+
+    #[test]
+    fn drain_entries_returns_sorted_and_empties_queue() {
+        let mut q = EventQueue::new();
+        // One in each region: near lane, current bucket, far heap.
+        q.schedule_tagged(SimTime::from_nanos(2_000), 3, "lane");
+        q.schedule_tagged(SimTime::from_nanos(1), 2, "near");
+        q.schedule_tagged(SimTime::from_millis(900), 1, "far");
+        // Force a refill so `current`/`inbox` are populated too.
+        q.pop_keyed();
+        q.schedule_tagged(q.now(), 7, "inbox");
+        let drained = q.drain_entries();
+        let labels: Vec<&str> = drained.iter().map(|e| e.2).collect();
+        assert_eq!(labels, vec!["inbox", "lane", "far"]);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        // The queue is reusable after a drain.
+        q.schedule_tagged(SimTime::from_millis(901), 5, "again");
+        assert_eq!(q.pop().unwrap().1, "again");
+    }
+
+    #[test]
+    #[should_panic(expected = "armed timer")]
+    fn drain_entries_rejects_armed_timers() {
+        let mut q = EventQueue::new();
+        q.schedule_timer(SimTime::from_micros(10), ());
+        let _ = q.drain_entries();
+    }
+
+    #[test]
+    fn tagged_timer_rearm_replays_like_schedule_timer() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_timer_tagged(SimTime::from_micros(5), 11, "old");
+        let _tok2 = q.rearm_timer_tagged(Some(tok), SimTime::from_micros(7), 12, "new");
+        q.schedule_tagged(SimTime::from_micros(6), 1, "mid");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["mid", "new"]);
+        assert_eq!(q.perf().timers_stale_suppressed, 1);
     }
 
     #[test]

@@ -501,10 +501,36 @@ impl<E> TimerWheel<E> {
                 n += 1;
             }
             self.len -= 1;
-            self.free(idx);
+            // Keep the cell as an External marker instead of freeing it:
+            // the drained event now sits in the owning queue's batch, and
+            // a cancel/re-arm racing ahead of the pop (the queue peeked
+            // into this bucket before a causally-earlier event arrived —
+            // the conservative-window engine does exactly that at
+            // barriers) must still find and remove it by `(time, seq)`.
+            // The marker is freed on cancel or via [`release_external`]
+            // once the event pops and fires.
+            //
+            // [`release_external`]: TimerWheel::release_external
+            self.slab[i].loc = Loc::External;
+            self.slab[i].prev = NIL;
+            self.slab[i].next = NIL;
             idx = next;
         }
         n
+    }
+
+    /// Free the External marker behind `tok` after its drained event
+    /// popped and fired. No-op on stale tokens and on wheel-resident
+    /// cells (a one-shot `SetTimer` sharing an armed timer's key pops
+    /// without consuming the armed cell).
+    pub fn release_external(&mut self, tok: TimerToken) {
+        let i = tok.idx as usize;
+        if i < self.slab.len()
+            && self.slab[i].gen == tok.gen
+            && matches!(self.slab[i].loc, Loc::External)
+        {
+            self.free(tok.idx);
+        }
     }
 
     /// Drop every timer (resident and external markers), invalidating all
@@ -609,8 +635,14 @@ mod tests {
             fired.iter().map(|&(_, _, e)| e).collect::<Vec<_>>(),
             vec![0, 2]
         );
-        // Tokens for fired timers are stale too.
+        // Drained timers keep an External marker so a cancel racing ahead
+        // of the pop can still find the batched event by `(time, seq)`;
+        // the cancel itself frees the marker, so a second one is stale.
+        assert_eq!(w.cancel(a), Cancelled::External(t(10_000), 0));
         assert_eq!(w.cancel(a), Cancelled::Stale);
+        // A timer that actually fires hands its marker back through
+        // `release_external`; only then does its token go stale.
+        w.release_external(c);
         assert_eq!(w.cancel(c), Cancelled::Stale);
     }
 

@@ -308,6 +308,18 @@ impl Default for HistogramRecorder {
     }
 }
 
+impl crate::subscribe::ShardSubscriber for HistogramRecorder {
+    fn fork_shard(&self, _shard: usize) -> Self {
+        Self::with_precision(self.sojourn_ns.precision())
+    }
+
+    fn merge_shard(&mut self, child: Self) {
+        // Once-per-run fold at the post-run barrier, not a per-packet path.
+        self.merge(&child) // lint: allow(hot-path-panic) once-per-run merge; fork inherits precision so the mismatch arm is unreachable
+            .expect("shard fork precision matches by construction");
+    }
+}
+
 impl Subscriber for HistogramRecorder {
     #[inline]
     fn on_packet_enqueued(&mut self, _meta: &Meta, ev: &PacketEnqueued) {

@@ -51,7 +51,7 @@ pub use event::{
 pub use hist::{HistogramRecorder, LogLinearHistogram, PrecisionMismatch, FCT_BUCKET_NAMES};
 pub use json::JsonlWriter;
 pub use metrics::{Metric, MetricsAggregator, METRIC_COUNT, METRIC_NAMES};
-pub use subscribe::{NoopSubscriber, Subscriber};
+pub use subscribe::{NoopSubscriber, ShardSubscriber, Subscriber};
 pub use timeline::TimelineSampler;
 
 // Compile-time shard-safety proofs: subscribers travel with their

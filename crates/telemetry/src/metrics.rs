@@ -193,6 +193,16 @@ impl Default for MetricsAggregator {
     }
 }
 
+impl crate::subscribe::ShardSubscriber for MetricsAggregator {
+    fn fork_shard(&self, _shard: usize) -> Self {
+        MetricsAggregator::new()
+    }
+
+    fn merge_shard(&mut self, child: Self) {
+        self.merge(&child);
+    }
+}
+
 impl Subscriber for MetricsAggregator {
     #[inline]
     fn on_packet_enqueued(&mut self, _meta: &Meta, ev: &PacketEnqueued) {

@@ -148,6 +148,48 @@ impl<A: Subscriber, B: Subscriber> Subscriber for (A, B) {
     }
 }
 
+/// A [`Subscriber`] that can be split across simulation shards and
+/// deterministically recombined.
+///
+/// The sharded engine gives every shard a fork of the run's subscriber;
+/// each fork sees exactly the events of its shard's nodes. After the run,
+/// forks are merged back **in shard-index order**, so the merged result is
+/// a pure function of the per-shard event streams — independent of thread
+/// scheduling. Aggregate subscribers (counters, histograms) are natural
+/// fits: their merge is commutative, so they are additionally independent
+/// of the shard *count* whenever the underlying event multiset is.
+/// Stream-order subscribers (e.g. JSONL writers) cannot implement this
+/// trait meaningfully and are rejected by the sharded entry points at
+/// compile time.
+pub trait ShardSubscriber: Subscriber + Sized {
+    /// An empty subscriber for shard `shard`, configured compatibly with
+    /// `self` (same precision, same registry, ...).
+    fn fork_shard(&self, shard: usize) -> Self;
+
+    /// Fold a shard's fork back into the run-level subscriber. Called once
+    /// per fork, in ascending shard index.
+    fn merge_shard(&mut self, child: Self);
+}
+
+impl ShardSubscriber for NoopSubscriber {
+    fn fork_shard(&self, _shard: usize) -> Self {
+        NoopSubscriber
+    }
+
+    fn merge_shard(&mut self, _child: Self) {}
+}
+
+impl<A: ShardSubscriber, B: ShardSubscriber> ShardSubscriber for (A, B) {
+    fn fork_shard(&self, shard: usize) -> Self {
+        (self.0.fork_shard(shard), self.1.fork_shard(shard))
+    }
+
+    fn merge_shard(&mut self, child: Self) {
+        self.0.merge_shard(child.0);
+        self.1.merge_shard(child.1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

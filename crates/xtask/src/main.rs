@@ -9,7 +9,9 @@
 //! - `selftest` — prove each rule fires on its seeded fixture violation.
 //! - `ci` — fmt-check → clippy → lint (+ JSON artifact) → selftest →
 //!   release build → tests (default features, then `strict-invariants`)
-//!   → race harness (release) → quick-scale chaos smoke run under
+//!   → race harness (release) → sharded-determinism gate (the
+//!   serial-vs-sharded byte-equivalence suite under `strict-invariants`;
+//!   see CONCURRENCY.md) → quick-scale chaos smoke run under
 //!   `strict-invariants` → rustdoc gate (`cargo doc --no-deps` with
 //!   `-Dwarnings`, then `cargo test --doc`).
 //! - `bench` — run the standing `ecnsharp-bench` targets and collate
@@ -77,7 +79,7 @@ fn print_help() {
          readable violation + waiver inventory\n  \
          selftest    verify each lint rule fires on its seeded fixture\n  \
          ci          fmt-check -> clippy -> lint -> selftest -> build -> tests ->\n              \
-         race harness -> chaos smoke -> rustdoc gate\n  \
+         race harness -> sharded determinism -> chaos smoke -> rustdoc gate\n  \
          bench       run engine/aqm_cost/figures benches, write BENCH_sim.json\n  \
          bench-diff  compare two BENCH_sim.json files (old new), or --check to\n              \
          rerun the engine benches and fail on >25% regression"
@@ -313,6 +315,28 @@ fn ci() -> ExitCode {
                     "-q",
                 ]);
                 run_step("race harness (release, shuffled schedules)", c, true)
+            }),
+        ),
+        (
+            "sharded determinism",
+            Box::new(|| {
+                // Conservative-PDES replay gate (CONCURRENCY.md): for the
+                // same seed, sharded runs must be byte-identical to the
+                // serial event loop — figure CSVs, chaos ledgers,
+                // MarkStats — with invariant checks armed.
+                let mut c = cargo();
+                c.args([
+                    "test",
+                    "--release",
+                    "-p",
+                    "ecnsharp-experiments",
+                    "--features",
+                    "strict-invariants",
+                    "--test",
+                    "shard_equivalence",
+                    "-q",
+                ]);
+                run_step("sharded determinism (strict-invariants, release)", c, true)
             }),
         ),
         (
