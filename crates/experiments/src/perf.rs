@@ -37,6 +37,7 @@ struct Accum {
     timers_cancelled: AtomicU64,
     timers_fired: AtomicU64,
     timers_stale_suppressed: AtomicU64,
+    heap_spills: AtomicU64,
     flows_failed: AtomicU64,
     no_route_drops: AtomicU64,
 }
@@ -56,6 +57,7 @@ impl Accum {
             timers_cancelled: AtomicU64::new(0),
             timers_fired: AtomicU64::new(0),
             timers_stale_suppressed: AtomicU64::new(0),
+            heap_spills: AtomicU64::new(0),
             flows_failed: AtomicU64::new(0),
             no_route_drops: AtomicU64::new(0),
         }
@@ -104,6 +106,9 @@ pub fn absorb<S: Subscriber>(net: &Network<S>) {
         .timers_stale_suppressed
         .fetch_add(c.timers_stale_suppressed, Ordering::Relaxed);
     ACCUM
+        .heap_spills
+        .fetch_add(c.heap_spills, Ordering::Relaxed);
+    ACCUM
         .flows_failed
         .fetch_add(c.flows_failed, Ordering::Relaxed);
     ACCUM
@@ -139,6 +144,9 @@ pub struct Snapshot {
     /// Stale timers suppressed by in-place re-arm — queue events the
     /// legacy backend would have pushed and popped for nothing.
     pub timers_stale_suppressed: u64,
+    /// Events that bypassed both calendar horizons into the heap,
+    /// summed over runs.
+    pub heap_spills: u64,
     /// Flows aborted after exhausting their RTO retries, summed over runs.
     pub flows_failed: u64,
     /// Switch discards for unreachable destinations, summed over runs.
@@ -160,6 +168,7 @@ pub fn snapshot() -> Snapshot {
         timers_cancelled: ACCUM.timers_cancelled.load(Ordering::Relaxed),
         timers_fired: ACCUM.timers_fired.load(Ordering::Relaxed),
         timers_stale_suppressed: ACCUM.timers_stale_suppressed.load(Ordering::Relaxed),
+        heap_spills: ACCUM.heap_spills.load(Ordering::Relaxed),
         flows_failed: ACCUM.flows_failed.load(Ordering::Relaxed),
         no_route_drops: ACCUM.no_route_drops.load(Ordering::Relaxed),
     }
@@ -179,6 +188,7 @@ pub fn reset() {
     ACCUM.timers_cancelled.store(0, Ordering::Relaxed);
     ACCUM.timers_fired.store(0, Ordering::Relaxed);
     ACCUM.timers_stale_suppressed.store(0, Ordering::Relaxed);
+    ACCUM.heap_spills.store(0, Ordering::Relaxed);
     ACCUM.flows_failed.store(0, Ordering::Relaxed);
     ACCUM.no_route_drops.store(0, Ordering::Relaxed);
 }
@@ -221,7 +231,8 @@ impl<R> Timed<R> {
             "{{\"name\":{:?},\"wall_secs\":{:.6},\"events_pushed\":{},\"events_popped\":{},\
              \"peak_pending\":{},\"packets_forwarded\":{},\"ce_marks\":{},\"drops\":{},\
              \"sim_nanos\":{},\"runs\":{},\"timers_armed\":{},\"timers_cancelled\":{},\
-             \"timers_fired\":{},\"timers_stale_suppressed\":{},\"flows_failed\":{},\
+             \"timers_fired\":{},\"timers_stale_suppressed\":{},\"heap_spills\":{},\
+             \"flows_failed\":{},\
              \"no_route_drops\":{},\"events_per_sec\":{:.1},\"sim_secs_per_wall_sec\":{:.4}}}",
             name,
             self.wall_secs,
@@ -237,6 +248,7 @@ impl<R> Timed<R> {
             p.timers_cancelled,
             p.timers_fired,
             p.timers_stale_suppressed,
+            p.heap_spills,
             p.flows_failed,
             p.no_route_drops,
             self.events_per_sec(),
@@ -268,7 +280,7 @@ impl<R> Timed<R> {
             "[perf] {name}: wall {:.2}s | {} events ({:.1}M ev/s, {:.0} ns/ev) | \
              sim {:.3}s over {} runs ({:.2} sim-s/wall-s) | {} pkts fwd, {} CE marks, {} drops | \
              timers: {} armed, {} cancelled, {} fired, {} stale-suppressed | \
-             faults: {} failed flows, {} no-route drops",
+             {} heap spills | faults: {} failed flows, {} no-route drops",
             self.wall_secs,
             p.events_popped,
             self.events_per_sec() / 1e6,
@@ -283,6 +295,7 @@ impl<R> Timed<R> {
             p.timers_cancelled,
             p.timers_fired,
             p.timers_stale_suppressed,
+            p.heap_spills,
             p.flows_failed,
             p.no_route_drops,
         )

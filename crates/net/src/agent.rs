@@ -245,7 +245,7 @@ pub struct EchoAgent;
 
 impl Agent for EchoAgent {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-        if !pkt.flags.ack {
+        if !pkt.flags().ack {
             let reply = Packet::ack(pkt.flow, pkt.dst, pkt.src, pkt.seq_end());
             ctx.send(reply);
         }
@@ -284,8 +284,8 @@ mod tests {
         agent.on_packet(&mut ctx, data);
         match &actions[0] {
             Action::Send(p, _) => {
-                assert!(p.flags.ack);
-                assert_eq!(p.ack, 300);
+                assert!(p.flags().ack);
+                assert_eq!(p.ack_no(), 300);
                 assert_eq!(p.dst, NodeId(0));
             }
             other => panic!("unexpected {other:?}"),

@@ -1,0 +1,243 @@
+//! Pooled per-switch ring storage for egress FIFO queues.
+//!
+//! Every switch port's FIFO used to own a private heap `VecDeque`, so a
+//! 16-port leaf touched 16 scattered allocations on its forwarding hot
+//! path. A [`RingArena`] packs all of a node's FIFO slots into one
+//! contiguous `Vec` owned by the [`crate::node::Node`]; each pooled port
+//! holds only a `(offset, capacity)` window plus cursor state
+//! ([`PooledRing`]), so a switch's queues share cache lines and the arena
+//! moves with the node across shards (plain owned data: `Send` for free,
+//! no `unsafe`).
+//!
+//! Capacity gets a thin slack margin over the MTU-packet estimate, so a
+//! queue held at byte capacity by tail drop still fits the window (one
+//! slot short would route every enqueue through the overflow exactly when
+//! the port is hottest); workloads of tiny packets can exceed that slot
+//! count while staying under the byte capacity, so each ring keeps an
+//! overflow `VecDeque` that is only touched when the window is full —
+//! FIFO order is preserved by routing *every* enqueue to the overflow
+//! while it is non-empty and refilling the ring from its front after
+//! dequeues.
+//!
+//! Slots are plain `(bytes, Packet)` pairs — exactly one cache line each
+//! (const-asserted) — not `Option`s: occupancy is fully determined by the
+//! ring's `head`/`len` cursors, and the `Option` discriminant would push
+//! the slot to 72 bytes, straddling two lines and nearly doubling the
+//! memory traffic of a saturated port. Drained slots simply keep their
+//! stale payload until overwritten.
+
+use crate::ids::{FlowId, NodeId};
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+const _: () = assert!(
+    std::mem::size_of::<(u64, Packet)>() == 64,
+    "a pooled ring slot must be exactly one cache line"
+);
+
+/// One node's pooled ring storage: the concatenated slot windows of all
+/// its pooled ports.
+#[derive(Default)]
+pub struct RingArena {
+    pub(crate) slots: Vec<(u64, Packet)>,
+}
+
+impl RingArena {
+    /// An empty arena (hosts and standalone bench ports never grow one).
+    pub fn new() -> Self {
+        RingArena::default()
+    }
+
+    /// Append a `cap`-slot window and return its offset. Windows are only
+    /// ever appended, so previously handed-out offsets stay valid.
+    pub(crate) fn alloc(&mut self, cap: usize) -> usize {
+        let off = self.slots.len();
+        // Filler payload: never read (head/len track occupancy), just
+        // keeps the storage initialized without `unsafe`.
+        self.slots.resize(
+            off + cap,
+            (0, Packet::data(FlowId(0), NodeId(0), NodeId(0), 0, 0)),
+        );
+        off
+    }
+}
+
+/// A single-class FIFO whose slots live in a shared [`RingArena`] window
+/// instead of a private allocation. Byte/packet backlog is tracked here so
+/// backlog queries never touch the arena.
+pub struct PooledRing {
+    /// First slot of this ring's window in the arena.
+    off: usize,
+    /// Window size in slots.
+    cap: usize,
+    /// In-window index of the oldest occupied slot.
+    head: usize,
+    /// Occupied slots.
+    len: usize,
+    /// Queued wire bytes (ring + overflow).
+    bytes: u64,
+    /// Spill queue for slot counts beyond `cap`; non-empty only while the
+    /// ring window is full.
+    overflow: VecDeque<(u64, Packet)>,
+}
+
+impl PooledRing {
+    /// A ring over `arena[off .. off + cap]`.
+    pub(crate) fn new(off: usize, cap: usize) -> Self {
+        debug_assert!(cap > 0, "pooled ring needs at least one slot");
+        PooledRing {
+            off,
+            cap,
+            head: 0,
+            len: 0,
+            bytes: 0,
+            overflow: VecDeque::new(),
+        }
+    }
+
+    /// Arena index of in-window position `i` (`i < 2 * cap` always, since
+    /// `head < cap` and `len <= cap`): a conditional subtract, which beats
+    /// both `%` (a divide) and a power-of-two mask (which would force
+    /// oversized windows — footprint is what pooling is about).
+    #[inline]
+    fn slot_at(&self, i: usize) -> usize {
+        self.off + if i >= self.cap { i - self.cap } else { i }
+    }
+
+    #[inline]
+    pub(crate) fn enqueue(&mut self, arena: &mut RingArena, bytes: u64, item: Packet) {
+        self.bytes += bytes;
+        // Invariant: a non-empty overflow implies a full window (enqueue
+        // spills only at `len == cap`; dequeue refills until the window is
+        // full or the overflow is drained). So `len < cap` alone proves
+        // the overflow is empty — the fast path never touches the deque.
+        if self.len < self.cap {
+            debug_assert!(
+                self.overflow.is_empty(),
+                "overflow behind a non-full window"
+            );
+            arena.slots[self.slot_at(self.head + self.len)] = (bytes, item);
+            self.len += 1;
+        } else {
+            // Window full: everything goes to the overflow so arrival
+            // order survives.
+            self.overflow.push_back((bytes, item));
+        }
+    }
+
+    #[inline]
+    pub(crate) fn dequeue(&mut self, arena: &mut RingArena) -> Option<(u64, Packet)> {
+        if self.len == 0 {
+            debug_assert!(self.overflow.is_empty(), "overflow without a full ring");
+            return None;
+        }
+        let (bytes, item) = arena.slots[self.off + self.head].clone();
+        self.head = if self.head + 1 == self.cap {
+            0
+        } else {
+            self.head + 1
+        };
+        self.len -= 1;
+        self.bytes -= bytes;
+        // Refill from the spill queue so the ring window always holds the
+        // oldest packets (the FIFO prefix). The overflow can only be
+        // non-empty when the window *was* full (see the enqueue
+        // invariant), so a register test on `len` screens out the common
+        // case before the deque is ever touched.
+        if self.len + 1 == self.cap && !self.overflow.is_empty() {
+            while self.len < self.cap {
+                let Some((b, p)) = self.overflow.pop_front() else {
+                    break;
+                };
+                arena.slots[self.slot_at(self.head + self.len)] = (b, p);
+                self.len += 1;
+            }
+        }
+        Some((bytes, item))
+    }
+
+    #[inline]
+    pub(crate) fn backlog_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    #[inline]
+    pub(crate) fn backlog_pkts(&self) -> u64 {
+        (self.len + self.overflow.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, NodeId};
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::data(FlowId(1), NodeId(0), NodeId(1), seq, 1460)
+    }
+
+    #[test]
+    fn preserves_fifo_order() {
+        let mut arena = RingArena::new();
+        let off = arena.alloc(4);
+        let mut r = PooledRing::new(off, 4);
+        for i in 0..4u64 {
+            r.enqueue(&mut arena, 100 + i, pkt(i));
+        }
+        for i in 0..4u64 {
+            let (b, p) = r.dequeue(&mut arena).unwrap();
+            assert_eq!((b, p.seq()), (100 + i, i));
+        }
+        assert!(r.dequeue(&mut arena).is_none());
+        assert_eq!(r.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn overflow_keeps_fifo_order() {
+        // Window of 2, 6 packets: 4 spill to the overflow. Interleave
+        // dequeues so the refill path runs with a wrapped head.
+        let mut arena = RingArena::new();
+        let off = arena.alloc(2);
+        let mut r = PooledRing::new(off, 2);
+        for i in 0..6u64 {
+            r.enqueue(&mut arena, 100, pkt(i));
+        }
+        assert_eq!(r.backlog_pkts(), 6);
+        assert_eq!(r.backlog_bytes(), 600);
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            out.push(r.dequeue(&mut arena).unwrap().1.seq());
+        }
+        for i in 6..8u64 {
+            r.enqueue(&mut arena, 100, pkt(i));
+        }
+        while let Some((_, p)) = r.dequeue(&mut arena) {
+            out.push(p.seq());
+        }
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(r.backlog_pkts(), 0);
+    }
+
+    #[test]
+    fn two_rings_share_one_arena_without_interference() {
+        let mut arena = RingArena::new();
+        let off_a = arena.alloc(4);
+        let off_b = arena.alloc(4);
+        let mut a = PooledRing::new(off_a, 4);
+        let mut b = PooledRing::new(off_b, 4);
+        for i in 0..3u64 {
+            a.enqueue(&mut arena, 10, pkt(i));
+            b.enqueue(&mut arena, 20, pkt(100 + i));
+        }
+        assert_eq!(a.backlog_bytes(), 30);
+        assert_eq!(b.backlog_bytes(), 60);
+        for i in 0..3u64 {
+            assert_eq!(a.dequeue(&mut arena).unwrap().1.seq(), i);
+            assert_eq!(b.dequeue(&mut arena).unwrap().1.seq(), 100 + i);
+        }
+        assert_eq!(a.backlog_pkts(), 0);
+        assert_eq!(b.backlog_pkts(), 0);
+        assert_eq!(a.backlog_bytes(), 0);
+        assert_eq!(b.backlog_bytes(), 0);
+    }
+}

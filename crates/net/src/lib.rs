@@ -54,6 +54,7 @@ macro_rules! emit {
 }
 
 pub mod agent;
+pub mod arena;
 pub mod fault;
 pub mod ids;
 pub mod network;
@@ -65,6 +66,7 @@ pub mod topology;
 pub mod trace;
 
 pub use agent::{Action, Agent, Ctx, EchoAgent, FlowCmd, FlowOutcome, FlowRecord, NullAgent};
+pub use arena::RingArena;
 pub use fault::{FaultAction, FaultEvent, FaultPlan, GilbertElliott};
 pub use ids::{FlowId, NodeId, PortId};
 pub use network::{Network, PerfCounters, QueueMonitor};
@@ -96,4 +98,11 @@ const _: () = {
     // the plan's owner map behind an Arc.
     assert_send::<network::OutMsg>();
     assert_send_sync::<ShardPlan>();
+    // Pooled ring storage moves with its node across shard threads.
+    assert_send::<RingArena>();
+    // Cache-layout pin alongside the shard-safety proofs: the packed
+    // Packet (and therefore every pooled arena slot) must stay within one
+    // 64-byte cache line, or the host-path working set regresses.
+    assert!(std::mem::size_of::<Packet>() <= 64);
+    assert!(std::mem::size_of::<Option<(u64, Packet)>>() <= 72);
 };

@@ -27,7 +27,7 @@ use crate::port::{EgressPort, PortConfig, PortStats};
 use crate::trace::TraceKind;
 #[cfg(feature = "packet-trace")]
 use crate::trace::Tracer;
-use ecnsharp_sim::{hash_mix, Duration, EventQueue, Rate, Rng, SimTime, TimerToken};
+use ecnsharp_sim::{hash_mix, DetMap, Duration, EventQueue, Rate, Rng, SimTime, TimerToken};
 #[cfg(feature = "telemetry")]
 use ecnsharp_telemetry::{
     AlphaUpdated, CwndUpdated, FlowCompleted, LinkStateChanged, Meta, PacketDropped, RtoFired,
@@ -75,6 +75,9 @@ pub struct PerfCounters {
     /// Live timers displaced by a re-arm — stale events the legacy
     /// epoch-filtering path would have pushed through the queue.
     pub timers_stale_suppressed: u64,
+    /// Events scheduled beyond both calendar horizons, falling back to
+    /// the event queue's `BinaryHeap` (see `QueuePerf::heap_spills`).
+    pub heap_spills: u64,
     /// Flows aborted by their sender (graceful degradation after
     /// `max_rto_retries` consecutive timeouts).
     pub flows_failed: u64,
@@ -169,7 +172,9 @@ pub struct Network<S: Subscriber = NoopSubscriber> {
     pub(crate) pending: BTreeMap<FlowId, (FlowCmd, SimTime)>,
     /// Live cancellable timers: `(node, key)` → wheel token plus the armed
     /// `(time, tag)` (the key under which the pending event is queued).
-    pub(crate) timer_tokens: BTreeMap<(NodeId, u64), (TimerToken, SimTime, u64)>,
+    /// A [`DetMap`] because this is re-hashed on every RTO re-arm (one per
+    /// ACK): keyed lookup only — never iterate it.
+    pub(crate) timer_tokens: DetMap<(NodeId, u64), (TimerToken, SimTime, u64)>,
     pub(crate) records: Vec<FlowRecord>,
     /// Provenance key of each record, aligned with `records`: `(finish,
     /// tag of the completing event, index among that event's records)`.
@@ -241,7 +246,7 @@ impl<S: Subscriber> Network<S> {
             seed,
             ecmp_salt,
             pending: BTreeMap::new(),
-            timer_tokens: BTreeMap::new(),
+            timer_tokens: DetMap::default(),
             records: Vec::new(),
             record_keys: Vec::new(),
             monitors: Vec::new(),
@@ -311,7 +316,7 @@ impl<S: Subscriber> Network<S> {
             seed: self.seed,
             ecmp_salt: self.ecmp_salt,
             pending: BTreeMap::new(),
-            timer_tokens: BTreeMap::new(),
+            timer_tokens: DetMap::default(),
             records: Vec::new(),
             record_keys: Vec::new(),
             monitors: self.monitors.clone(),
@@ -412,12 +417,23 @@ impl<S: Subscriber> Network<S> {
         port_a.owner = a;
         port_a.owner_port = pa as u64;
         port_a.seed_dice(hash_mix(self.seed ^ ((a.0 as u64 + 1) << 24) ^ pa as u64));
-        self.nodes[a.0].ports.push(port_a);
+        // Switch FIFOs migrate onto the node's shared ring arena so all
+        // of a switch's queues live in one contiguous block; hosts keep
+        // their inline NIC FIFO (one port, nothing to pool).
+        let na = &mut self.nodes[a.0];
+        if !na.is_host() {
+            port_a.pool_ring(&mut na.arena);
+        }
+        na.ports.push(port_a);
         let mut port_b = EgressPort::new(a, pa, rate, delay, cfg_b);
         port_b.owner = b;
         port_b.owner_port = pb as u64;
         port_b.seed_dice(hash_mix(self.seed ^ ((b.0 as u64 + 1) << 24) ^ pb as u64));
-        self.nodes[b.0].ports.push(port_b);
+        let nb = &mut self.nodes[b.0];
+        if !nb.is_host() {
+            port_b.pool_ring(&mut nb.arena);
+        }
+        nb.ports.push(port_b);
         (pa, pb)
     }
 
@@ -654,6 +670,7 @@ impl<S: Subscriber> Network<S> {
             timers_cancelled: q.timers_cancelled + self.carry.timers_cancelled,
             timers_fired: q.timers_fired + self.carry.timers_fired,
             timers_stale_suppressed: q.timers_stale_suppressed + self.carry.timers_stale_suppressed,
+            heap_spills: q.heap_spills + self.carry.heap_spills,
             flows_failed: self.flows_failed,
             no_route_drops: self.no_route_drops,
             ..PerfCounters::default()
@@ -817,7 +834,8 @@ impl<S: Subscriber> Network<S> {
             Event::NicSend { node, pkt } => {
                 self.cur_node = node.0;
                 self.trace(now, node, TraceKind::Enqueue, &pkt);
-                self.nodes[node.0].ports[0].enqueue(now, pkt, &mut self.sub);
+                let n = &mut self.nodes[node.0];
+                n.ports[0].enqueue(now, pkt, &mut n.arena, &mut self.sub);
                 self.kick(now, node, 0);
             }
             Event::Sample { id } => {
@@ -872,8 +890,8 @@ impl<S: Subscriber> Network<S> {
                             // Sentinel: the packet never reached a port.
                             port: u64::MAX,
                             flow: pkt.flow.0,
-                            seq: pkt.seq,
-                            payload: pkt.payload,
+                            seq: pkt.seq(),
+                            payload: pkt.payload(),
                             wire_bytes: pkt.wire_bytes(),
                             reason: DropReason::NoRoute,
                         }
@@ -899,7 +917,8 @@ impl<S: Subscriber> Network<S> {
                     hops[idx as usize] as usize
                 };
                 self.trace(now, node, TraceKind::Enqueue, &pkt);
-                self.nodes[node.0].ports[port].enqueue(now, pkt, &mut self.sub);
+                let n = &mut self.nodes[node.0];
+                n.ports[port].enqueue(now, pkt, &mut n.arena, &mut self.sub);
                 self.kick(now, node, port);
             }
         }
@@ -908,11 +927,12 @@ impl<S: Subscriber> Network<S> {
     /// Start transmitting on `(node, port)` if idle and backlogged.
     pub(crate) fn kick(&mut self, now: SimTime, node: NodeId, port: usize) {
         let sub = &mut self.sub;
-        let p = &mut self.nodes[node.0].ports[port];
+        let n = &mut self.nodes[node.0];
+        let p = &mut n.ports[port];
         if p.busy || !p.link_up {
             return;
         }
-        if let Some(tx) = p.next_tx_dice(now, sub) {
+        if let Some(tx) = p.next_tx_dice(now, &mut n.arena, sub) {
             p.busy = true;
             let peer = p.peer;
             let delay = p.delay;
@@ -1015,7 +1035,8 @@ impl<S: Subscriber> Network<S> {
             match action {
                 Action::Send(pkt, delay) => {
                     if delay.is_zero() {
-                        self.nodes[node.0].ports[0].enqueue(now, pkt, &mut self.sub);
+                        let n = &mut self.nodes[node.0];
+                        n.ports[0].enqueue(now, pkt, &mut n.arena, &mut self.sub);
                         self.kick(now, node, 0);
                     } else {
                         self.push_event(now + delay, Event::NicSend { node, pkt });
@@ -1027,7 +1048,7 @@ impl<S: Subscriber> Network<S> {
                 Action::ArmTimer(at, key) => {
                     // Entry API: one tree descent per arm instead of a
                     // get + insert pair (this is the per-ACK hot path).
-                    use std::collections::btree_map::Entry;
+                    use std::collections::hash_map::Entry;
                     let at = at.max(now);
                     let tag = self.next_tag();
                     match self.timer_tokens.entry((node, key)) {
@@ -1244,7 +1265,7 @@ mod tests {
         struct OneShot;
         impl Agent for OneShot {
             fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-                if pkt.flags.ack {
+                if pkt.flags().ack {
                     ctx.flow_done(pkt.flow, 0);
                 }
             }
@@ -1302,7 +1323,7 @@ mod tests {
         struct DelayedSender;
         impl Agent for DelayedSender {
             fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-                if pkt.flags.ack {
+                if pkt.flags().ack {
                     ctx.flow_done(pkt.flow, 0);
                 }
             }

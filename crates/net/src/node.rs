@@ -1,6 +1,7 @@
 //! Nodes: hosts (with agents) and switches (with routing tables).
 
 use crate::agent::Agent;
+use crate::arena::RingArena;
 use crate::port::EgressPort;
 
 /// What kind of node this is.
@@ -31,6 +32,10 @@ pub struct Node {
     /// the hottest switch path; rebuilt alongside `routes`.
     pub(crate) route_off: Vec<u32>,
     pub(crate) route_hops: Vec<u16>,
+    /// Pooled ring storage shared by this node's switch-port FIFOs: one
+    /// contiguous slot block instead of a heap `VecDeque` per port (see
+    /// [`crate::arena`]). Empty for hosts and `Dyn`-scheduled ports.
+    pub(crate) arena: RingArena,
 }
 
 impl Node {
@@ -41,6 +46,7 @@ impl Node {
             routes: Vec::new(),
             route_off: Vec::new(),
             route_hops: Vec::new(),
+            arena: RingArena::new(),
         }
     }
 
@@ -51,6 +57,7 @@ impl Node {
             routes: Vec::new(),
             route_off: Vec::new(),
             route_hops: Vec::new(),
+            arena: RingArena::new(),
         }
     }
 

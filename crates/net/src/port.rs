@@ -2,6 +2,7 @@
 //! of every link attachment. The queueing behaviour the whole paper is
 //! about lives here.
 
+use crate::arena::{PooledRing, RingArena};
 use crate::fault::{validate_p, GilbertElliott};
 use crate::ids::NodeId;
 use crate::packet::{Ecn, Packet};
@@ -21,8 +22,11 @@ use ecnsharp_telemetry::{
 /// dispatched, with a boxed trait object as the escape hatch for the
 /// multi-class schedulers (DWRR in §5.4).
 pub enum PortSched {
-    /// Inline single-queue FIFO (static dispatch).
+    /// Inline single-queue FIFO (static dispatch, private ring).
     Fifo(Fifo<Packet>),
+    /// Single-queue FIFO whose slots live in the owning node's shared
+    /// [`RingArena`] (switch ports; see [`crate::arena`]).
+    Pooled(PooledRing),
     /// Any other scheduler, behind the [`Scheduler`] trait.
     Dyn(Box<dyn Scheduler<Packet>>),
 }
@@ -31,23 +35,32 @@ impl PortSched {
     #[inline]
     fn classes(&self) -> usize {
         match self {
-            PortSched::Fifo(_) => 1,
+            PortSched::Fifo(_) | PortSched::Pooled(_) => 1,
             PortSched::Dyn(s) => s.classes(),
         }
     }
 
     #[inline]
-    fn enqueue(&mut self, class: usize, bytes: u64, item: Packet) {
+    fn enqueue(&mut self, arena: &mut RingArena, class: usize, bytes: u64, item: Packet) {
         match self {
             PortSched::Fifo(f) => f.enqueue(class, bytes, item),
+            PortSched::Pooled(r) => {
+                debug_assert_eq!(class, 0, "pooled FIFO has a single class");
+                r.enqueue(arena, bytes, item);
+            }
             PortSched::Dyn(s) => s.enqueue(class, bytes, item),
         }
     }
 
     #[inline]
-    fn dequeue(&mut self) -> Option<Dequeued<Packet>> {
+    fn dequeue(&mut self, arena: &mut RingArena) -> Option<Dequeued<Packet>> {
         match self {
             PortSched::Fifo(f) => f.dequeue(),
+            PortSched::Pooled(r) => r.dequeue(arena).map(|(bytes, item)| Dequeued {
+                class: 0,
+                bytes,
+                item,
+            }),
             PortSched::Dyn(s) => s.dequeue(),
         }
     }
@@ -56,6 +69,7 @@ impl PortSched {
     fn backlog_bytes(&self) -> u64 {
         match self {
             PortSched::Fifo(f) => Scheduler::backlog_bytes(f),
+            PortSched::Pooled(r) => r.backlog_bytes(),
             PortSched::Dyn(s) => s.backlog_bytes(),
         }
     }
@@ -64,9 +78,29 @@ impl PortSched {
     fn backlog_pkts(&self) -> u64 {
         match self {
             PortSched::Fifo(f) => Scheduler::backlog_pkts(f),
+            PortSched::Pooled(r) => r.backlog_pkts(),
             PortSched::Dyn(s) => s.backlog_pkts(),
         }
     }
+}
+
+/// Slots a port's ring window gets in its node's arena: one buffer's
+/// worth of MTU packets, the same pre-sizing the inline FIFO uses.
+pub(crate) fn ring_slots(capacity_bytes: u64) -> usize {
+    (capacity_bytes / 1538).clamp(16, 4096) as usize
+}
+
+/// Window size for a *pooled* ring: the MTU-packet estimate plus a thin
+/// slack margin. The slack matters — a queue held at byte capacity by tail
+/// drop packs slightly more sub-MTU packets than `ring_slots` predicts,
+/// and a window that is even one slot too small routes every enqueue
+/// through the overflow deque exactly when the port is hottest (each
+/// packet then gets copied twice). The margin stays thin on purpose:
+/// window footprint is the whole point of pooling, and a saturated ring
+/// walks its entire window cyclically.
+pub(crate) fn pooled_ring_slots(capacity_bytes: u64) -> usize {
+    let est = ring_slots(capacity_bytes);
+    est + est / 8 + 8
 }
 
 /// Static configuration of an egress port.
@@ -94,7 +128,7 @@ impl PortConfig {
     pub fn fifo(capacity_bytes: u64, aqm: Box<dyn Aqm>) -> Self {
         // Pre-size for a buffer's worth of MTU packets (wire MTU ≈ 1538 B)
         // so steady-state queueing never grows the deque.
-        let pkts = (capacity_bytes / 1538).clamp(16, 4096) as usize;
+        let pkts = ring_slots(capacity_bytes);
         PortConfig {
             capacity_bytes,
             aqm,
@@ -265,6 +299,23 @@ impl EgressPort {
         self.dice = Rng::seed_from_u64(seed);
     }
 
+    /// Migrate an inline-FIFO port onto the owning node's shared
+    /// [`RingArena`]. Called at [`crate::Network::connect`] time (the
+    /// queue is necessarily empty); ports with a [`PortSched::Dyn`]
+    /// scheduler keep their own storage.
+    pub(crate) fn pool_ring(&mut self, arena: &mut RingArena) {
+        if let PortSched::Fifo(f) = &self.sched {
+            debug_assert_eq!(
+                Scheduler::backlog_pkts(f),
+                0,
+                "ring pooling requires an empty queue"
+            );
+            let cap = pooled_ring_slots(self.capacity_bytes);
+            let off = arena.alloc(cap);
+            self.sched = PortSched::Pooled(PooledRing::new(off, cap));
+        }
+    }
+
     /// [`Self::next_tx`] drawing dice from the port's own seeded stream.
     ///
     /// Ports without any fault knob never consume dice (the injector
@@ -273,16 +324,17 @@ impl EgressPort {
     pub(crate) fn next_tx_dice<S: Subscriber>(
         &mut self,
         now: SimTime,
+        arena: &mut RingArena,
         sub: &mut S,
     ) -> Option<TxStart> {
         if self.fault_drop_p > 0.0 || self.corrupt_p > 0.0 || self.ge.is_some() {
             let mut rng = std::mem::replace(&mut self.dice, Rng::seed_from_u64(0));
-            let tx = self.next_tx(now, || rng.f64(), sub);
+            let tx = self.next_tx(now, || rng.f64(), arena, sub);
             self.dice = rng;
             tx
         } else {
             // Never called: every dice site is behind a knob checked above.
-            self.next_tx(now, || 0.0, sub)
+            self.next_tx(now, || 0.0, arena, sub)
         }
     }
 
@@ -330,7 +382,7 @@ impl EgressPort {
     fn view(pkt: &Packet) -> PacketView {
         PacketView {
             bytes: pkt.wire_bytes(),
-            ect: pkt.ecn.is_ect(),
+            ect: pkt.ecn().is_ect(),
             enqueued_at: pkt.enqueued_at,
         }
     }
@@ -352,8 +404,8 @@ impl EgressPort {
         PacketDropped {
             port: self.owner_port,
             flow: pkt.flow.0,
-            seq: pkt.seq,
-            payload: pkt.payload,
+            seq: pkt.seq(),
+            payload: pkt.payload(),
             wire_bytes: pkt.wire_bytes(),
             reason,
         }
@@ -399,6 +451,7 @@ impl EgressPort {
         &mut self,
         now: SimTime,
         mut pkt: Packet,
+        arena: &mut RingArena,
         sub: &mut S,
     ) -> bool {
         let wire = pkt.wire_bytes();
@@ -430,8 +483,8 @@ impl EgressPort {
                 return false;
             }
             EnqueueVerdict::AdmitMark => {
-                debug_assert!(pkt.ecn.is_ect());
-                pkt.ecn = Ecn::Ce;
+                debug_assert!(pkt.ecn().is_ect());
+                pkt.set_ecn(Ecn::Ce);
                 self.stats.enq_marks += 1;
                 emit!(
                     sub,
@@ -440,7 +493,7 @@ impl EgressPort {
                     CeMarked {
                         port: self.owner_port,
                         flow: pkt.flow.0,
-                        seq: pkt.seq,
+                        seq: pkt.seq(),
                         site: MarkSite::Enqueue,
                     }
                 );
@@ -454,15 +507,15 @@ impl EgressPort {
             PacketEnqueued {
                 port: self.owner_port,
                 flow: pkt.flow.0,
-                seq: pkt.seq,
-                payload: pkt.payload,
+                seq: pkt.seq(),
+                payload: pkt.payload(),
                 wire_bytes: wire,
                 backlog_bytes: backlog,
-                marked: pkt.ecn == Ecn::Ce,
+                marked: pkt.ecn() == Ecn::Ce,
             }
         );
-        let class = (pkt.class as usize).min(self.sched.classes() - 1);
-        self.sched.enqueue(class, wire, pkt);
+        let class = (pkt.class() as usize).min(self.sched.classes() - 1);
+        self.sched.enqueue(arena, class, wire, pkt);
         self.stats.enqueued += 1;
         if cfg!(feature = "strict-invariants") {
             self.accounted_in_bytes += wire;
@@ -486,10 +539,11 @@ impl EgressPort {
         &mut self,
         now: SimTime,
         mut dice: impl FnMut() -> f64,
+        arena: &mut RingArena,
         sub: &mut S,
     ) -> Option<TxStart> {
         loop {
-            let d = self.sched.dequeue()?;
+            let d = self.sched.dequeue(arena)?;
             let mut pkt = d.item;
             if cfg!(feature = "strict-invariants") {
                 self.accounted_out_bytes += d.bytes;
@@ -523,8 +577,8 @@ impl EgressPort {
                     continue;
                 }
                 DequeueVerdict::Mark => {
-                    debug_assert!(pkt.ecn.is_ect());
-                    pkt.ecn = Ecn::Ce;
+                    debug_assert!(pkt.ecn().is_ect());
+                    pkt.set_ecn(Ecn::Ce);
                     self.stats.deq_marks += 1;
                     emit!(
                         sub,
@@ -533,7 +587,7 @@ impl EgressPort {
                         CeMarked {
                             port: self.owner_port,
                             flow: pkt.flow.0,
-                            seq: pkt.seq,
+                            seq: pkt.seq(),
                             site: MarkSite::Dequeue,
                         }
                     );
@@ -559,7 +613,7 @@ impl EgressPort {
             if self.tx_payload_per_class.len() <= class {
                 self.tx_payload_per_class.resize(class + 1, 0);
             }
-            self.tx_payload_per_class[class] += pkt.payload;
+            self.tx_payload_per_class[class] += pkt.payload();
             if self.fault_drop_p > 0.0 && dice() < self.fault_drop_p {
                 self.stats.fault_drops += 1;
                 emit!(
@@ -598,11 +652,17 @@ impl EgressPort {
     }
 
     /// Bench-support wrapper around the crate-private [`Self::enqueue`]
-    /// (the `telemetry_noop` bench group drives the port hot path in
-    /// isolation). Not part of the public API surface.
+    /// (the `telemetry_noop` and `cache_pressure` bench groups drive the
+    /// port hot path in isolation). Not part of the public API surface.
     #[doc(hidden)]
-    pub fn bench_enqueue<S: Subscriber>(&mut self, now: SimTime, pkt: Packet, sub: &mut S) -> bool {
-        self.enqueue(now, pkt, sub)
+    pub fn bench_enqueue<S: Subscriber>(
+        &mut self,
+        now: SimTime,
+        pkt: Packet,
+        arena: &mut RingArena,
+        sub: &mut S,
+    ) -> bool {
+        self.enqueue(now, pkt, arena, sub)
     }
 
     /// Bench-support wrapper around the crate-private [`Self::next_tx`]:
@@ -612,9 +672,19 @@ impl EgressPort {
         &mut self,
         now: SimTime,
         dice: impl FnMut() -> f64,
+        arena: &mut RingArena,
         sub: &mut S,
     ) -> Option<(Packet, Duration)> {
-        self.next_tx(now, dice, sub).map(|t| (t.pkt, t.tx_time))
+        self.next_tx(now, dice, arena, sub)
+            .map(|t| (t.pkt, t.tx_time))
+    }
+
+    /// Bench-support wrapper around the crate-private [`Self::pool_ring`]:
+    /// migrates this port's FIFO onto `arena`. Not part of the public API
+    /// surface.
+    #[doc(hidden)]
+    pub fn bench_pool_ring(&mut self, arena: &mut RingArena) {
+        self.pool_ring(arena);
     }
 }
 
@@ -638,6 +708,13 @@ mod tests {
     use ecnsharp_aqm::{DctcpRed, DropTail, Tcn};
     use ecnsharp_telemetry::NoopSubscriber;
 
+    fn pooled(cfg: PortConfig) -> (EgressPort, RingArena) {
+        let mut p = port(cfg);
+        let mut arena = RingArena::new();
+        p.pool_ring(&mut arena);
+        (p, arena)
+    }
+
     fn port(cfg: PortConfig) -> EgressPort {
         EgressPort::new(
             NodeId(1),
@@ -653,11 +730,69 @@ mod tests {
     }
 
     #[test]
+    fn pooled_port_matches_fifo_behaviour() {
+        // The pooled ring must be observationally identical to the inline
+        // FIFO: same admissions, same tail drops, same dequeue order.
+        let (mut p, mut arena) = pooled(PortConfig::fifo(4_000, Box::new(DropTail::new())));
+        assert!(matches!(p.sched, PortSched::Pooled(_)));
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut arena, &mut NoopSubscriber));
+        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut arena, &mut NoopSubscriber));
+        assert!(!p.enqueue(SimTime::ZERO, pkt(1460), &mut arena, &mut NoopSubscriber));
+        assert_eq!(p.stats().tail_drops, 1);
+        assert_eq!(p.backlog_pkts(), 2);
+        assert_eq!(p.backlog_bytes(), 3076);
+        let a = p
+            .next_tx(SimTime::ZERO, || 1.0, &mut arena, &mut NoopSubscriber)
+            .unwrap();
+        // 1538 B at 10 Gbps, same as the inline-FIFO tx_time test.
+        assert_eq!(a.tx_time, Duration::from_nanos(1230));
+        assert!(p
+            .next_tx(SimTime::ZERO, || 1.0, &mut arena, &mut NoopSubscriber)
+            .is_some());
+        assert!(p
+            .next_tx(SimTime::ZERO, || 1.0, &mut arena, &mut NoopSubscriber)
+            .is_none());
+        assert_eq!(p.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn pooled_port_marks_at_enqueue_like_fifo() {
+        let (mut p, mut arena) = pooled(PortConfig::fifo(
+            1_000_000,
+            Box::new(DctcpRed::with_threshold(3_500)),
+        ));
+        for _ in 0..3 {
+            assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut arena, &mut NoopSubscriber));
+        }
+        assert_eq!(p.stats().enq_marks, 1);
+        let mut last = None;
+        while let Some(tx) = p.next_tx(SimTime::ZERO, || 1.0, &mut arena, &mut NoopSubscriber) {
+            last = Some(tx.pkt.ecn());
+        }
+        assert_eq!(last, Some(Ecn::Ce), "marked packet dequeues last");
+    }
+
+    #[test]
     fn tail_drop_at_capacity() {
         let mut p = port(PortConfig::fifo(4_000, Box::new(DropTail::new())));
-        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber)); // 1538 wire
-        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber)); // 3076
-        assert!(!p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber)); // would be 4614 > 4000
+        assert!(p.enqueue(
+            SimTime::ZERO,
+            pkt(1460),
+            &mut RingArena::new(),
+            &mut NoopSubscriber
+        )); // 1538 wire
+        assert!(p.enqueue(
+            SimTime::ZERO,
+            pkt(1460),
+            &mut RingArena::new(),
+            &mut NoopSubscriber
+        )); // 3076
+        assert!(!p.enqueue(
+            SimTime::ZERO,
+            pkt(1460),
+            &mut RingArena::new(),
+            &mut NoopSubscriber
+        )); // would be 4614 > 4000
         assert_eq!(p.stats().tail_drops, 1);
         assert_eq!(p.backlog_pkts(), 2);
     }
@@ -668,25 +803,55 @@ mod tests {
             1_000_000,
             Box::new(DctcpRed::with_threshold(3_500)),
         ));
-        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber)); // occupancy 1538
-        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber)); // occupancy 3076
-                                                                           // Third packet pushes occupancy to 4614 > 3500: marked.
-        assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber));
+        assert!(p.enqueue(
+            SimTime::ZERO,
+            pkt(1460),
+            &mut RingArena::new(),
+            &mut NoopSubscriber
+        )); // occupancy 1538
+        assert!(p.enqueue(
+            SimTime::ZERO,
+            pkt(1460),
+            &mut RingArena::new(),
+            &mut NoopSubscriber
+        )); // occupancy 3076
+            // Third packet pushes occupancy to 4614 > 3500: marked.
+        assert!(p.enqueue(
+            SimTime::ZERO,
+            pkt(1460),
+            &mut RingArena::new(),
+            &mut NoopSubscriber
+        ));
         assert_eq!(p.stats().enq_marks, 1);
         // The marked packet is the last one out.
         let mut dice = || 1.0;
         let a = p
-            .next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber)
+            .next_tx(
+                SimTime::ZERO,
+                &mut dice,
+                &mut RingArena::new(),
+                &mut NoopSubscriber,
+            )
             .unwrap();
         let b = p
-            .next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber)
+            .next_tx(
+                SimTime::ZERO,
+                &mut dice,
+                &mut RingArena::new(),
+                &mut NoopSubscriber,
+            )
             .unwrap();
         let c = p
-            .next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber)
+            .next_tx(
+                SimTime::ZERO,
+                &mut dice,
+                &mut RingArena::new(),
+                &mut NoopSubscriber,
+            )
             .unwrap();
-        assert_eq!(a.pkt.ecn, Ecn::Ect);
-        assert_eq!(b.pkt.ecn, Ecn::Ect);
-        assert_eq!(c.pkt.ecn, Ecn::Ce);
+        assert_eq!(a.pkt.ecn(), Ecn::Ect);
+        assert_eq!(b.pkt.ecn(), Ecn::Ect);
+        assert_eq!(c.pkt.ecn(), Ecn::Ce);
     }
 
     #[test]
@@ -695,27 +860,57 @@ mod tests {
             1_000_000,
             Box::new(Tcn::new(Duration::from_micros(100))),
         ));
-        assert!(p.enqueue(SimTime::from_micros(0), pkt(1460), &mut NoopSubscriber));
+        assert!(p.enqueue(
+            SimTime::from_micros(0),
+            pkt(1460),
+            &mut RingArena::new(),
+            &mut NoopSubscriber
+        ));
         // Dequeued 150 us later: sojourn above threshold, marked.
         let tx = p
-            .next_tx(SimTime::from_micros(150), &mut || 1.0, &mut NoopSubscriber)
+            .next_tx(
+                SimTime::from_micros(150),
+                &mut || 1.0,
+                &mut RingArena::new(),
+                &mut NoopSubscriber,
+            )
             .unwrap();
-        assert_eq!(tx.pkt.ecn, Ecn::Ce);
+        assert_eq!(tx.pkt.ecn(), Ecn::Ce);
         assert_eq!(p.stats().deq_marks, 1);
         // Fast path: no mark.
-        assert!(p.enqueue(SimTime::from_micros(200), pkt(1460), &mut NoopSubscriber));
+        assert!(p.enqueue(
+            SimTime::from_micros(200),
+            pkt(1460),
+            &mut RingArena::new(),
+            &mut NoopSubscriber
+        ));
         let tx = p
-            .next_tx(SimTime::from_micros(250), &mut || 1.0, &mut NoopSubscriber)
+            .next_tx(
+                SimTime::from_micros(250),
+                &mut || 1.0,
+                &mut RingArena::new(),
+                &mut NoopSubscriber,
+            )
             .unwrap();
-        assert_eq!(tx.pkt.ecn, Ecn::Ect);
+        assert_eq!(tx.pkt.ecn(), Ecn::Ect);
     }
 
     #[test]
     fn tx_time_uses_wire_bytes() {
         let mut p = port(PortConfig::fifo(1_000_000, Box::new(DropTail::new())));
-        p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber);
+        p.enqueue(
+            SimTime::ZERO,
+            pkt(1460),
+            &mut RingArena::new(),
+            &mut NoopSubscriber,
+        );
         let tx = p
-            .next_tx(SimTime::ZERO, &mut || 1.0, &mut NoopSubscriber)
+            .next_tx(
+                SimTime::ZERO,
+                &mut || 1.0,
+                &mut RingArena::new(),
+                &mut NoopSubscriber,
+            )
             .unwrap();
         // 1538 B at 10 Gbps = 1230.4 ns
         assert_eq!(tx.tx_time, Duration::from_nanos(1230));
@@ -726,7 +921,12 @@ mod tests {
         let cfg = PortConfig::fifo(1_000_000, Box::new(DropTail::new())).with_fault_drop(0.5);
         let mut p = port(cfg);
         for _ in 0..4 {
-            p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber);
+            p.enqueue(
+                SimTime::ZERO,
+                pkt(1460),
+                &mut RingArena::new(),
+                &mut NoopSubscriber,
+            );
         }
         // Dice alternating below/above p: drop, keep, drop, keep.
         let seq = [0.1, 0.9, 0.2, 0.8];
@@ -736,14 +936,29 @@ mod tests {
             i += 1;
             v
         };
-        let tx = p.next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber);
+        let tx = p.next_tx(
+            SimTime::ZERO,
+            &mut dice,
+            &mut RingArena::new(),
+            &mut NoopSubscriber,
+        );
         assert!(tx.is_some());
         assert_eq!(p.stats().fault_drops, 1);
-        let tx = p.next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber);
+        let tx = p.next_tx(
+            SimTime::ZERO,
+            &mut dice,
+            &mut RingArena::new(),
+            &mut NoopSubscriber,
+        );
         assert!(tx.is_some());
         assert_eq!(p.stats().fault_drops, 2);
         assert!(p
-            .next_tx(SimTime::ZERO, &mut || 1.0, &mut NoopSubscriber)
+            .next_tx(
+                SimTime::ZERO,
+                &mut || 1.0,
+                &mut RingArena::new(),
+                &mut NoopSubscriber
+            )
             .is_none());
     }
 
@@ -751,7 +966,12 @@ mod tests {
     fn empty_queue_yields_none() {
         let mut p = port(PortConfig::fifo(1_000, Box::new(DropTail::new())));
         assert!(p
-            .next_tx(SimTime::ZERO, || 1.0, &mut NoopSubscriber)
+            .next_tx(
+                SimTime::ZERO,
+                || 1.0,
+                &mut RingArena::new(),
+                &mut NoopSubscriber
+            )
             .is_none());
     }
 
@@ -797,7 +1017,12 @@ mod tests {
             .with_corrupt(0.25);
         let mut p = port(cfg);
         for _ in 0..3 {
-            p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber);
+            p.enqueue(
+                SimTime::ZERO,
+                pkt(1460),
+                &mut RingArena::new(),
+                &mut NoopSubscriber,
+            );
         }
         // Packet 1: fault draw 0.1 < 0.25 → fault drop (no corrupt draw).
         // Packet 2: fault 0.9, corrupt 0.1 < 0.25 → corrupt drop.
@@ -809,7 +1034,12 @@ mod tests {
             i += 1;
             v
         };
-        let tx = p.next_tx(SimTime::ZERO, &mut dice, &mut NoopSubscriber);
+        let tx = p.next_tx(
+            SimTime::ZERO,
+            &mut dice,
+            &mut RingArena::new(),
+            &mut NoopSubscriber,
+        );
         assert!(tx.is_some());
         assert_eq!(i, 5, "fault-dropped packet must not consume a corrupt draw");
         assert_eq!(p.stats().fault_drops, 1);
@@ -825,7 +1055,12 @@ mod tests {
         let cfg = PortConfig::fifo(1_000_000, Box::new(DropTail::new())).with_ge(ge);
         let mut p = port(cfg);
         for _ in 0..3 {
-            p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber);
+            p.enqueue(
+                SimTime::ZERO,
+                pkt(1460),
+                &mut RingArena::new(),
+                &mut NoopSubscriber,
+            );
         }
         let mut draws = 0u64;
         let tx = p.next_tx(
@@ -834,6 +1069,7 @@ mod tests {
                 draws += 1;
                 0.0
             },
+            &mut RingArena::new(),
             &mut NoopSubscriber,
         );
         assert!(tx.is_none(), "all packets lost to the burst");
@@ -859,8 +1095,18 @@ mod tests {
         let mut sent = 0u64;
         let mut dropped = 0u64;
         for _ in 0..50 {
-            assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber));
-            while let Some(_tx) = p.next_tx(SimTime::ZERO, || rng.f64(), &mut NoopSubscriber) {
+            assert!(p.enqueue(
+                SimTime::ZERO,
+                pkt(1460),
+                &mut RingArena::new(),
+                &mut NoopSubscriber
+            ));
+            while let Some(_tx) = p.next_tx(
+                SimTime::ZERO,
+                || rng.f64(),
+                &mut RingArena::new(),
+                &mut NoopSubscriber,
+            ) {
                 sent += 1;
             }
         }
@@ -879,9 +1125,19 @@ mod tests {
             let mut p = port(cfg);
             let mut rng = ecnsharp_sim::Rng::seed_from_u64(seed);
             for _ in 0..100 {
-                assert!(p.enqueue(SimTime::ZERO, pkt(1460), &mut NoopSubscriber));
+                assert!(p.enqueue(
+                    SimTime::ZERO,
+                    pkt(1460),
+                    &mut RingArena::new(),
+                    &mut NoopSubscriber
+                ));
                 while p
-                    .next_tx(SimTime::ZERO, || rng.f64(), &mut NoopSubscriber)
+                    .next_tx(
+                        SimTime::ZERO,
+                        || rng.f64(),
+                        &mut RingArena::new(),
+                        &mut NoopSubscriber,
+                    )
                     .is_some()
                 {}
             }

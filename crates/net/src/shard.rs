@@ -145,7 +145,7 @@ impl<S: ShardSubscriber> Network<S> {
     /// struct OneShot;
     /// impl Agent for OneShot {
     ///     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-    ///         if pkt.flags.ack {
+    ///         if pkt.flags().ack {
     ///             ctx.flow_done(pkt.flow, 0);
     ///         } else {
     ///             ctx.send(Packet::ack(pkt.flow, pkt.dst, pkt.src, pkt.seq_end()));
@@ -551,6 +551,7 @@ fn add_queue_perf(carry: &mut ecnsharp_sim::queue::QueuePerf, q: &ecnsharp_sim::
     carry.timers_cancelled += q.timers_cancelled;
     carry.timers_fired += q.timers_fired;
     carry.timers_stale_suppressed += q.timers_stale_suppressed;
+    carry.heap_spills += q.heap_spills;
 }
 
 #[cfg(test)]
@@ -573,7 +574,7 @@ mod tests {
 
     impl Agent for Blaster {
         fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-            if pkt.flags.ack {
+            if pkt.flags().ack {
                 let left = self.want.get_mut(&pkt.flow.0).expect("known flow");
                 *left -= 1;
                 if *left == 0 {

@@ -117,7 +117,7 @@ impl Tracer {
 
     /// Record an event for `pkt`.
     pub fn record(&mut self, at: SimTime, node: NodeId, kind: TraceKind, pkt: &Packet) {
-        self.record_raw(at, node, kind, pkt.flow, pkt.seq, pkt.payload);
+        self.record_raw(at, node, kind, pkt.flow, pkt.seq(), pkt.payload());
     }
 
     /// Record an event from raw fields (the packet may no longer exist,

@@ -37,7 +37,7 @@ pub mod wheel;
 
 pub use queue::EventQueue;
 pub use rate::{bytes, Rate};
-pub use rng::{hash_mix, Rng};
+pub use rng::{hash_mix, DetHasher, DetMap, DetState, Rng};
 pub use time::{Duration, SimTime};
 pub use wheel::{TimerToken, TimerWheel};
 
@@ -54,4 +54,10 @@ const _: () = {
     assert_send_sync::<Duration>();
     assert_send_sync::<SimTime>();
     assert_send_sync::<Rate>();
+    // Cache-layout pins: the time types must stay word-sized — they are
+    // embedded in every queue entry, wheel cell, and (downstream) packet.
+    // The calendar-lane header pin lives next to `Lane` in `queue.rs`
+    // (the type is private to the module).
+    assert!(std::mem::size_of::<SimTime>() == 8);
+    assert!(std::mem::size_of::<Duration>() == 8);
 };

@@ -21,7 +21,14 @@
 //!   ≈ 1 ms of horizon) is a ring of *lanes*; scheduling into it is an
 //!   O(1) `Vec::push`, and an occupancy bitmap finds the next non-empty
 //!   lane with a couple of word scans;
-//! - events beyond the horizon fall back to a [`BinaryHeap`];
+//! - the mid future (a second ring of `OUTER_COUNT` slots, each spanning
+//!   `1 << OUTER_SHIFT` inner buckets ≈ 65.5 µs, together ≈ 67 ms of
+//!   horizon) parks events unsorted; a refill *cascades* the earliest
+//!   outer slot into the inner lanes before the cursor can reach it, so
+//!   multi-RTT timers (RTOs at 5–10 ms, experiment sampling) stay O(1)
+//!   per schedule instead of spilling to the heap;
+//! - events beyond both horizons fall back to a [`BinaryHeap`] (counted
+//!   as [`QueuePerf::heap_spills`]);
 //! - the lane whose bucket is being drained (the *current* batch) is kept
 //!   sorted by `(time, seq)` descending, so popping the earliest event is
 //!   a `Vec::pop`. When the batch empties, the next bucket is chosen as
@@ -46,6 +53,18 @@ const LANE_COUNT: usize = 1024;
 const LANE_MASK: u64 = LANE_COUNT as u64 - 1;
 /// Words in the lane-occupancy bitmap.
 const WORDS: usize = LANE_COUNT / 64;
+
+/// log2 of inner buckets per outer slot: each outer slot spans 64 inner
+/// buckets, making an outer lane `1 << (LANE_BITS + OUTER_SHIFT)` ns
+/// ≈ 65.5 µs wide.
+const OUTER_SHIFT: u32 = 6;
+/// Number of outer slots (must be a power of two). With 65.5 µs lanes the
+/// outer horizon reaches ≈ 67 ms past the cursor — multi-RTT timers and
+/// experiment bookkeeping land here instead of the [`BinaryHeap`].
+const OUTER_COUNT: usize = 1024;
+const OUTER_MASK: u64 = OUTER_COUNT as u64 - 1;
+/// Words in the outer-occupancy bitmap.
+const OUTER_WORDS: usize = OUTER_COUNT / 64;
 
 /// Absolute calendar bucket of a timestamp.
 #[inline]
@@ -107,6 +126,10 @@ pub struct QueuePerf {
     /// epoch-filtering design would have pushed through (and popped from)
     /// the queue.
     pub timers_stale_suppressed: u64,
+    /// Events scheduled beyond *both* calendar horizons (inner ≈ 1 ms,
+    /// outer ≈ 67 ms) that fell back to the `BinaryHeap`. The second-wheel
+    /// win is observable here: near-zero means no `O(log n)` heap traffic.
+    pub heap_spills: u64,
 }
 
 /// Sub-run bookkeeping for one lane: how many ascending `(time, seq)`
@@ -151,6 +174,13 @@ impl<E> Default for Lane<E> {
     }
 }
 
+// Cache-layout pin (companion to the Send/Sync proofs in `lib.rs`): a
+// lane header — `Vec` header plus run bookkeeping — must fit one 64-byte
+// cache line, or the co-location argument above stops holding and every
+// schedule touches two lines. Checked against a word-sized payload; the
+// header size is payload-independent.
+const _: () = assert!(std::mem::size_of::<Lane<u64>>() <= 64);
+
 /// A time-ordered event queue with FIFO tie-breaking.
 pub struct EventQueue<E> {
     /// Entries of the bucket currently being drained (`cursor`), sorted
@@ -177,7 +207,20 @@ pub struct EventQueue<E> {
     occupied: [u64; WORDS],
     /// Total entries across all lanes (excluding `current` and the heap).
     lanes_len: usize,
-    /// Far-future fallback (beyond the lane horizon at scheduling time).
+    /// Second, coarser calendar horizon: slot `ob & OUTER_MASK` holds the
+    /// (unsorted) events of outer bucket `ob = inner_bucket >> OUTER_SHIFT`
+    /// for outer buckets within `(cursor >> OUTER_SHIFT, + OUTER_COUNT)`.
+    /// Slots cascade into the inner lanes at refill time, before the
+    /// cursor can reach them, so the events pop in exact `(time, key)`
+    /// order — the outer ring only changes *where they wait*, never the
+    /// observable order.
+    outer: Vec<Vec<(SimTime, u64, E)>>,
+    /// One bit per outer slot: slot non-empty.
+    outer_occ: [u64; OUTER_WORDS],
+    /// Total entries across all outer slots.
+    outer_len: usize,
+    /// Far-future fallback (beyond both calendar horizons at scheduling
+    /// time); each push here is counted as a [`QueuePerf::heap_spills`].
     heap: BinaryHeap<Entry<E>>,
     /// Cancellable timers (see [`EventQueue::schedule_timer`]); shares the
     /// global sequence counter so fired timers replay in exactly the
@@ -212,6 +255,9 @@ impl<E> EventQueue<E> {
             lanes: (0..LANE_COUNT).map(|_| Lane::default()).collect(),
             occupied: [0; WORDS],
             lanes_len: 0,
+            outer: (0..OUTER_COUNT).map(|_| Vec::new()).collect(),
+            outer_occ: [0; OUTER_WORDS],
+            outer_len: 0,
             heap: BinaryHeap::new(),
             wheel: TimerWheel::new(),
             scratch: Vec::new(),
@@ -302,40 +348,60 @@ impl<E> EventQueue<E> {
                 event,
             });
         } else if b - self.cursor < LANE_COUNT as u64 {
-            let slot = (b & LANE_MASK) as usize;
-            let lane = &mut self.lanes[slot];
-            if lane.entries.is_empty() {
-                self.occupied[slot >> 6] |= 1u64 << (slot & 63);
-                lane.meta = LaneMeta {
-                    runs: 1,
-                    first_run_len: 1,
-                    last: (at, seq),
-                };
-            } else {
-                let m = &mut lane.meta;
-                if (at, seq) >= m.last {
-                    if m.runs == 1 {
-                        m.first_run_len += 1;
-                    }
-                } else {
-                    m.runs += 1;
-                }
-                m.last = (at, seq);
+            self.insert_lane(b, at, seq, event);
+        } else if (b >> OUTER_SHIFT) - (self.cursor >> OUTER_SHIFT) < OUTER_COUNT as u64 {
+            // Second horizon: outer slots are unsorted parking space; the
+            // refill cascade moves them into inner lanes before they come
+            // due, so no per-schedule ordering work happens here at all.
+            let slot = ((b >> OUTER_SHIFT) & OUTER_MASK) as usize;
+            if self.outer[slot].is_empty() {
+                self.outer_occ[slot >> 6] |= 1u64 << (slot & 63);
             }
-            lane.entries.push((at, seq, event));
-            self.lanes_len += 1;
+            self.outer[slot].push((at, seq, event));
+            self.outer_len += 1;
         } else {
             self.heap.push(Entry {
                 time: at,
                 seq,
                 event,
             });
+            self.perf.heap_spills += 1;
         }
         self.len += 1;
         self.perf.pushed += 1;
         if self.len as u64 > self.perf.peak_pending {
             self.perf.peak_pending = self.len as u64;
         }
+    }
+
+    /// Insert an entry into its inner lane, maintaining the occupancy bit
+    /// and the per-slot run bookkeeping. Caller guarantees
+    /// `cursor < b < cursor + LANE_COUNT`; `len`/perf attribution stays
+    /// with the caller (the refill cascade moves already-counted entries).
+    #[inline]
+    fn insert_lane(&mut self, b: u64, at: SimTime, seq: u64, event: E) {
+        let slot = (b & LANE_MASK) as usize;
+        let lane = &mut self.lanes[slot];
+        if lane.entries.is_empty() {
+            self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+            lane.meta = LaneMeta {
+                runs: 1,
+                first_run_len: 1,
+                last: (at, seq),
+            };
+        } else {
+            let m = &mut lane.meta;
+            if (at, seq) >= m.last {
+                if m.runs == 1 {
+                    m.first_run_len += 1;
+                }
+            } else {
+                m.runs += 1;
+            }
+            m.last = (at, seq);
+        }
+        lane.entries.push((at, seq, event));
+        self.lanes_len += 1;
     }
 
     /// Arm a cancellable timer firing `event` at `at`, returning a handle
@@ -520,32 +586,96 @@ impl<E> EventQueue<E> {
         Some(self.cursor + 1 + delta)
     }
 
+    /// First inner bucket (`ob << OUTER_SHIFT`) of the earliest non-empty
+    /// outer slot, scanning the outer occupancy bitmap in ring order from
+    /// just past the outer cursor. `None` when the outer ring is empty.
+    fn next_outer_first_bucket(&self) -> Option<u64> {
+        if self.outer_len == 0 {
+            return None;
+        }
+        let ocur = self.cursor >> OUTER_SHIFT;
+        let start = ((ocur + 1) & OUTER_MASK) as usize;
+        let (sw, sb) = (start >> 6, start & 63);
+        let w = self.outer_occ[sw] >> sb;
+        let slot = if w != 0 {
+            start + w.trailing_zeros() as usize
+        } else {
+            let mut found = None;
+            for i in 1..=OUTER_WORDS {
+                let wi = (sw + i) % OUTER_WORDS;
+                let mut word = self.outer_occ[wi];
+                if i == OUTER_WORDS {
+                    word &= (1u64 << sb).wrapping_sub(1);
+                }
+                if word != 0 {
+                    found = Some((wi << 6) + word.trailing_zeros() as usize);
+                    break;
+                }
+            }
+            found?
+        };
+        let delta = (slot + OUTER_COUNT - start) as u64 & OUTER_MASK;
+        Some((ocur + 1 + delta) << OUTER_SHIFT)
+    }
+
+    /// Cascade the earliest outer slot (first inner bucket `first`, from
+    /// [`Self::next_outer_first_bucket`]) into the inner lanes. The cursor
+    /// is advanced to `first - 1` — sound because the caller has already
+    /// established that no pending event (lane, heap, wheel or outer) has
+    /// a bucket below `first` — so every cascaded entry lands within the
+    /// inner window (an outer slot spans 64 inner buckets ≪ `LANE_COUNT`).
+    fn cascade_outer_slot(&mut self, first: u64) {
+        self.cursor = self.cursor.max(first - 1);
+        let slot = ((first >> OUTER_SHIFT) & OUTER_MASK) as usize;
+        let mut entries = std::mem::take(&mut self.outer[slot]);
+        self.outer_occ[slot >> 6] &= !(1u64 << (slot & 63));
+        self.outer_len -= entries.len();
+        for (at, seq, event) in entries.drain(..) {
+            let b = bucket(at);
+            debug_assert!(b > self.cursor && b - self.cursor < LANE_COUNT as u64);
+            self.insert_lane(b, at, seq, event);
+        }
+        // Hand the emptied allocation back to the slot for reuse.
+        self.outer[slot] = entries;
+    }
+
     /// Refill `current` with the earliest pending bucket's events (lanes,
     /// heap and/or timer wheel), advancing the cursor. Caller guarantees
     /// `len > 0`.
     fn refill(&mut self) {
-        let heap_bucket = self.heap.peek().map(|e| bucket(e.time));
-        let lane_bucket = self.next_occupied_bucket();
-        let near = match (lane_bucket, heap_bucket) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        // The wheel's exact minimum can require walking a higher-level
-        // slot's cell list, so first rule it out with the bitmap-only
-        // lower bound; the exact scan only runs when a timer might
-        // actually own this batch (typically: the engine has gone quiet
-        // and an RTO is the next thing to happen).
-        let (b, wheel_due) = match (near, self.wheel.min_bucket_lower_bound()) {
-            (Some(nb), Some(lb)) if nb < lb => (nb, false),
-            (near, Some(_)) => match (near, self.wheel.min_bucket()) {
-                (Some(nb), Some(wm)) if nb <= wm => (nb, nb == wm),
-                (_, Some(wm)) => (wm, true),
-                // Unreachable: a Some lower bound means a non-empty wheel.
-                (Some(nb), None) => (nb, false),
+        let (b, wheel_due, lane_bucket) = loop {
+            let heap_bucket = self.heap.peek().map(|e| bucket(e.time));
+            let lane_bucket = self.next_occupied_bucket();
+            let near = match (lane_bucket, heap_bucket) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            // The wheel's exact minimum can require walking a higher-level
+            // slot's cell list, so first rule it out with the bitmap-only
+            // lower bound; the exact scan only runs when a timer might
+            // actually own this batch (typically: the engine has gone quiet
+            // and an RTO is the next thing to happen).
+            let resolved = match (near, self.wheel.min_bucket_lower_bound()) {
+                (Some(nb), Some(lb)) if nb < lb => Some((nb, false)),
+                (near, Some(_)) => match (near, self.wheel.min_bucket()) {
+                    (Some(nb), Some(wm)) if nb <= wm => Some((nb, nb == wm)),
+                    (_, Some(wm)) => Some((wm, true)),
+                    // Unreachable: a Some lower bound means a non-empty wheel.
+                    (Some(nb), None) => Some((nb, false)),
+                    (None, None) => None,
+                },
+                (Some(nb), None) => Some((nb, false)),
+                (None, None) => None,
+            };
+            // The outer ring may own (or tie for) the earliest bucket:
+            // cascade its first slot into the inner lanes and re-resolve.
+            // Each pass drains one outer slot, so this terminates.
+            match (resolved, self.next_outer_first_bucket()) {
+                (Some((rb, _)), Some(f)) if f <= rb => self.cascade_outer_slot(f),
+                (None, Some(f)) => self.cascade_outer_slot(f),
                 (None, None) => return,
-            },
-            (Some(nb), None) => (nb, false),
-            (None, None) => return,
+                (Some((rb, due)), _) => break (rb, due, lane_bucket),
+            }
         };
         self.cursor = b;
         let mut meta = LaneMeta::default();
@@ -752,6 +882,11 @@ impl<E> EventQueue<E> {
                 lane.meta = LaneMeta::default();
             }
         }
+        if self.outer_len > 0 {
+            for slot in &mut self.outer {
+                out.append(slot);
+            }
+        }
         out.extend(
             std::mem::take(&mut self.heap)
                 .into_iter()
@@ -764,6 +899,8 @@ impl<E> EventQueue<E> {
         );
         self.occupied = [0; WORDS];
         self.lanes_len = 0;
+        self.outer_occ = [0; OUTER_WORDS];
+        self.outer_len = 0;
         self.len = 0;
         out.sort_unstable_by_key(|e| (e.0, e.1));
         out
@@ -820,6 +957,13 @@ impl<E> EventQueue<E> {
         }
         self.occupied = [0; WORDS];
         self.lanes_len = 0;
+        if self.outer_len > 0 {
+            for slot in &mut self.outer {
+                slot.clear();
+            }
+        }
+        self.outer_occ = [0; OUTER_WORDS];
+        self.outer_len = 0;
         self.wheel.clear();
         self.len = 0;
     }
@@ -1063,19 +1207,80 @@ mod tests {
         assert_eq!(popped, scheduled);
     }
 
-    /// Events beyond the lane horizon take the heap fallback and merge
-    /// back in time order when the cursor reaches them.
+    /// Events beyond the lane horizon land in the outer ring (or heap)
+    /// and merge back in time order when the cursor reaches them.
     #[test]
     fn heap_fallback_beyond_horizon() {
         let mut q = EventQueue::new();
         let horizon = (1u64 << LANE_BITS) * LANE_COUNT as u64;
-        // Far events first (heap), then near events (lanes).
+        // Far events first (outer ring), then near events (lanes).
         q.schedule(SimTime::from_nanos(3 * horizon), "far2");
         q.schedule(SimTime::from_nanos(2 * horizon + 5), "far1");
         q.schedule(SimTime::from_nanos(100), "near1");
         q.schedule(SimTime::from_nanos(horizon - 1), "near2");
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec!["near1", "near2", "far1", "far2"]);
+    }
+
+    /// The outer ring absorbs multi-RTT range events without heap
+    /// traffic: only events beyond ≈ 67 ms spill, and the counter sees
+    /// exactly those.
+    #[test]
+    fn outer_horizon_absorbs_multi_rtt_events() {
+        let mut q = EventQueue::new();
+        let inner = (1u64 << LANE_BITS) * LANE_COUNT as u64; // ≈ 1.05 ms
+        let outer = inner << OUTER_SHIFT; // ≈ 67 ms
+        q.schedule(SimTime::from_nanos(inner + 5), "rto-ish"); // outer ring
+        q.schedule(SimTime::from_nanos(10 * inner), "sample"); // outer ring
+        q.schedule(SimTime::from_nanos(outer - 1), "outer-edge"); // outer ring
+        assert_eq!(q.perf().heap_spills, 0, "nothing spilled yet");
+        q.schedule(SimTime::from_nanos(outer + inner), "spill");
+        assert_eq!(q.perf().heap_spills, 1);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["rto-ish", "sample", "outer-edge", "spill"]);
+    }
+
+    /// An outer-ring event and inner-lane events sharing the same inner
+    /// bucket interleave in exact `(time, seq)` order after the cascade.
+    #[test]
+    fn outer_cascade_merges_with_inner_lane_bucket() {
+        let mut q = EventQueue::new();
+        let inner = (1u64 << LANE_BITS) * LANE_COUNT as u64;
+        let far = 2 * inner + 500;
+        q.schedule(SimTime::from_nanos(far), "outer-first"); // beyond inner ⇒ outer ring
+        q.schedule(SimTime::from_nanos(10), "near");
+        q.pop(); // "near": cursor still at bucket 0, outer entry pending
+        q.schedule(SimTime::from_nanos(inner), "mid");
+        q.pop(); // "mid": `far` now within the inner horizon
+        q.schedule(SimTime::from_nanos(far), "lane-second"); // same time, later seq
+        q.schedule(SimTime::from_nanos(far - 1), "lane-earlier");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["lane-earlier", "outer-first", "lane-second"]);
+        assert_eq!(q.perf().heap_spills, 0, "outer ring kept the heap idle");
+    }
+
+    /// Outer ring slots are reused across ring revolutions (buckets
+    /// `OUTER_COUNT` outer-widths apart) without mixing entries up.
+    #[test]
+    fn outer_ring_wraparound() {
+        let mut q = EventQueue::new();
+        let ow = (1u64 << (LANE_BITS + OUTER_SHIFT)) as u64; // one outer lane
+        let span = ow * OUTER_COUNT as u64;
+        let mut scheduled = Vec::new();
+        for rev in 0..3u64 {
+            for k in 0..2u64 {
+                let t = rev * span + k * ow * 5 + ow * 20 + 17;
+                q.schedule(SimTime::from_nanos(t), t);
+                scheduled.push(t);
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            assert_eq!(t.as_nanos(), e);
+            popped.push(e);
+        }
+        scheduled.sort_unstable();
+        assert_eq!(popped, scheduled);
     }
 
     /// A heap event and a lane event in the *same* bucket (possible when

@@ -175,6 +175,79 @@ pub fn hash_mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Deterministic multiply-rotate hasher for hot-path *lookup* maps.
+///
+/// Unlike the std `RandomState`, the seed is a compile-time constant, so a
+/// [`DetMap`]'s internal layout is identical across processes — and unlike
+/// SipHash it is a handful of arithmetic ops per word, which matters on
+/// per-event paths (the engine's timer-token table re-hashes on every
+/// RTO re-arm). Collision quality comes from the same finalizer as
+/// [`hash_mix`]. Not a defense against adversarial keys; the simulator
+/// hashes its own ids only.
+#[derive(Default)]
+pub struct DetHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for DetHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = (self.state.rotate_left(5) ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The table derives its control bytes from the high bits, so run
+        // the avalanche finalizer over the raw multiply-rotate state.
+        hash_mix(self.state)
+    }
+}
+
+/// [`BuildHasher`](std::hash::BuildHasher) for [`DetHasher`] (zero-sized,
+/// constant seed).
+#[derive(Default, Clone, Copy)]
+pub struct DetState;
+
+impl std::hash::BuildHasher for DetState {
+    type Hasher = DetHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher::default()
+    }
+}
+
+/// A hash map with the deterministic [`DetState`] hasher, for keyed-lookup
+/// tables on per-event paths. Iteration order is still arbitrary (it
+/// follows the table layout, not insertion or key order) — callers must
+/// only ever look up by key, never iterate; anything that walks entries
+/// belongs in a `BTreeMap`.
+#[allow(clippy::disallowed_types)] // deterministic DetState hasher, not the default — see lint waiver below
+                                   // lint: allow(hash-collections) deterministic constant-seed hasher; alias is for keyed lookup only, iteration stays banned at call sites
+pub type DetMap<K, V> = std::collections::HashMap<K, V, DetState>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

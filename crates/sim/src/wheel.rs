@@ -741,6 +741,51 @@ mod tests {
     }
 
     #[test]
+    fn piggybacked_token_rearm_chain_survives_cancel_storm() {
+        // Models the wheel-batched delayed-ACK lifecycle: one long-lived
+        // logical timer repeatedly fires and is pushed forward by arming a
+        // fresh token from the drain handler, while bursts of unrelated
+        // timers are armed and cancelled around it. Each deadline must fire
+        // exactly once, spent tokens must go stale only after their
+        // External marker is released, and the storms must never perturb
+        // the live chain.
+        let mut w = TimerWheel::new();
+        let mut deadline = 10_000u64;
+        let mut tok = w.arm(t(deadline), 0, 0u32);
+        let mut fired = Vec::new();
+        for round in 1..=5u32 {
+            // Cancel storm: decoys spread across wheel levels, all gone
+            // before the live deadline.
+            let decoys: Vec<_> = (0..32u64)
+                .map(|i| w.arm(t(deadline + 1 + i * BUCKET_NS * 97), 100 + i, 1_000 + round))
+                .collect();
+            for d in decoys {
+                assert!(matches!(w.cancel(d), Cancelled::Live(_)));
+            }
+            assert_eq!(w.len(), 1, "only the live token remains");
+            // Fire the live token.
+            let b = w.min_bucket().expect("live token pending");
+            w.advance_to(b);
+            let mut batch = Vec::new();
+            assert_eq!(w.drain_bucket(b, &mut batch), 1);
+            let (tt, _, e) = batch[0];
+            assert_eq!(tt, t(deadline), "fired at the armed deadline");
+            fired.push(e);
+            // A cancel racing the pop still resolves via the External
+            // marker; releasing the marker makes the token stale.
+            w.release_external(tok);
+            assert_eq!(w.cancel(tok), Cancelled::Stale, "spent token is stale");
+            // Push the chain forward, as the batched receiver does when a
+            // token fires early against a later logical deadline.
+            deadline += 40_000 * round as u64;
+            tok = w.arm(t(deadline), 0, round);
+        }
+        assert_eq!(fired, vec![0, 1, 2, 3, 4], "one firing per deadline");
+        assert!(matches!(w.cancel(tok), Cancelled::Live(5)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
     fn clear_invalidates_everything() {
         let mut w = TimerWheel::new();
         let a = w.arm(t(10_000), 0, 0);

@@ -103,8 +103,8 @@ impl Sender {
 
     fn send_syn(&mut self, ctx: &mut Ctx<'_>) {
         let mut p = Packet::data(self.cmd.flow, self.cmd.src, self.cmd.dst, 0, 0);
-        p.flags.syn = true;
-        p.class = self.cmd.class;
+        p.set_syn(true);
+        p.set_class(self.cmd.class);
         p.ts = ctx.now;
         ctx.send_delayed(p, self.cmd.extra_delay);
     }
@@ -113,7 +113,7 @@ impl Sender {
         let len = self.mss().min(self.cmd.size - seq);
         debug_assert!(len > 0);
         let mut p = Packet::data(self.cmd.flow, self.cmd.src, self.cmd.dst, seq, len);
-        p.class = self.cmd.class;
+        p.set_class(self.cmd.class);
         p.ts = ctx.now;
         ctx.send_delayed(p, self.cmd.extra_delay);
     }
@@ -170,7 +170,7 @@ impl Sender {
         if matches!(self.state, SenderState::Done | SenderState::Failed) {
             return;
         }
-        if pkt.flags.syn {
+        if pkt.flags().syn {
             // SYN-ACK: connection established.
             if self.state == SenderState::SynSent {
                 self.state = SenderState::Established;
@@ -192,16 +192,16 @@ impl Sender {
             return;
         }
 
-        if pkt.ack > self.snd_una {
+        if pkt.ack_no() > self.snd_una {
             self.on_new_ack(ctx, pkt);
-        } else if pkt.ack == self.snd_una {
+        } else if pkt.ack_no() == self.snd_una {
             self.on_dup_ack(ctx, pkt);
         }
     }
 
     fn on_new_ack(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
-        let acked = pkt.ack - self.snd_una;
-        self.snd_una = pkt.ack;
+        let acked = pkt.ack_no() - self.snd_una;
+        self.snd_una = pkt.ack_no();
         // A late ACK for data sent before an RTO's go-back-N rewind can
         // overtake snd_nxt; sending resumes from the ACK point.
         self.snd_nxt = self.snd_nxt.max(self.snd_una);
@@ -215,7 +215,7 @@ impl Sender {
         // DCTCP bookkeeping: every acked byte counts; ECE-carrying ACKs
         // contribute to the marked fraction.
         self.acked_bytes += acked;
-        if pkt.flags.ece {
+        if pkt.flags().ece {
             self.marked_bytes += acked;
         }
         if self.snd_una >= self.alpha_seq {
@@ -259,7 +259,7 @@ impl Sender {
 
         // ECN reaction, at most once per window, never during loss
         // recovery (loss already cut the window).
-        if pkt.flags.ece && self.recover.is_none() {
+        if pkt.flags().ece && self.recover.is_none() {
             let past_cwr = self.cwr_end.is_none_or(|e| self.snd_una >= e);
             if past_cwr {
                 let factor = match self.cfg.cc {
@@ -387,6 +387,15 @@ pub struct Receiver {
     pub delack_epoch: u32,
     /// Whether a wheel delayed-ACK timer is currently armed.
     delack_armed: bool,
+    /// Logical delayed-ACK deadline (wheel backend, `delack_count > 1`
+    /// only). The physical wheel token is *not* cancelled when an ACK goes
+    /// out and *not* re-armed on every data packet; instead this field
+    /// tracks the deadline the receiver actually owes. A token firing with
+    /// no deadline (`None`) is suppressed; one firing early (deadline still
+    /// in the future) pushes the token forward in place. Cuts per-packet
+    /// wheel traffic to at most one arm per quiet period while keeping ACK
+    /// emission times identical to the un-batched reference.
+    delack_deadline: Option<SimTime>,
     /// Timestamp to echo on the next ACK.
     echo_ts: SimTime,
 }
@@ -406,23 +415,31 @@ impl Receiver {
             pending: 0,
             delack_epoch: 0,
             delack_armed: false,
+            delack_deadline: None,
             echo_ts: SimTime::ZERO,
         }
     }
 
     fn send_ack(&mut self, ctx: &mut Ctx<'_>, ece: bool) {
         let mut a = Packet::ack(self.flow, self.me, self.peer, self.rcv_nxt);
-        a.flags.ece = ece;
-        a.class = self.class;
+        a.set_ece(ece);
+        a.set_class(self.class);
         a.ts = self.echo_ts;
         // Pure ACKs are not ECT (standard practice; they are tiny and
         // marking them would signal the wrong direction).
-        a.ecn = Ecn::NotEct;
+        a.set_ecn(Ecn::NotEct);
         ctx.send(a);
         self.pending = 0;
         match self.cfg.timer_backend {
             TimerBackend::Wheel => {
-                if self.delack_armed {
+                if self.cfg.delack_count > 1 {
+                    // Batched bookkeeping: leave the physical wheel token
+                    // armed and only clear the logical deadline — the
+                    // eventual firing is suppressed in
+                    // [`Receiver::on_delack_timer`]. Saves one cancel per
+                    // count-triggered ACK on the hot path.
+                    self.delack_deadline = None;
+                } else if self.delack_armed {
                     self.delack_armed = false;
                     ctx.cancel_timer(timer_key(self.flow, TimerKind::DelAck, 0));
                 }
@@ -435,21 +452,21 @@ impl Receiver {
 
     /// Handle an arriving SYN or data packet.
     pub fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) {
-        if pkt.flags.syn {
+        if pkt.flags().syn {
             let mut sa = Packet::ack(self.flow, self.me, self.peer, 0);
-            sa.flags.syn = true;
+            sa.set_syn(true);
             sa.ts = pkt.ts;
-            sa.class = self.class;
-            sa.ecn = Ecn::NotEct;
+            sa.set_class(self.class);
+            sa.set_ecn(Ecn::NotEct);
             ctx.send(sa);
             return;
         }
-        if pkt.payload == 0 {
+        if pkt.payload() == 0 {
             return;
         }
 
         // Reassembly.
-        let (start, end) = (pkt.seq, pkt.seq + pkt.payload);
+        let (start, end) = (pkt.seq(), pkt.seq() + pkt.payload());
         let duplicate = end <= self.rcv_nxt;
         if !duplicate {
             if start <= self.rcv_nxt {
@@ -470,7 +487,7 @@ impl Receiver {
         }
 
         self.echo_ts = pkt.ts;
-        let ce = pkt.ecn.is_ce();
+        let ce = pkt.ecn().is_ce();
         self.pending += 1;
 
         // DCTCP CE-echo: on a CE-state flip, immediately ACK what is
@@ -492,6 +509,21 @@ impl Receiver {
         } else {
             // Arm the delayed-ACK timer.
             match self.cfg.timer_backend {
+                TimerBackend::Wheel if self.cfg.delack_count > 1 => {
+                    // Batched: record the deadline; only touch the wheel if
+                    // no token is in flight. An in-flight token always has a
+                    // physical deadline ≤ this logical one (deadlines are
+                    // `now + timeout` and `now` is monotone), so the early
+                    // firing re-arms forward rather than missing it.
+                    self.delack_deadline = Some(ctx.now + self.cfg.delack_timeout);
+                    if !self.delack_armed {
+                        self.delack_armed = true;
+                        ctx.arm_timer(
+                            self.cfg.delack_timeout,
+                            timer_key(self.flow, TimerKind::DelAck, 0),
+                        );
+                    }
+                }
                 TimerBackend::Wheel => {
                     self.delack_armed = true;
                     ctx.arm_timer(
@@ -514,6 +546,24 @@ impl Receiver {
     pub fn on_delack_timer(&mut self, ctx: &mut Ctx<'_>) {
         // The firing spent the wheel timer; nothing left to cancel.
         self.delack_armed = false;
+        if self.cfg.timer_backend == TimerBackend::Wheel && self.cfg.delack_count > 1 {
+            match self.delack_deadline {
+                // The token outlived its ACK (batched bookkeeping never
+                // cancels); nothing is owed.
+                None => return,
+                // Fired at a stale earlier deadline; push the token forward
+                // to the live one in place.
+                Some(d) if d > ctx.now => {
+                    self.delack_armed = true;
+                    ctx.arm_timer(
+                        d.saturating_since(ctx.now),
+                        timer_key(self.flow, TimerKind::DelAck, 0),
+                    );
+                    return;
+                }
+                Some(_) => self.delack_deadline = None,
+            }
+        }
         if self.pending > 0 {
             let ce = self.ce_state;
             self.send_ack(ctx, ce);
@@ -600,11 +650,11 @@ mod tests {
         let mut s = Sender::start(sender_cmd(size), TcpConfig::dctcp(), &mut ctx);
         let syn = sent(&mut actions);
         assert_eq!(syn.len(), 1);
-        assert!(syn[0].flags.syn);
+        assert!(syn[0].flags().syn);
         let mut actions = Vec::new();
         let mut ctx = Ctx::detached(SimTime::from_micros(100), NodeId(0), &mut actions);
         let mut synack = Packet::ack(FlowId(1), NodeId(1), NodeId(0), 0);
-        synack.flags.syn = true;
+        synack.set_syn(true);
         synack.ts = SimTime::from_micros(0);
         s.on_ack(&mut ctx, &synack);
         let first_window = sent(&mut actions);
@@ -614,7 +664,7 @@ mod tests {
     /// Build an ACK for the sender with optional ECE.
     fn ack_pkt(ack: u64, ece: bool, ts_us: u64) -> Packet {
         let mut a = Packet::ack(FlowId(1), NodeId(1), NodeId(0), ack);
-        a.flags.ece = ece;
+        a.set_ece(ece);
         a.ts = SimTime::from_micros(ts_us);
         a
     }
@@ -623,9 +673,9 @@ mod tests {
     fn initial_window_is_three_segments() {
         let (s, w) = established(1_000_000);
         assert_eq!(w.len(), 3, "IW=3");
-        assert_eq!(w[0].seq, 0);
-        assert_eq!(w[1].seq, 1460);
-        assert_eq!(w[2].seq, 2920);
+        assert_eq!(w[0].seq(), 0);
+        assert_eq!(w[1].seq(), 1460);
+        assert_eq!(w[2].seq(), 2920);
         assert_eq!(s.snd_nxt, 4380);
         assert_eq!(s.state, SenderState::Established);
     }
@@ -725,7 +775,7 @@ mod tests {
                 assert!(out.is_empty(), "no retransmit before 3rd dupack");
             } else {
                 assert_eq!(out.len(), 1, "fast retransmit on 3rd dupack");
-                assert_eq!(out[0].seq, 1460, "retransmits the hole");
+                assert_eq!(out[0].seq(), 1460, "retransmits the hole");
             }
         }
     }
@@ -746,7 +796,7 @@ mod tests {
         }
         let out = sent(&mut actions);
         assert_eq!(out.len(), 1, "go-back-N resends from snd_una");
-        assert_eq!(out[0].seq, 0);
+        assert_eq!(out[0].seq(), 0);
     }
 
     #[test]
@@ -884,12 +934,12 @@ mod tests {
         let mut actions = Vec::new();
         let mut ctx = Ctx::detached(SimTime::from_micros(9), NodeId(1), &mut actions);
         let mut syn = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 0);
-        syn.flags.syn = true;
+        syn.set_syn(true);
         syn.ts = SimTime::from_micros(3);
         r.on_packet(&mut ctx, &syn);
         match &actions[0] {
             ecnsharp_net::Action::Send(p, _) => {
-                assert!(p.flags.syn && p.flags.ack);
+                assert!(p.flags().syn && p.flags().ack);
                 assert_eq!(p.ts, SimTime::from_micros(3), "ts echoed");
             }
             other => panic!("unexpected {other:?}"),
@@ -903,15 +953,15 @@ mod tests {
         let mut actions = Vec::new();
         let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(1), &mut actions);
         let mut p = Packet::data(FlowId(1), NodeId(0), NodeId(1), 0, 1460);
-        p.ecn = Ecn::Ce;
+        p.set_ecn(Ecn::Ce);
         r.on_packet(&mut ctx, &p);
         let mut p2 = Packet::data(FlowId(1), NodeId(0), NodeId(1), 1460, 1460);
-        p2.ecn = Ecn::Ect;
+        p2.set_ecn(Ecn::Ect);
         r.on_packet(&mut ctx, &p2);
         let eces: Vec<bool> = actions
             .iter()
             .map(|a| match a {
-                ecnsharp_net::Action::Send(p, _) => p.flags.ece,
+                ecnsharp_net::Action::Send(p, _) => p.flags().ece,
                 _ => panic!(),
             })
             .collect();
@@ -929,8 +979,195 @@ mod tests {
         r.on_packet(&mut ctx, &p); // duplicate
         assert_eq!(actions.len(), 2);
         match &actions[1] {
-            ecnsharp_net::Action::Send(a, _) => assert_eq!(a.ack, 1460),
+            ecnsharp_net::Action::Send(a, _) => assert_eq!(a.ack_no(), 1460),
             _ => panic!(),
         }
+    }
+
+    // ── Wheel-batched delayed-ACK bookkeeping (delack_count > 1) ───────
+
+    fn delack2_cfg() -> TcpConfig {
+        TcpConfig {
+            delack_count: 2,
+            ..TcpConfig::dctcp()
+        }
+    }
+
+    fn data(seq: u64) -> Packet {
+        Packet::data(FlowId(1), NodeId(0), NodeId(1), seq, 1460)
+    }
+
+    #[test]
+    fn batched_delack_never_cancels_and_suppresses_spent_token() {
+        let cfg = delack2_cfg();
+        assert_eq!(cfg.timer_backend, TimerBackend::Wheel);
+        let timeout = cfg.delack_timeout;
+        let mut r = Receiver::new(FlowId(1), NodeId(1), NodeId(0), 0, cfg);
+
+        // First in-order segment: below the count threshold, so no ACK and
+        // exactly one physical wheel arm.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(1), &mut actions);
+        r.on_packet(&mut ctx, &data(0));
+        assert!(
+            matches!(actions[..], [ecnsharp_net::Action::ArmTimer(at, _)]
+            if at == SimTime::ZERO + timeout)
+        );
+
+        // Second segment hits the count: the ACK goes out, but the token is
+        // left armed — batched bookkeeping emits no CancelTimer.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_micros(10), NodeId(1), &mut actions);
+        r.on_packet(&mut ctx, &data(1460));
+        assert!(matches!(actions[..], [ecnsharp_net::Action::Send(..)]));
+
+        // The orphaned token eventually fires: nothing is owed, so it must
+        // be swallowed without an ACK or a re-arm.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::ZERO + timeout, NodeId(1), &mut actions);
+        r.on_delack_timer(&mut ctx);
+        assert!(actions.is_empty(), "spurious fire must be suppressed");
+    }
+
+    #[test]
+    fn batched_delack_pushes_early_fire_to_live_deadline() {
+        let cfg = delack2_cfg();
+        let timeout = cfg.delack_timeout;
+        let mut r = Receiver::new(FlowId(1), NodeId(1), NodeId(0), 0, cfg);
+
+        // t=0: segment arms the token (physical deadline = timeout).
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::ZERO, NodeId(1), &mut actions);
+        r.on_packet(&mut ctx, &data(0));
+        assert_eq!(actions.len(), 1);
+
+        // t=10us: second segment ACKs (count reached), token stays armed.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::from_micros(10), NodeId(1), &mut actions);
+        r.on_packet(&mut ctx, &data(1460));
+        assert!(matches!(actions[..], [ecnsharp_net::Action::Send(..)]));
+
+        // t=20us: a third segment only records the later logical deadline —
+        // the in-flight token means no new physical arm.
+        let arrive = SimTime::from_micros(20);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(arrive, NodeId(1), &mut actions);
+        r.on_packet(&mut ctx, &data(2920));
+        assert!(actions.is_empty(), "in-flight token must absorb the arm");
+
+        // The token fires at its stale physical deadline: the live logical
+        // deadline is still ahead, so it re-arms forward without ACKing.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(SimTime::ZERO + timeout, NodeId(1), &mut actions);
+        r.on_delack_timer(&mut ctx);
+        assert!(
+            matches!(actions[..], [ecnsharp_net::Action::ArmTimer(at, _)]
+            if at == arrive + timeout)
+        );
+
+        // At the live deadline the owed ACK finally goes out.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(arrive + timeout, NodeId(1), &mut actions);
+        r.on_delack_timer(&mut ctx);
+        match &actions[..] {
+            [ecnsharp_net::Action::Send(a, _)] => assert_eq!(a.ack_no(), 4380),
+            other => panic!("expected the owed ACK, got {other:?}"),
+        }
+        // The deadline is spent: a duplicate fire is a no-op.
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::detached(arrive + timeout + timeout, NodeId(1), &mut actions);
+        r.on_delack_timer(&mut ctx);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn batched_delack_ack_cadence_matches_legacy_reference() {
+        // Drive the identical arrival schedule through the batched wheel
+        // receiver and the un-batched legacy receiver, replaying recorded
+        // timer actions through each backend's real dispatch rules (legacy:
+        // stale events stay queued and are epoch-filtered like in
+        // `stack::on_timer`; wheel: one live token per key, cancellable,
+        // re-armable in place). The emitted ACK streams must be identical.
+        fn run(backend: TimerBackend) -> Vec<(SimTime, u64, bool)> {
+            let cfg = TcpConfig {
+                timer_backend: backend,
+                ..delack2_cfg()
+            };
+            let mut r = Receiver::new(FlowId(1), NodeId(1), NodeId(0), 0, cfg);
+            let mut acks = Vec::new();
+            // Legacy `SetTimer` events (never removed, epoch-checked at
+            // fire) and the wheel's single live token.
+            let mut legacy_q: Vec<(SimTime, u64)> = Vec::new();
+            let mut wheel_tok: Option<(SimTime, u64)> = None;
+            let mut apply = |r: &mut Receiver,
+                             now: SimTime,
+                             ev: Option<&Packet>,
+                             acks: &mut Vec<(SimTime, u64, bool)>,
+                             legacy_q: &mut Vec<(SimTime, u64)>,
+                             wheel_tok: &mut Option<(SimTime, u64)>| {
+                let mut actions = Vec::new();
+                let mut ctx = Ctx::detached(now, NodeId(1), &mut actions);
+                match ev {
+                    Some(p) => r.on_packet(&mut ctx, p),
+                    None => r.on_delack_timer(&mut ctx),
+                }
+                for a in actions {
+                    match a {
+                        ecnsharp_net::Action::Send(p, _) => {
+                            acks.push((now, p.ack_no(), p.flags().ece));
+                        }
+                        ecnsharp_net::Action::SetTimer(at, key) => legacy_q.push((at, key)),
+                        ecnsharp_net::Action::ArmTimer(at, key) => *wheel_tok = Some((at, key)),
+                        ecnsharp_net::Action::CancelTimer(_) => *wheel_tok = None,
+                        _ => {}
+                    }
+                }
+            };
+            // Pairs complete immediately; a CE flip forces an immediate
+            // mid-count ACK; the trailing odd segment is owed to the timer.
+            let mut ce = data(4380);
+            ce.set_ecn(Ecn::Ce);
+            let arrivals = [data(0), data(1460), data(2920), ce, data(5840)];
+            for (i, p) in arrivals.iter().enumerate() {
+                let now = SimTime::from_micros(5 * i as u64);
+                apply(
+                    &mut r,
+                    now,
+                    Some(p),
+                    &mut acks,
+                    &mut legacy_q,
+                    &mut wheel_tok,
+                );
+            }
+            // Quiet period: drain every pending timer event in time order.
+            loop {
+                let fire = match backend {
+                    TimerBackend::Wheel => wheel_tok.take(),
+                    TimerBackend::Legacy => {
+                        legacy_q.sort_by_key(|&(at, _)| at);
+                        if legacy_q.is_empty() {
+                            None
+                        } else {
+                            Some(legacy_q.remove(0))
+                        }
+                    }
+                };
+                let Some((at, key)) = fire else { break };
+                let (_, kind, epoch) = parse_timer_key(key);
+                assert_eq!(kind, TimerKind::DelAck);
+                // Legacy stale-epoch filter, exactly as the stack applies it.
+                if backend == TimerBackend::Legacy && epoch != r.delack_epoch {
+                    continue;
+                }
+                apply(&mut r, at, None, &mut acks, &mut legacy_q, &mut wheel_tok);
+            }
+            acks
+        }
+        let legacy = run(TimerBackend::Legacy);
+        let wheel = run(TimerBackend::Wheel);
+        assert_eq!(legacy, wheel, "ACK cadence must not depend on batching");
+        // The trailing segment's ACK is timer-driven: 500us after arrival.
+        let t_last = SimTime::from_micros(20) + TcpConfig::dctcp().delack_timeout;
+        assert_eq!(*legacy.last().unwrap(), (t_last, 7300, false));
     }
 }

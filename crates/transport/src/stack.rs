@@ -45,7 +45,7 @@ impl TcpStack {
 
 impl Agent for TcpStack {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-        if pkt.flags.ack {
+        if pkt.flags().ack {
             // ACK or SYN-ACK: for one of our senders.
             if let Some(s) = self.senders.get_mut(&pkt.flow) {
                 s.on_ack(ctx, &pkt);
@@ -54,10 +54,9 @@ impl Agent for TcpStack {
             // SYN or data: for one of our receivers (created on demand —
             // the SYN usually creates it, but a retransmitted first data
             // segment must not crash a fresh receiver).
-            let r = self
-                .receivers
-                .entry(pkt.flow)
-                .or_insert_with(|| Receiver::new(pkt.flow, pkt.dst, pkt.src, pkt.class, self.cfg));
+            let r = self.receivers.entry(pkt.flow).or_insert_with(|| {
+                Receiver::new(pkt.flow, pkt.dst, pkt.src, pkt.class(), self.cfg)
+            });
             r.on_packet(ctx, &pkt);
         }
     }

@@ -1,8 +1,8 @@
 //! `cargo xtask bench` — the standing benchmark harness.
 //!
-//! Runs the four `ecnsharp-bench` targets (`engine`, `aqm_cost`,
-//! `figures`, `shard_scaling`) with `ECNSHARP_BENCH_JSON` pointed at a
-//! scratch file, then
+//! Runs the five `ecnsharp-bench` targets (`engine`, `aqm_cost`,
+//! `figures`, `shard_scaling`, `cache_pressure`) with
+//! `ECNSHARP_BENCH_JSON` pointed at a scratch file, then
 //! collates the criterion shim's JSON-lines into `BENCH_sim.json` at the
 //! workspace root: median ns/iter, derived events/sec and ns/event, wall
 //! seconds per quick-scale figure, and a machine fingerprint. The file is
@@ -190,7 +190,13 @@ pub fn run(root: &Path) -> bool {
     let scratch: PathBuf = root.join("target").join("bench_raw.jsonl");
     let _ = std::fs::create_dir_all(scratch.parent().expect("target dir"));
     let _ = std::fs::remove_file(&scratch);
-    for target in ["engine", "aqm_cost", "figures", "shard_scaling"] {
+    for target in [
+        "engine",
+        "aqm_cost",
+        "figures",
+        "shard_scaling",
+        "cache_pressure",
+    ] {
         println!("bench: running `cargo bench -p ecnsharp-bench --bench {target}` ...");
         let status = cargo()
             .args(["bench", "-p", "ecnsharp-bench", "--bench", target])
@@ -317,8 +323,8 @@ pub fn diff(old_path: &str, new_path: &str) -> bool {
 }
 
 /// `cargo xtask bench-diff --check` — the perf regression gate. Re-runs
-/// the `engine` and `shard_scaling` bench targets and compares their
-/// medians against the committed `BENCH_sim.json`; any bench slower than
+/// the `engine`, `shard_scaling`, and `cache_pressure` bench targets and
+/// compares their medians against the committed `BENCH_sim.json`; any bench slower than
 /// the baseline by more than its group budget fails the gate. Entries
 /// whose median (on either side) sits below [`MEASUREMENT_FLOOR_NS`] are
 /// skipped: sub-floor medians are quantization noise, not signal.
@@ -341,7 +347,7 @@ pub fn check(root: &Path) -> bool {
     let scratch: PathBuf = root.join("target").join("bench_check.jsonl");
     let _ = std::fs::create_dir_all(scratch.parent().expect("target dir"));
     let _ = std::fs::remove_file(&scratch);
-    for target in ["engine", "shard_scaling"] {
+    for target in ["engine", "shard_scaling", "cache_pressure"] {
         println!(
             "bench-diff --check: running `cargo bench -p ecnsharp-bench --bench {target}` ..."
         );
@@ -387,6 +393,11 @@ pub fn max_regression_for(group: &str) -> f64 {
         // noisier than the microbenches, so the budget is wider. The
         // group still gates the sharded engine against gross slowdowns.
         "shard_scaling" => 1.50,
+        // Mixed group: one whole-simulation leaf-spine run (noisy, like
+        // shard_scaling) next to copy/ring microbenches — sized for its
+        // noisiest member so the working-set bench can gate the pooled
+        // rings without flaking.
+        "cache_pressure" => 1.40,
         _ => 1.25,
     }
 }
@@ -542,6 +553,7 @@ mod tests {
         assert!((max_regression_for("telemetry_noop") - 1.03).abs() < 1e-9);
         assert!((max_regression_for("event_queue") - 1.25).abs() < 1e-9);
         assert!((max_regression_for("shard_scaling") - 1.50).abs() < 1e-9);
+        assert!((max_regression_for("cache_pressure") - 1.40).abs() < 1e-9);
         let base = vec![entry("telemetry_noop", "port_churn_40k_noop", 100_000)];
         // +2% is within the tight budget; +5% would pass the engine budget
         // but must fail here.

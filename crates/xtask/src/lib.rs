@@ -82,14 +82,16 @@ pub const BOUNDARY_CRATES: [&str; 6] = ["core", "sim", "net", "aqm", "sched", "t
 
 /// Files on the per-packet hot path, where a panic aborts a whole figure
 /// run: every AQM decision site, the marker state machine, the scheduler
-/// dequeue loop, the egress port, the event queue itself, and the
-/// telemetry subscribers (invoked per event when attached).
-pub const HOT_PATH_PREFIXES: [&str; 8] = [
+/// dequeue loop, the egress port and its pooled ring arena, the event
+/// queue itself, and the telemetry subscribers (invoked per event when
+/// attached).
+pub const HOT_PATH_PREFIXES: [&str; 9] = [
     "crates/aqm/src/",
     "crates/core/src/",
     "crates/sched/src/",
     "crates/telemetry/src/",
     "crates/net/src/port.rs",
+    "crates/net/src/arena.rs",
     "crates/net/src/fault.rs",
     "crates/sim/src/queue.rs",
     "crates/sim/src/wheel.rs",
