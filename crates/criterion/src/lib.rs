@@ -198,11 +198,16 @@ impl Bencher {
             Some(Throughput::Bytes(n)) => ("null".into(), n.to_string()),
             None => ("null".into(), "null".to_string()),
         };
+        // `min_ns` rides along for paired same-run comparisons (the
+        // `bench-diff --check` zero-cost gates): co-tenant interference
+        // only ever adds time, so the per-bench minimum is the stable
+        // statistic on a shared box where the median can swing 30%.
         let line = format!(
-            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"samples\":{},\"elements\":{},\"bytes\":{}}}\n",
+            "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"samples\":{},\"elements\":{},\"bytes\":{}}}\n",
             group.escape_default(),
             id.escape_default(),
             median_ns,
+            self.samples_ns.first().copied().unwrap_or(0),
             self.samples_ns.len(),
             elements,
             bytes,

@@ -37,7 +37,7 @@ fn variants(params: &SchemeParams) -> Vec<(&'static str, Scheme)> {
     ]
 }
 
-fn main() {
+fn run() {
     let scale = Scale::from_env_or_exit();
     let (flows, fanout, timeline) = match scale {
         Scale::Full => (1_200, 100, IncastTimeline::Paper),
@@ -87,4 +87,10 @@ fn main() {
     );
     println!("\nprobabilistic variant (section 3.5 extension): constructed OK;");
     println!("see ecnsharp_core::prob unit tests for its marking-fraction law.");
+}
+
+fn main() -> std::process::ExitCode {
+    // Supervision exit contract: a panic anywhere above becomes one
+    // structured JSONL error line and exit 1 (see `runner::guarded_run`).
+    ecnsharp_experiments::guarded_run("ablation", run)
 }

@@ -5,7 +5,7 @@
 #![allow(clippy::disallowed_methods)]
 
 use ecnsharp_experiments::{figures, perf};
-fn main() {
+fn run() {
     let scale = ecnsharp_experiments::Scale::from_env_or_exit();
     let t0 = std::time::Instant::now();
     for (name, f) in [
@@ -27,10 +27,16 @@ fn main() {
         ("tofino", Box::new(figures::tofino_report)),
     ] {
         println!("================ {name} ================");
-        let t = perf::timed(|| f());
+        let t = perf::timed(f);
         print!("{}", t.result.render());
         eprintln!("{}", t.report(name));
         println!("[{name} done in {:.1}s]\n", t.wall_secs);
     }
     println!("full suite finished in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn main() -> std::process::ExitCode {
+    // Supervision exit contract: a panic anywhere above becomes one
+    // structured JSONL error line and exit 1 (see `runner::guarded_run`).
+    ecnsharp_experiments::guarded_run("all", run)
 }

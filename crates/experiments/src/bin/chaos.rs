@@ -1,26 +1,41 @@
 //! Chaos sweep: FCT robustness under injected faults — Gilbert–Elliott
 //! burst loss (swept mean rate) crossed with a flapping leaf–spine link
 //! (swept flap period) on the small leaf-spine fabric, DCTCP+ECN♯ vs
-//! CoDel. Emits three CSVs (FCT, marking/drop ledger, abort ledger) and
-//! survives worker crashes: a panicking point is reported, the rest of the
-//! sweep still completes, partial CSVs are written, and the process exits
-//! nonzero.
+//! CoDel. Emits three CSVs (FCT, marking/drop ledger, abort ledger).
+//!
+//! First consumer of the run-supervision stack ([`runner::supervised_map`]):
+//! every point runs with watchdogs and memory guards armed (byte-identical
+//! when untriggered — the supervision suite pins this), completed points
+//! are journaled as they finish, `ECNSHARP_RESUME=1` skips journaled
+//! points on restart, and points failing with a retryable error are
+//! re-run with the same seed. A failing point is reported as structured
+//! JSONL on stderr, the rest of the sweep still completes, partial CSVs
+//! are written, and the process exits nonzero.
 //!
 //! Knobs (all strict — a typo is an error, never a silent default):
 //! - `ECNSHARP_SCALE=quick|mid|full` — grid size and flow count;
 //! - `ECNSHARP_FAULT_SEED=<u64|0xhex>` — base seed for every point;
-//! - `ECNSHARP_INJECT_PANIC=worker` — crash the first sweep point (used by
-//!   the crash-proof-runner acceptance check).
+//! - `ECNSHARP_SHARDS=<n>` — shard count per point (clamped to 2 here);
+//! - `ECNSHARP_RESUME=1` — skip points already in the journal;
+//! - `ECNSHARP_RETRIES=<n>` — same-seed retry budget (default 1);
+//! - `ECNSHARP_LIVELOCK_BUDGET` / `ECNSHARP_STALL_BUDGET` /
+//!   `ECNSHARP_MEM_BUDGET` — guard budget overrides;
+//! - `ECNSHARP_INJECT_PANIC=worker` — crash the first sweep point;
+//! - `ECNSHARP_INJECT_STALL=window` — freeze the first point's shard
+//!   windows so the barrier-stall detector must trip (needs shards ≥ 2);
+//! - `ECNSHARP_INJECT_LIVELOCK=engine` — schedule a zero-delay event
+//!   cycle on the first point so the progress guard must trip.
 
 // Host-side binary: env/exit/printing never feed the simulation.
 #![allow(clippy::disallowed_methods)]
 
-use ecnsharp_experiments::{perf, runner, ChaosResult, Scale, Scheme};
+use ecnsharp_experiments::{env, perf, runner, ChaosResult, PointStatus, Scale, Scheme};
+use ecnsharp_net::Supervision;
 use ecnsharp_sim::Duration;
 use ecnsharp_stats::{us, Table};
 use std::process::ExitCode;
 
-/// One sweep point. The integer `idx` doubles as the panic-injection key
+/// One sweep point. The integer `idx` doubles as the drill-injection key
 /// (the determinism lint forbids float comparisons, and an index is the
 /// honest identity of a grid point anyway).
 type Point = (usize, f64, Option<Duration>, Scheme);
@@ -35,12 +50,24 @@ fn flap_label(flap: &Option<Duration>) -> String {
 fn main() -> ExitCode {
     let scale = Scale::from_env_or_exit();
     let seed = runner::fault_seed_or_exit();
-    let inject = match ecnsharp_experiments::env::inject_panic() {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
+    let inject_panic = env::or_exit(env::inject_panic());
+    let inject_stall = env::or_exit(env::inject_stall());
+    let inject_livelock = env::or_exit(env::inject_livelock());
+    let shards = env::or_exit(env::shards());
+    let mut sup = Supervision::armed();
+    if let Some(b) = env::or_exit(env::budget_knob("ECNSHARP_LIVELOCK_BUDGET")) {
+        sup.livelock_budget = Some(b);
+    }
+    if let Some(b) = env::or_exit(env::budget_knob("ECNSHARP_STALL_BUDGET")) {
+        sup.stall_rounds = Some(b);
+    }
+    if let Some(b) = env::or_exit(env::budget_knob("ECNSHARP_MEM_BUDGET")) {
+        sup.event_ceiling = Some(b);
+    }
+    let cfg = runner::SweepConfig {
+        journal: Some(runner::results_dir().join("chaos.journal.jsonl")),
+        resume: env::or_exit(env::resume()),
+        retries: env::or_exit(env::retries()),
     };
 
     let (losses, flap_us, n_flows): (Vec<f64>, Vec<Option<u64>>, usize) = match scale {
@@ -70,6 +97,16 @@ fn main() -> ExitCode {
         .iter()
         .map(|(_, loss, flap, s)| (*loss, *flap, s.label()))
         .collect();
+    let point_id = |(idx, loss, flap, s): &Point| {
+        format!(
+            "chaos-{idx}-loss{loss:?}-flap{}-{}",
+            flap_label(flap),
+            s.label()
+        )
+    };
+    let point_seed = |(idx, ..): &Point| seed.wrapping_add(*idx as u64 * 7919);
+    let ids: Vec<String> = jobs.iter().map(point_id).collect();
+    let seeds: Vec<u64> = jobs.iter().map(point_seed).collect();
 
     println!(
         "Chaos sweep — leaf-spine 2x2x4, web search @50% load, {} points (seed {seed:#x})",
@@ -78,22 +115,27 @@ fn main() -> ExitCode {
     println!("loss = GE mean burst-loss rate; flap_us = leaf0-spine0 flap period (- = no flap)\n");
 
     let t = perf::timed(|| {
-        runner::try_parallel_map(jobs, |(idx, loss, flap, scheme)| {
-            if inject && *idx == 0 {
+        runner::supervised_map(jobs, &cfg, point_id, point_seed, |p| {
+            let (idx, loss, flap, scheme) = p;
+            if inject_panic && *idx == 0 {
                 panic!("injected worker panic (ECNSHARP_INJECT_PANIC=worker)");
             }
-            let point_seed = seed.wrapping_add(*idx as u64 * 7919);
-            ecnsharp_experiments::run_chaos_leaf_spine(
+            let mut point_sup = sup;
+            point_sup.inject_stall = inject_stall && *idx == 0;
+            ecnsharp_experiments::try_run_chaos_leaf_spine_sharded(
                 scheme.clone(),
                 *loss,
                 *flap,
                 n_flows,
-                point_seed,
+                point_seed(p),
+                shards,
+                point_sup,
+                inject_livelock && *idx == 0,
             )
         })
     });
     let perf_line = t.report("chaos");
-    let outcome = t.result;
+    let report = t.result;
 
     let mut fct_t = Table::new(&[
         "loss",
@@ -117,9 +159,11 @@ fn main() -> ExitCode {
         "no_route_drops",
     ]);
     let mut aborts_t = Table::new(&["loss", "flap_us", "scheme", "failed", "timeouts"]);
-    for ((loss, flap, label), r) in meta.iter().zip(&outcome.results) {
-        let Some(r): &Option<ChaosResult> = r else {
-            continue; // panicked point: reported below, absent from CSVs
+    for ((loss, flap, label), p) in meta.iter().zip(&report.points) {
+        // Failed and resumed-skipped points are reported below and absent
+        // from this run's CSVs.
+        let PointStatus::Done(r): &PointStatus<ChaosResult> = p else {
+            continue;
         };
         let loss_s = format!("{loss:?}");
         let flap_s = flap_label(flap);
@@ -168,18 +212,12 @@ fn main() -> ExitCode {
     print!("{}", marks_t.render());
     eprintln!("{perf_line}");
 
-    if !outcome.panics.is_empty() {
-        for (idx, msg) in &outcome.panics {
-            let (loss, flap, label) = &meta[*idx];
-            eprintln!(
-                "error: sweep point {idx} (loss={loss:?}, flap_us={}, scheme={label}) \
-                 panicked: {msg}",
-                flap_label(flap)
-            );
-        }
+    runner::report_failures(&report, &ids, &seeds);
+    println!("{}", report.summary_line());
+    if report.failed > 0 {
         eprintln!(
             "chaos: {} of {} points failed; partial CSVs written to {}",
-            outcome.panics.len(),
+            report.failed,
             meta.len(),
             dir.display()
         );

@@ -178,7 +178,7 @@ fn parallel_histogram_merge() {
     );
 }
 
-fn main() {
+fn run() {
     println!("diag — ECN♯ episode timelines and telemetry sinks");
     println!();
     if let Err(e) = std::fs::create_dir_all(results_dir()) {
@@ -189,4 +189,10 @@ fn main() {
     write("episode_timeline.csv", &csv);
     instrumented_incast();
     parallel_histogram_merge();
+}
+
+fn main() -> std::process::ExitCode {
+    // Supervision exit contract: a panic anywhere above becomes one
+    // structured JSONL error line and exit 1 (see `runner::guarded_run`).
+    ecnsharp_experiments::guarded_run("diag", run)
 }

@@ -5,7 +5,7 @@ use ecnsharp_sim::Rng;
 use ecnsharp_stats::{BoxStats, Table};
 use ecnsharp_workload::Table1Case;
 
-fn main() {
+fn run() {
     println!("Figure 1 — [Testbed] RTT variations (box-plot data; paper: up to 2.68x)");
     println!();
     let mut rng = Rng::seed_from_u64(0xF161);
@@ -42,4 +42,10 @@ fn main() {
         "\nmean-RTT variation factor: {:.2}x (paper: 2.68x)",
         means.last().unwrap() / means.first().unwrap()
     );
+}
+
+fn main() -> std::process::ExitCode {
+    // Supervision exit contract: a panic anywhere above becomes one
+    // structured JSONL error line and exit 1 (see `runner::guarded_run`).
+    ecnsharp_experiments::guarded_run("fig1", run)
 }

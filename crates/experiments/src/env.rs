@@ -17,6 +17,13 @@
 //! | `ECNSHARP_TIMER_BACKEND` | `wheel`/`legacy` | `wheel` |
 //! | `ECNSHARP_INJECT_PANIC` | `worker` | unset = no injection |
 //! | `ECNSHARP_SHARDS` | u32 ≥ 1 | `1` (serial) |
+//! | `ECNSHARP_INJECT_STALL` | `window` | unset = no injection |
+//! | `ECNSHARP_INJECT_LIVELOCK` | `engine` | unset = no injection |
+//! | `ECNSHARP_RESUME` | `1`/`0` | `0` (fresh sweep) |
+//! | `ECNSHARP_LIVELOCK_BUDGET` | u64 ≥ 1 | supervision default |
+//! | `ECNSHARP_STALL_BUDGET` | u64 ≥ 1 | supervision default |
+//! | `ECNSHARP_MEM_BUDGET` | u64 ≥ 1 | supervision default |
+//! | `ECNSHARP_RETRIES` | u32 | `1` |
 
 use crate::runner::{parse_fault_seed, DEFAULT_FAULT_SEED};
 use crate::Scale;
@@ -144,5 +151,75 @@ pub fn inject_panic() -> Result<bool, String> {
             "unrecognized ECNSHARP_INJECT_PANIC value {v:?} (expected \"worker\" or unset)"
         )),
         None => Ok(false),
+    }
+}
+
+/// `ECNSHARP_INJECT_STALL`: barrier-stall drill switch. `window` freezes
+/// every shard's window processing on the first sweep point so the
+/// barrier-stall detector must trip; unset means no injection; anything
+/// else is an error.
+pub fn inject_stall() -> Result<bool, String> {
+    match read("ECNSHARP_INJECT_STALL")? {
+        Some(v) if v == "window" => Ok(true),
+        Some(v) => Err(format!(
+            "unrecognized ECNSHARP_INJECT_STALL value {v:?} (expected \"window\" or unset)"
+        )),
+        None => Ok(false),
+    }
+}
+
+/// `ECNSHARP_INJECT_LIVELOCK`: livelock drill switch. `engine` schedules
+/// a self-rescheduling zero-delay event on the first sweep point so the
+/// `ProgressGuard` must trip; unset means no injection; anything else is
+/// an error.
+pub fn inject_livelock() -> Result<bool, String> {
+    match read("ECNSHARP_INJECT_LIVELOCK")? {
+        Some(v) if v == "engine" => Ok(true),
+        Some(v) => Err(format!(
+            "unrecognized ECNSHARP_INJECT_LIVELOCK value {v:?} (expected \"engine\" or unset)"
+        )),
+        None => Ok(false),
+    }
+}
+
+/// `ECNSHARP_RESUME`: resume an interrupted sweep from its
+/// completed-point journal. `1` skips journaled points, `0` (or unset)
+/// starts fresh; anything else is an error.
+pub fn resume() -> Result<bool, String> {
+    match read("ECNSHARP_RESUME")? {
+        Some(v) if v == "1" => Ok(true),
+        Some(v) if v == "0" => Ok(false),
+        Some(v) => Err(format!(
+            "unrecognized ECNSHARP_RESUME value {v:?} (expected \"1\", \"0\", or unset)"
+        )),
+        None => Ok(false),
+    }
+}
+
+/// A supervision-budget knob (`ECNSHARP_LIVELOCK_BUDGET` /
+/// `ECNSHARP_STALL_BUDGET` / `ECNSHARP_MEM_BUDGET`): overrides the
+/// corresponding default in [`ecnsharp_net::Supervision::armed`]. Unset
+/// means the default; set values must parse as a u64 ≥ 1.
+pub fn budget_knob(knob: &'static str) -> Result<Option<u64>, String> {
+    match read(knob)? {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!(
+                "unrecognized {knob} value {v:?} (expected an integer >= 1)"
+            )),
+        },
+        None => Ok(None),
+    }
+}
+
+/// `ECNSHARP_RETRIES`: bounded same-seed retry count for sweep points
+/// failing with a *retryable* error (worker panics). Unset means `1`;
+/// `0` disables retries; set values must parse as a u32.
+pub fn retries() -> Result<u32, String> {
+    match read("ECNSHARP_RETRIES")? {
+        Some(v) => v.parse::<u32>().map_err(|_| {
+            format!("unrecognized ECNSHARP_RETRIES value {v:?} (expected an integer >= 0)")
+        }),
+        None => Ok(1),
     }
 }

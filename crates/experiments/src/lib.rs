@@ -19,15 +19,17 @@ pub mod scheme;
 pub mod telemetry;
 
 pub use runner::{
-    fault_seed_from_env, fault_seed_or_exit, parallel_map, parse_fault_seed, results_dir,
-    try_parallel_map, Scale, SweepOutcome, DEFAULT_FAULT_SEED,
+    fault_seed_from_env, fault_seed_or_exit, guarded_run, parallel_map, parse_fault_seed,
+    report_failures, results_dir, supervised_map, try_parallel_map, PointStatus, Scale,
+    SweepConfig, SweepOutcome, SweepReport, DEFAULT_FAULT_SEED,
 };
 pub use scenario::{
     run_chaos_leaf_spine, run_chaos_leaf_spine_sharded, run_dwrr, run_fat_tree,
     run_fat_tree_sharded, run_incast_micro, run_incast_micro_with,
     run_incast_micro_with_subscriber, run_leaf_spine, run_leaf_spine_sharded,
     run_leaf_spine_with_subscriber, run_testbed_star, run_testbed_star_with_subscriber,
-    ChaosResult, DwrrResult, FctScenario, IncastResult, IncastTimeline,
+    try_run_chaos_leaf_spine_sharded, ChaosResult, DwrrResult, FctScenario, IncastResult,
+    IncastTimeline,
 };
 pub use scheme::{Scheme, SchemeParams};
 pub use telemetry::{

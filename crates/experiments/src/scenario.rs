@@ -7,7 +7,7 @@ use ecnsharp_net::topology::{
 };
 use ecnsharp_net::{
     FaultPlan, FlowId, GilbertElliott, Network, NodeId, NoopSubscriber, PortConfig, ShardPlan,
-    ShardSubscriber, Subscriber,
+    ShardSubscriber, SimError, Subscriber, Supervision,
 };
 use ecnsharp_sched::Dwrr;
 use ecnsharp_sim::{Duration, Rate, Rng, SimTime};
@@ -84,6 +84,20 @@ fn run_to_idle<S: ShardSubscriber>(net: &mut Network<S>, plan: Option<&ShardPlan
         None => {
             net.run_until_idle();
         }
+    }
+}
+
+/// [`run_to_idle`] through the fallible supervision entry points: a
+/// tripped watchdog or memory guard returns the structured
+/// [`SimError`] instead of panicking. With supervision disarmed the
+/// two are behaviourally identical.
+fn try_run_to_idle<S: ShardSubscriber>(
+    net: &mut Network<S>,
+    plan: Option<&ShardPlan>,
+) -> Result<(), SimError> {
+    match plan {
+        Some(p) => net.try_run_sharded_until_idle(p).map(|_| ()),
+        None => net.try_run_until_idle().map(|_| ()),
     }
 }
 
@@ -403,6 +417,42 @@ pub fn run_chaos_leaf_spine_sharded(
     seed: u64,
     shards: u32,
 ) -> ChaosResult {
+    match try_run_chaos_leaf_spine_sharded(
+        scheme,
+        mean_loss,
+        flap_period,
+        n_flows,
+        seed,
+        shards,
+        Supervision::default(),
+        false,
+    ) {
+        Ok(r) => r,
+        // Supervision is disarmed here, so the only possible error is a
+        // worker panic — rethrow it like the infallible engine APIs do.
+        Err(e) => panic!("run_chaos_leaf_spine_sharded: {e}"),
+    }
+}
+
+/// [`run_chaos_leaf_spine_sharded`] under run supervision: `sup` arms the
+/// engine's watchdogs and memory guards, and a tripped guard comes back
+/// as a structured [`SimError`] instead of a panic or hang. With all
+/// budgets armed but untriggered the result is byte-identical to the
+/// infallible path (the supervision suite pins this). `inject_livelock`
+/// schedules a self-rescheduling zero-delay drill event early in the run
+/// so the `ProgressGuard` must trip — the `ECNSHARP_INJECT_LIVELOCK`
+/// drill leg.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_chaos_leaf_spine_sharded(
+    scheme: Scheme,
+    mean_loss: f64,
+    flap_period: Option<Duration>,
+    n_flows: usize,
+    seed: u64,
+    shards: u32,
+    sup: Supervision,
+    inject_livelock: bool,
+) -> Result<ChaosResult, SimError> {
     let rate = Rate::from_gbps(10);
     let rtt = RttVariation::sim_3x();
     let params = SchemeParams::derive(&rtt, rate);
@@ -464,13 +514,17 @@ pub fn run_chaos_leaf_spine_sharded(
     for (at, cmd) in flows {
         topo.net.schedule_flow(at, cmd);
     }
+    topo.net.set_supervision(sup);
+    if inject_livelock {
+        topo.net.inject_livelock_at(SimTime::from_micros(10));
+    }
     let n = effective_shards(shards, topo.leaves.len());
     let plan = (n >= 2).then(|| topo.shard_plan(n));
-    run_to_idle(&mut topo.net, plan.as_ref());
+    try_run_to_idle(&mut topo.net, plan.as_ref())?;
     let perf = topo.net.perf();
     let fct = FctBreakdown::from_records(topo.net.records());
     crate::perf::absorb(&topo.net);
-    ChaosResult {
+    Ok(ChaosResult {
         completed: (topo.net.records().len() as u64) - fct.failed,
         failed: fct.failed,
         timeouts: fct.timeouts,
@@ -480,7 +534,7 @@ pub fn run_chaos_leaf_spine_sharded(
         burst_drops: perf.burst_drops,
         no_route_drops: perf.no_route_drops,
         fct,
-    }
+    })
 }
 
 /// Result of the §5.4 incast microscope.

@@ -91,6 +91,17 @@ pub enum Action {
     /// Report a flow as aborted after the given number of timeouts — the
     /// sender gave up (graceful degradation) instead of retrying forever.
     FlowFailed(FlowId, u32),
+    /// A transport-owned memory budget (e.g. receiver reassembly state)
+    /// exceeded its ceiling: `live` entries against `ceiling`. The engine
+    /// latches the run's first breach as
+    /// [`SimError::MemBudgetExceeded`](ecnsharp_sim::SimError) and the
+    /// fallible entry points fail fast with it.
+    MemBreach {
+        /// Live entries at the breaching admission.
+        live: u64,
+        /// The configured ceiling.
+        ceiling: u64,
+    },
 }
 
 /// Callback context handed to agents; collects requested actions and
@@ -212,6 +223,14 @@ impl<'a> Ctx<'a> {
     /// consecutive retransmission timeouts without forward progress.
     pub fn flow_failed(&mut self, flow: FlowId, timeouts: u32) {
         self.actions.push(Action::FlowFailed(flow, timeouts));
+    }
+
+    /// Report a transport-owned memory-budget breach (`live` entries
+    /// against `ceiling`). Observation-only from the agent's point of
+    /// view: the engine stops the run through the fallible entry points
+    /// but never alters the agent's own state or scheduling.
+    pub fn report_mem_breach(&mut self, live: u64, ceiling: u64) {
+        self.actions.push(Action::MemBreach { live, ceiling });
     }
 }
 

@@ -37,9 +37,30 @@ const _: () = assert!(
 
 /// One node's pooled ring storage: the concatenated slot windows of all
 /// its pooled ports.
-#[derive(Default)]
 pub struct RingArena {
     pub(crate) slots: Vec<(u64, Packet)>,
+    /// Live entries across every ring's overflow deque. The ring windows
+    /// themselves are fixed-size (bounded by construction); the overflow
+    /// deques are the only unbounded growth on the switch data path, so
+    /// the memory guard meters exactly them.
+    overflow_live: u64,
+    /// Admission ceiling on `overflow_live`; `u64::MAX` disarms the
+    /// guard. Crossing it latches `overflow_breached` without perturbing
+    /// queueing, so an armed-but-untriggered ceiling is observation-only.
+    overflow_ceiling: u64,
+    /// Sticky flag: the overflow ceiling was crossed at some spill.
+    overflow_breached: bool,
+}
+
+impl Default for RingArena {
+    fn default() -> Self {
+        RingArena {
+            slots: Vec::new(),
+            overflow_live: 0,
+            overflow_ceiling: u64::MAX,
+            overflow_breached: false,
+        }
+    }
 }
 
 impl RingArena {
@@ -59,6 +80,24 @@ impl RingArena {
             (0, Packet::data(FlowId(0), NodeId(0), NodeId(0), 0, 0)),
         );
         off
+    }
+
+    /// Arm (or, with `None`, disarm) the ceiling on live overflow-deque
+    /// entries across this node's rings.
+    pub fn set_overflow_ceiling(&mut self, ceiling: Option<u64>) {
+        self.overflow_ceiling = ceiling.unwrap_or(u64::MAX);
+        self.overflow_breached = false;
+    }
+
+    /// The latched `(live, ceiling)` pair once a spill has crossed the
+    /// ceiling, if any. `live` reports the current count — the fail-fast
+    /// contract stops the run within a few events of the breach.
+    pub fn overflow_breach(&self) -> Option<(u64, u64)> {
+        if self.overflow_breached {
+            Some((self.overflow_live, self.overflow_ceiling))
+        } else {
+            None
+        }
     }
 }
 
@@ -122,6 +161,10 @@ impl PooledRing {
             // Window full: everything goes to the overflow so arrival
             // order survives.
             self.overflow.push_back((bytes, item));
+            arena.overflow_live += 1;
+            if arena.overflow_live > arena.overflow_ceiling {
+                arena.overflow_breached = true;
+            }
         }
     }
 
@@ -149,6 +192,7 @@ impl PooledRing {
                 let Some((b, p)) = self.overflow.pop_front() else {
                     break;
                 };
+                arena.overflow_live -= 1;
                 arena.slots[self.slot_at(self.head + self.len)] = (b, p);
                 self.len += 1;
             }
@@ -239,5 +283,29 @@ mod tests {
         assert_eq!(b.backlog_pkts(), 0);
         assert_eq!(a.backlog_bytes(), 0);
         assert_eq!(b.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn overflow_ceiling_latches_breach_without_perturbing_fifo() {
+        let mut arena = RingArena::new();
+        let off = arena.alloc(2);
+        let mut r = PooledRing::new(off, 2);
+        arena.set_overflow_ceiling(Some(1));
+        for i in 0..4u64 {
+            r.enqueue(&mut arena, 100, pkt(i));
+        }
+        // 2 spilled with a ceiling of 1: breached, FIFO order intact.
+        assert!(arena.overflow_breach().is_some());
+        let mut out = Vec::new();
+        while let Some((_, p)) = r.dequeue(&mut arena) {
+            out.push(p.seq());
+        }
+        assert_eq!(out, (0..4).collect::<Vec<_>>());
+        // Disarming resets the latch; re-spilling under MAX never trips.
+        arena.set_overflow_ceiling(None);
+        for i in 0..4u64 {
+            r.enqueue(&mut arena, 100, pkt(i));
+        }
+        assert!(arena.overflow_breach().is_none());
     }
 }

@@ -79,6 +79,12 @@ pub use trace::{TraceEvent, TraceKind, Tracer, MAX_TRACE_CAPACITY};
 // telemetry without depending on `ecnsharp-telemetry` directly.
 pub use ecnsharp_telemetry::{DropReason, NoopSubscriber, ShardSubscriber, Subscriber};
 
+// Re-export the run-supervision vocabulary (see `ecnsharp_sim::supervise`)
+// so fallible runners and sweep supervisors need only this crate.
+pub use ecnsharp_sim::supervise::{
+    MemBreach, MemComponent, ProgressGuard, ShardDiag, SimError, Supervision,
+};
+
 // Compile-time shard-safety proofs: a sharded engine (ROADMAP item 1)
 // hands whole `Network` instances to worker threads, so every piece of
 // the network model must stay `Send`. Lint rules R7/R8 guard the source
@@ -100,6 +106,10 @@ const _: () = {
     assert_send_sync::<ShardPlan>();
     // Pooled ring storage moves with its node across shard threads.
     assert_send::<RingArena>();
+    // Supervision config is copied into every shard engine; guard trips
+    // cross the worker scope back to the caller.
+    assert_send_sync::<Supervision>();
+    assert_send_sync::<SimError>();
     // Cache-layout pin alongside the shard-safety proofs: the packed
     // Packet (and therefore every pooled arena slot) must stay within one
     // 64-byte cache line, or the host-path working set regresses.

@@ -27,6 +27,7 @@ use crate::port::{EgressPort, PortConfig, PortStats};
 use crate::trace::TraceKind;
 #[cfg(feature = "packet-trace")]
 use crate::trace::Tracer;
+use ecnsharp_sim::supervise::{MemBreach, MemComponent, ProgressGuard, SimError, Supervision};
 use ecnsharp_sim::{hash_mix, DetMap, Duration, EventQueue, Rate, Rng, SimTime, TimerToken};
 #[cfg(feature = "telemetry")]
 use ecnsharp_telemetry::{
@@ -131,6 +132,11 @@ pub(crate) enum Event {
     },
     /// Take a queue-monitor sample.
     Sample { id: usize },
+    /// Livelock drill: reschedules itself at the same instant forever so
+    /// the [`ProgressGuard`] has a deterministic zero-delay cycle to trip
+    /// on (see [`Network::inject_livelock_at`]). Attributed to `node` for
+    /// tag purposes; carries no payload.
+    LivelockDrill { node: NodeId },
 }
 
 /// A cross-shard packet arrival, buffered in the sending shard's outbox
@@ -216,6 +222,17 @@ pub struct Network<S: Subscriber = NoopSubscriber> {
     rec_sub: u32,
     /// Queue perf counters inherited from merged shard queues.
     pub(crate) carry: ecnsharp_sim::queue::QueuePerf,
+    // ── run supervision (disarmed by default: zero cost) ──────────────
+    /// Watchdog/budget configuration (see [`Supervision`]). Applied to
+    /// the queue and node arenas by [`Network::set_supervision`].
+    pub(crate) supervision: Supervision,
+    /// `supervision` has at least one memory ceiling armed — gates the
+    /// per-event breach poll so disarmed runs skip it entirely.
+    pub(crate) mem_armed: bool,
+    /// First guard trip of the run, latched until read by the fallible
+    /// entry points. Agent callbacks ([`Ctx::report_mem_breach`]) and the
+    /// per-event breach poll both land here.
+    pub(crate) tripped: Option<SimError>,
     #[cfg(feature = "packet-trace")]
     pub(crate) tracer: Option<Tracer>,
 }
@@ -266,6 +283,9 @@ impl<S: Subscriber> Network<S> {
             cur_tag: 0,
             rec_sub: 0,
             carry: Default::default(),
+            supervision: Supervision::default(),
+            mem_armed: false,
+            tripped: None,
             #[cfg(feature = "packet-trace")]
             tracer: None,
         }
@@ -336,6 +356,9 @@ impl<S: Subscriber> Network<S> {
             cur_tag: 0,
             rec_sub: 0,
             carry: Default::default(),
+            supervision: self.supervision,
+            mem_armed: false,
+            tripped: None,
             #[cfg(feature = "packet-trace")]
             tracer: None,
         }
@@ -355,6 +378,35 @@ impl<S: Subscriber> Network<S> {
     /// aggregates after a run).
     pub fn into_subscriber(self) -> S {
         self.sub
+    }
+
+    /// Install a [`Supervision`] configuration: arms the livelock guard
+    /// for the `try_run_*` entry points and applies the memory ceilings
+    /// to the event queue and every node's ring arena.
+    ///
+    /// Call **after** topology construction — nodes added later start
+    /// with an unbounded arena. Re-installing clears any latched trip.
+    pub fn set_supervision(&mut self, sup: Supervision) {
+        self.supervision = sup;
+        self.events.set_mem_ceiling(sup.event_ceiling);
+        for n in &mut self.nodes {
+            n.arena.set_overflow_ceiling(sup.ring_overflow_ceiling);
+        }
+        self.mem_armed = sup.event_ceiling.is_some() || sup.ring_overflow_ceiling.is_some();
+        self.tripped = None;
+    }
+
+    /// The installed [`Supervision`] configuration.
+    pub fn supervision(&self) -> Supervision {
+        self.supervision
+    }
+
+    /// Drill: schedule a self-rescheduling zero-delay event at `at`,
+    /// attributed to node 0. The cycle spins forever, so **only inject
+    /// with the livelock guard armed** — it exists to prove the guard
+    /// trips ([`SimError::Livelock`]) and for the CI livelock drill.
+    pub fn inject_livelock_at(&mut self, at: SimTime) {
+        self.push_event(at, Event::LivelockDrill { node: NodeId(0) });
     }
 
     /// Enable packet tracing with a bounded ring of `capacity` events
@@ -747,9 +799,67 @@ impl<S: Subscriber> Network<S> {
 
     /// Process events until nothing is left (all flows done, all timers
     /// fired, all faults applied).
+    ///
+    /// Infallible wrapper over [`Network::try_run_until_idle`]: with
+    /// supervision disarmed (the default) it cannot fail; a tripped
+    /// guard under armed supervision is treated as fatal.
     pub fn run_until_idle(&mut self) -> SimTime {
-        while self.step() {}
-        self.now()
+        match self.try_run_until_idle() {
+            Ok(t) => t,
+            // A tripped guard through the infallible entry point is fatal
+            // by contract; fallible callers use try_run_until_idle.
+            Err(e) => panic!("run_until_idle: {e}"),
+        }
+    }
+
+    /// Process events until nothing is left, under this network's
+    /// [`Supervision`] (see [`Network::set_supervision`]).
+    ///
+    /// With supervision disarmed this is the exact unsupervised loop.
+    /// Armed, every processed event feeds the livelock [`ProgressGuard`]
+    /// and polls the latched memory-budget flags; the first trip stops
+    /// the run with its [`SimError`]. Armed-but-untriggered runs are
+    /// byte-identical to unsupervised ones — the guards only observe.
+    pub fn try_run_until_idle(&mut self) -> Result<SimTime, SimError> {
+        if self.supervision.is_disarmed() {
+            while self.step() {}
+            // A transport-level budget (armed through `TcpConfig`, not
+            // `Supervision`) can still latch a breach; surface it at
+            // end-of-run rather than pay a per-event check here.
+            return match self.tripped.take() {
+                Some(e) => Err(e),
+                None => Ok(self.now()),
+            };
+        }
+        let mut guard = self.supervision.livelock_budget.map(ProgressGuard::new);
+        while self.step() {
+            if let Some(e) = self.tripped.take() {
+                return Err(e);
+            }
+            if let Some(g) = guard.as_mut() {
+                if g.on_event(self.events.now().as_nanos()) {
+                    let g = *g;
+                    return Err(self.livelock_error(&g));
+                }
+            }
+        }
+        match self.tripped.take() {
+            Some(e) => Err(e),
+            None => Ok(self.now()),
+        }
+    }
+
+    /// Assemble the [`SimError::Livelock`] diagnostic for a tripped
+    /// guard: current instant, queue depth, and oldest pending key.
+    #[cold]
+    fn livelock_error(&mut self, g: &ProgressGuard) -> SimError {
+        SimError::Livelock {
+            time_ns: self.events.now().as_nanos(),
+            events_at_instant: g.events_at_instant(),
+            budget: g.budget(),
+            pending: self.events.len() as u64,
+            oldest_key: self.events.peek_key().map(|(t, k)| (t.as_nanos(), k)),
+        }
     }
 
     /// Process queued events with `time < hi` — the body of one
@@ -762,6 +872,34 @@ impl<S: Subscriber> Network<S> {
             }
             self.step_queued();
         }
+    }
+
+    /// Supervised window body: [`Network::run_events_before`] with the
+    /// livelock guard and memory-budget polling threaded in. The guard
+    /// lives with the caller (one per shard worker) so a zero-delay cycle
+    /// inside a window — which would otherwise spin without ever reaching
+    /// the barrier — trips exactly like its serial counterpart.
+    pub(crate) fn try_run_events_before(
+        &mut self,
+        hi: SimTime,
+        guard: &mut Option<ProgressGuard>,
+    ) -> Result<(), SimError> {
+        while let Some((t, _)) = self.events.peek_key() {
+            if t >= hi {
+                break;
+            }
+            self.step_queued();
+            if let Some(e) = self.tripped.take() {
+                return Err(e);
+            }
+            if let Some(g) = guard.as_mut() {
+                if g.on_event(self.events.now().as_nanos()) {
+                    let g = *g;
+                    return Err(self.livelock_error(&g));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Process a single event or due fault. Returns `false` when both the
@@ -849,9 +987,53 @@ impl<S: Subscriber> Network<S> {
                     self.push_event(next, Event::Sample { id });
                 }
             }
+            Event::LivelockDrill { node } => {
+                self.cur_node = node.0;
+                self.push_event(now, Event::LivelockDrill { node });
+            }
+        }
+        if self.mem_armed {
+            self.poll_mem_breach(now);
         }
         self.cur_node = SETUP_CTX;
         true
+    }
+
+    /// Poll the latched memory-breach flags after one event (only when a
+    /// ceiling is armed). All arena mutations of an event belong to its
+    /// `cur_node`, so attribution is exact; the breach converts into the
+    /// run's first [`SimError::MemBudgetExceeded`].
+    #[inline]
+    fn poll_mem_breach(&mut self, now: SimTime) {
+        if self.tripped.is_some() {
+            return;
+        }
+        let node = (self.cur_node != SETUP_CTX).then_some(self.cur_node as u32);
+        if let Some((live, ceiling)) = self.events.mem_breach() {
+            self.tripped = Some(SimError::MemBudgetExceeded {
+                breach: MemBreach {
+                    component: MemComponent::EventQueue,
+                    live,
+                    ceiling,
+                    node,
+                },
+                time_ns: now.as_nanos(),
+            });
+            return;
+        }
+        if self.cur_node != SETUP_CTX {
+            if let Some((live, ceiling)) = self.nodes[self.cur_node].arena.overflow_breach() {
+                self.tripped = Some(SimError::MemBudgetExceeded {
+                    breach: MemBreach {
+                        component: MemComponent::RingOverflow,
+                        live,
+                        ceiling,
+                        node,
+                    },
+                    time_ns: now.as_nanos(),
+                });
+            }
+        }
     }
 
     fn on_arrive(&mut self, now: SimTime, node: NodeId, pkt: crate::packet::Packet) {
@@ -1138,6 +1320,23 @@ impl<S: Subscriber> Network<S> {
                             class: cmd.class,
                             timeouts,
                             outcome: FlowOutcome::Failed,
+                        });
+                    }
+                }
+                Action::MemBreach { live, ceiling } => {
+                    // Transport-owned budget (e.g. receiver reassembly
+                    // state, armed through `TcpConfig`): latch the run's
+                    // first breach; the fallible entry points convert it
+                    // into an early `Err`.
+                    if self.tripped.is_none() {
+                        self.tripped = Some(SimError::MemBudgetExceeded {
+                            breach: MemBreach {
+                                component: MemComponent::TransportOoo,
+                                live,
+                                ceiling,
+                                node: Some(node.0 as u32),
+                            },
+                            time_ns: now.as_nanos(),
                         });
                     }
                 }

@@ -41,9 +41,10 @@
 use crate::ids::NodeId;
 use crate::network::{route_tables, Event, Network, OutMsg};
 use crate::node::Node;
+use ecnsharp_sim::supervise::{ProgressGuard, ShardDiag, SimError, Supervision};
 use ecnsharp_sim::SimTime;
 use ecnsharp_telemetry::ShardSubscriber;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
 use crate::fault::FaultAction;
@@ -175,6 +176,25 @@ impl<S: ShardSubscriber> Network<S> {
     /// assert_eq!(net.unfinished_flows(), 0);
     /// ```
     pub fn run_sharded_until_idle(&mut self, plan: &ShardPlan) -> SimTime {
+        match self.try_run_sharded_until_idle(plan) {
+            Ok(t) => t,
+            // A tripped guard through the infallible entry point is fatal
+            // by contract; fallible callers use try_run_sharded_until_idle.
+            Err(e) => panic!("run_sharded_until_idle: {e}"),
+        }
+    }
+
+    /// Fallible sharded run under this network's [`Supervision`]: like
+    /// [`Network::run_sharded_until_idle`], but a tripped guard —
+    /// livelock inside a window, a stalled barrier exchange, a memory
+    /// ceiling, or a panicking worker — returns its [`SimError`] instead
+    /// of hanging or unwinding. With supervision disarmed the run cannot
+    /// fail and is the exact unsupervised execution.
+    ///
+    /// On `Err` the network is **poisoned**: nodes have been moved into
+    /// shard engines that were abandoned mid-window, so the value must be
+    /// dropped (sweep supervisors build a fresh network per attempt).
+    pub fn try_run_sharded_until_idle(&mut self, plan: &ShardPlan) -> Result<SimTime, SimError> {
         assert_eq!(
             plan.owner.len(),
             self.nodes.len(),
@@ -192,8 +212,9 @@ impl<S: ShardSubscriber> Network<S> {
             "packet tracing is serial-only; drop enable_trace or run serially"
         );
         if plan.shard_count() == 1 {
-            return self.run_until_idle();
+            return self.try_run_until_idle();
         }
+        let sup = self.supervision();
         let owner = plan.owner.clone();
         let n_shards = plan.shard_count();
         let n_nodes = self.nodes.len();
@@ -231,12 +252,20 @@ impl<S: ShardSubscriber> Network<S> {
                 Event::Arrive { node, .. }
                 | Event::TxDone { node, .. }
                 | Event::Timer { node, .. }
-                | Event::NicSend { node, .. } => owner[node.0],
+                | Event::NicSend { node, .. }
+                | Event::LivelockDrill { node } => owner[node.0],
                 Event::FlowStart(cmd) => owner[cmd.src.0],
                 Event::Sample { id } => owner[self.monitors[*id].node.0],
             };
             shards[s as usize].events.schedule_tagged(at, tag, ev);
             split_pushes += 1;
+        }
+        // Arm each shard's guards after its nodes and backlog are in
+        // place (ceilings attach to the queue and the owned arenas).
+        if !sup.is_disarmed() {
+            for shard in &mut shards {
+                shard.set_supervision(sup);
+            }
         }
         // The global setup-tag counter continues across fault boundaries
         // so fault-triggered pushes get the same tags as a serial run.
@@ -251,7 +280,7 @@ impl<S: ShardSubscriber> Network<S> {
             let fault = self.fault_queue.get(self.next_fault).copied();
             let end = fault.map_or(u64::MAX, |(at, _, _)| at.as_nanos());
             let la = lookahead_nanos(&shards, &owner);
-            run_windows(&mut shards, la, end);
+            run_windows(&mut shards, la, end, &sup)?;
             let Some((at, ftag, _)) = fault else { break };
             // Stragglers strictly before the fault's global key (usually
             // none: the windows stop at `end` and fault tags sort below
@@ -317,7 +346,7 @@ impl<S: ShardSubscriber> Network<S> {
         self.steps += fault_steps;
         self.setup_k = setup_k;
         self.events.advance_now(max_now.max(last_fault_at));
-        self.now()
+        Ok(self.now())
     }
 }
 
@@ -347,42 +376,191 @@ fn lookahead_nanos<S: ShardSubscriber>(shards: &[Network<S>], owner: &[u32]) -> 
 
 /// One epoch's parallel phase: barrier-synchronized conservative windows
 /// until every shard's next event is at or past `end` (ns).
-fn run_windows<S: ShardSubscriber>(shards: &mut [Network<S>], la: Option<u64>, end: u64) {
+///
+/// With `sup` disarmed this is the exact unsupervised protocol (and
+/// cannot fail). Armed, each worker carries a livelock [`ProgressGuard`]
+/// into its window bodies, runs them under `catch_unwind` so a panicking
+/// shard becomes [`SimError::WorkerPanic`] instead of deadlocking the
+/// others at the barrier, and every worker runs the **barrier-stall
+/// detector**: the conservative protocol guarantees the global minimum
+/// next-event time `m` strictly increases every healthy round (all local
+/// events below the window bound are consumed inside the window; every
+/// cross-shard arrival lands at `≥ m + lookahead`), so a repeated `m` is
+/// already pathological and a small round budget trips it. All workers
+/// compute the same `m` sequence between the same barriers, so they trip
+/// the detector — and observe a peer's failure flag — at the *same*
+/// aligned point, which is what lets every thread leave the barrier
+/// protocol together instead of hanging.
+fn run_windows<S: ShardSubscriber>(
+    shards: &mut [Network<S>],
+    la: Option<u64>,
+    end: u64,
+    sup: &Supervision,
+) -> Result<(), SimError> {
     let n = shards.len();
     let mailboxes: Vec<Mutex<Vec<OutMsg>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
     let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
     let barrier = Barrier::new(n);
+    if sup.is_disarmed() {
+        std::thread::scope(|scope| {
+            for (i, shard) in shards.iter_mut().enumerate() {
+                let (mailboxes, slots, barrier) = (&mailboxes, &slots, &barrier);
+                scope.spawn(move || {
+                    let next = |sh: &mut Network<S>| {
+                        sh.events.peek_time().map_or(u64::MAX, |t| t.as_nanos())
+                    };
+                    slots[i].store(next(shard), Ordering::Release);
+                    barrier.wait();
+                    loop {
+                        // Every thread computes the same minimum from the same
+                        // slot values (stable between the publishing barrier
+                        // and the next flush barrier), so all make the same
+                        // break/window decision — no coordinator needed.
+                        let m = slots
+                            .iter()
+                            .map(|s| s.load(Ordering::Acquire))
+                            .min()
+                            .unwrap();
+                        if m >= end {
+                            break;
+                        }
+                        let hi = match la {
+                            Some(l) => end.min(m.saturating_add(l)),
+                            None => end,
+                        };
+                        shard.run_events_before(SimTime::from_nanos(hi));
+                        for msg in shard.outbox.drain(..) {
+                            mailboxes[msg.shard as usize].lock().unwrap().push(msg);
+                        }
+                        barrier.wait(); // outboxes flushed
+                        for msg in mailboxes[i].lock().unwrap().drain(..) {
+                            shard.events.schedule_tagged(
+                                msg.at,
+                                msg.tag,
+                                Event::Arrive {
+                                    node: msg.node,
+                                    pkt: msg.pkt,
+                                },
+                            );
+                        }
+                        slots[i].store(next(shard), Ordering::Release);
+                        barrier.wait(); // next-event times published
+                    }
+                });
+            }
+        });
+        return Ok(());
+    }
+
+    // ── supervised protocol ───────────────────────────────────────────
+    // The drill freezes window processing so `m` never advances; without
+    // a stall budget that would spin forever, so the drill force-arms the
+    // detector at its default budget.
+    let stall_budget = match (sup.stall_rounds, sup.inject_stall) {
+        (Some(b), _) => Some(b),
+        (None, true) => Some(ecnsharp_sim::supervise::DEFAULT_STALL_ROUNDS),
+        (None, false) => None,
+    };
+    let failed = AtomicBool::new(false);
+    let first_err: Mutex<Option<SimError>> = Mutex::new(None);
+    let stall_diags: Mutex<Vec<ShardDiag>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for (i, shard) in shards.iter_mut().enumerate() {
             let (mailboxes, slots, barrier) = (&mailboxes, &slots, &barrier);
+            let (failed, first_err, stall_diags) = (&failed, &first_err, &stall_diags);
             scope.spawn(move || {
                 let next =
                     |sh: &mut Network<S>| sh.events.peek_time().map_or(u64::MAX, |t| t.as_nanos());
+                let mut guard = sup.livelock_budget.map(ProgressGuard::new);
+                // Stall detector state: same inputs on every worker, so
+                // the counters advance in lockstep across threads.
+                let mut last_m = u64::MAX;
+                let mut frozen = 0u64;
                 slots[i].store(next(shard), Ordering::Release);
                 barrier.wait();
                 loop {
-                    // Every thread computes the same minimum from the same
-                    // slot values (stable between the publishing barrier
-                    // and the next flush barrier), so all make the same
-                    // break/window decision — no coordinator needed.
                     let m = slots
                         .iter()
                         .map(|s| s.load(Ordering::Acquire))
                         .min()
-                        .unwrap();
+                        .unwrap_or(u64::MAX);
                     if m >= end {
                         break;
+                    }
+                    if m == last_m {
+                        frozen += 1;
+                    } else {
+                        last_m = m;
+                        frozen = 0;
+                    }
+                    if let Some(b) = stall_budget {
+                        if frozen > b {
+                            // Deterministic trip: every worker sees the
+                            // same frozen count this round, so all record
+                            // their diagnostic and break together.
+                            let mut diags = match stall_diags.lock() {
+                                Ok(g) => g,
+                                Err(p) => p.into_inner(),
+                            };
+                            diags.push(ShardDiag {
+                                shard: i as u32,
+                                clock_ns: next(shard),
+                                pending: shard.events.len() as u64,
+                                oldest_key: shard.events.peek_key().map(|(t, k)| (t.as_nanos(), k)),
+                            });
+                            break;
+                        }
                     }
                     let hi = match la {
                         Some(l) => end.min(m.saturating_add(l)),
                         None => end,
                     };
-                    shard.run_events_before(SimTime::from_nanos(hi));
-                    for msg in shard.outbox.drain(..) {
-                        mailboxes[msg.shard as usize].lock().unwrap().push(msg);
+                    // The drill skips processing entirely (freezing `m`);
+                    // otherwise run the supervised window body, converting
+                    // a panic into a structured error instead of letting
+                    // it strand the other workers at the barrier.
+                    let res = if sup.inject_stall {
+                        Ok(())
+                    } else {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            shard.try_run_events_before(SimTime::from_nanos(hi), &mut guard)
+                        }))
+                        .unwrap_or_else(|p| {
+                            Err(SimError::WorkerPanic {
+                                msg: panic_payload_message(p.as_ref()),
+                            })
+                        })
+                    };
+                    if let Err(e) = res {
+                        let mut slot = match first_err.lock() {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                        slot.get_or_insert(e);
+                        failed.store(true, Ordering::Release);
                     }
-                    barrier.wait(); // outboxes flushed
-                    for msg in mailboxes[i].lock().unwrap().drain(..) {
+                    for msg in shard.outbox.drain(..) {
+                        let mut mb = match mailboxes[msg.shard as usize].lock() {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                        mb.push(msg);
+                    }
+                    barrier.wait(); // outboxes flushed, failure flags published
+                    if failed.load(Ordering::Acquire) {
+                        // Aligned exit: every worker is at this same point
+                        // (same barrier count), so all leave together and
+                        // nobody waits on a barrier that can't fill.
+                        break;
+                    }
+                    let drained: Vec<OutMsg> = {
+                        let mut mb = match mailboxes[i].lock() {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                        std::mem::take(&mut *mb)
+                    };
+                    for msg in drained {
                         shard.events.schedule_tagged(
                             msg.at,
                             msg.tag,
@@ -398,6 +576,38 @@ fn run_windows<S: ShardSubscriber>(shards: &mut [Network<S>], la: Option<u64>, e
             });
         }
     });
+    let err = match first_err.into_inner() {
+        Ok(e) => e,
+        Err(p) => p.into_inner(),
+    };
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let mut diags = match stall_diags.into_inner() {
+        Ok(d) => d,
+        Err(p) => p.into_inner(),
+    };
+    if !diags.is_empty() {
+        diags.sort_unstable_by_key(|d| d.shard);
+        let budget = stall_budget.unwrap_or(0);
+        return Err(SimError::BarrierStall {
+            rounds: budget + 1,
+            budget,
+            shards: diags,
+        });
+    }
+    Ok(())
+}
+
+/// Stringify a caught panic payload (the common `&str`/`String` cases).
+fn panic_payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
 }
 
 /// Serially process every queued event with key strictly below `bound`,

@@ -32,12 +32,14 @@ pub mod invariant;
 pub mod queue;
 pub mod rate;
 pub mod rng;
+pub mod supervise;
 pub mod time;
 pub mod wheel;
 
 pub use queue::EventQueue;
 pub use rate::{bytes, Rate};
 pub use rng::{hash_mix, DetHasher, DetMap, DetState, Rng};
+pub use supervise::{MemBreach, MemComponent, ProgressGuard, ShardDiag, SimError, Supervision};
 pub use time::{Duration, SimTime};
 pub use wheel::{TimerToken, TimerWheel};
 
@@ -54,6 +56,8 @@ const _: () = {
     assert_send_sync::<Duration>();
     assert_send_sync::<SimTime>();
     assert_send_sync::<Rate>();
+    assert_send_sync::<Supervision>();
+    assert_send_sync::<SimError>();
     // Cache-layout pins: the time types must stay word-sized — they are
     // embedded in every queue entry, wheel cell, and (downstream) packet.
     // The calendar-lane header pin lives next to `Lane` in `queue.rs`

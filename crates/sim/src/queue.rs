@@ -233,6 +233,13 @@ pub struct EventQueue<E> {
     now: SimTime,
     len: usize,
     perf: QueuePerf,
+    /// Admission ceiling on live entries (events + armed timers);
+    /// `usize::MAX` disarms the guard. Crossing it latches
+    /// `mem_breached` — scheduling is never perturbed, so an
+    /// armed-but-untriggered ceiling is observation-only.
+    mem_ceiling: usize,
+    /// Sticky flag: the ceiling was crossed at some admission.
+    mem_breached: bool,
     /// `(time, seq)` of the most recent pop, for the strict-invariants
     /// total-order check: pop times never decrease, and among equal times
     /// sequence numbers strictly increase (FIFO).
@@ -266,7 +273,33 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             len: 0,
             perf: QueuePerf::default(),
+            mem_ceiling: usize::MAX,
+            mem_breached: false,
             last_popped: None,
+        }
+    }
+
+    /// Arm (or, with `None`, disarm) the admission ceiling on live
+    /// entries. Crossing the ceiling latches a breach readable through
+    /// [`EventQueue::mem_breach`]; scheduling itself is never perturbed,
+    /// which keeps armed-but-untriggered runs byte-identical.
+    pub fn set_mem_ceiling(&mut self, ceiling: Option<u64>) {
+        self.mem_ceiling = match ceiling {
+            Some(c) => usize::try_from(c).unwrap_or(usize::MAX),
+            None => usize::MAX,
+        };
+        self.mem_breached = false;
+    }
+
+    /// The latched `(live, ceiling)` pair of the first admission that
+    /// crossed the ceiling, if any. `live` reports the current count —
+    /// by the fail-fast contract the caller stops within a few events of
+    /// the breach, so it stays within noise of the crossing value.
+    pub fn mem_breach(&self) -> Option<(u64, u64)> {
+        if self.mem_breached {
+            Some((self.len as u64, self.mem_ceiling as u64))
+        } else {
+            None
         }
     }
 
@@ -372,6 +405,9 @@ impl<E> EventQueue<E> {
         if self.len as u64 > self.perf.peak_pending {
             self.perf.peak_pending = self.len as u64;
         }
+        if self.len > self.mem_ceiling {
+            self.mem_breached = true;
+        }
     }
 
     /// Insert an entry into its inner lane, maintaining the occupancy bit
@@ -461,6 +497,9 @@ impl<E> EventQueue<E> {
         self.perf.timers_armed += 1;
         if self.len as u64 > self.perf.peak_pending {
             self.perf.peak_pending = self.len as u64;
+        }
+        if self.len > self.mem_ceiling {
+            self.mem_breached = true;
         }
         tok
     }
@@ -1264,7 +1303,7 @@ mod tests {
     #[test]
     fn outer_ring_wraparound() {
         let mut q = EventQueue::new();
-        let ow = (1u64 << (LANE_BITS + OUTER_SHIFT)) as u64; // one outer lane
+        let ow = 1u64 << (LANE_BITS + OUTER_SHIFT); // one outer lane
         let span = ow * OUTER_COUNT as u64;
         let mut scheduled = Vec::new();
         for rev in 0..3u64 {

@@ -73,6 +73,13 @@ pub struct TcpConfig {
     /// instead of backing off forever (a permanently dead path would
     /// otherwise hang the simulation). Any new ACK resets the streak.
     pub max_rto_retries: u32,
+    /// Memory-budget ceiling on the receiver's out-of-order reassembly
+    /// ranges (the transport state that grows without bound under
+    /// pathological reordering/loss). `None` (the default) disarms the
+    /// guard. Crossing the ceiling reports a typed breach through
+    /// [`ecnsharp_net::Ctx::report_mem_breach`] — behaviour is otherwise
+    /// unchanged, so an armed-but-untriggered budget stays byte-identical.
+    pub ooo_budget: Option<u32>,
 }
 
 impl Default for TcpConfig {
@@ -90,6 +97,7 @@ impl Default for TcpConfig {
             max_cwnd: 10_000_000,
             timer_backend: TimerBackend::Wheel,
             max_rto_retries: 8,
+            ooo_budget: None,
         }
     }
 }

@@ -483,6 +483,15 @@ impl Receiver {
                 // Buffer out-of-order segment (coarse: keyed by start).
                 let entry = self.ooo.entry(start).or_insert(end);
                 *entry = (*entry).max(end);
+                // Reassembly state is the transport's only unbounded
+                // growth; meter it against the configured budget. The
+                // report never alters receiver behaviour, so an
+                // armed-but-untriggered budget stays byte-identical.
+                if let Some(budget) = self.cfg.ooo_budget {
+                    if self.ooo.len() as u64 > u64::from(budget) {
+                        ctx.report_mem_breach(self.ooo.len() as u64, u64::from(budget));
+                    }
+                }
             }
         }
 
@@ -1099,12 +1108,12 @@ mod tests {
             // fire) and the wheel's single live token.
             let mut legacy_q: Vec<(SimTime, u64)> = Vec::new();
             let mut wheel_tok: Option<(SimTime, u64)> = None;
-            let mut apply = |r: &mut Receiver,
-                             now: SimTime,
-                             ev: Option<&Packet>,
-                             acks: &mut Vec<(SimTime, u64, bool)>,
-                             legacy_q: &mut Vec<(SimTime, u64)>,
-                             wheel_tok: &mut Option<(SimTime, u64)>| {
+            let apply = |r: &mut Receiver,
+                         now: SimTime,
+                         ev: Option<&Packet>,
+                         acks: &mut Vec<(SimTime, u64, bool)>,
+                         legacy_q: &mut Vec<(SimTime, u64)>,
+                         wheel_tok: &mut Option<(SimTime, u64)>| {
                 let mut actions = Vec::new();
                 let mut ctx = Ctx::detached(now, NodeId(1), &mut actions);
                 match ev {

@@ -83,9 +83,11 @@ pub const BOUNDARY_CRATES: [&str; 6] = ["core", "sim", "net", "aqm", "sched", "t
 /// Files on the per-packet hot path, where a panic aborts a whole figure
 /// run: every AQM decision site, the marker state machine, the scheduler
 /// dequeue loop, the egress port and its pooled ring arena, the event
-/// queue itself, and the telemetry subscribers (invoked per event when
-/// attached).
-pub const HOT_PATH_PREFIXES: [&str; 9] = [
+/// queue itself, the telemetry subscribers (invoked per event when
+/// attached), and the run-supervision guards (`ProgressGuard::on_event`
+/// runs per popped event on supervised runs; a panicking watchdog would
+/// defeat its own purpose).
+pub const HOT_PATH_PREFIXES: [&str; 10] = [
     "crates/aqm/src/",
     "crates/core/src/",
     "crates/sched/src/",
@@ -95,6 +97,7 @@ pub const HOT_PATH_PREFIXES: [&str; 9] = [
     "crates/net/src/fault.rs",
     "crates/sim/src/queue.rs",
     "crates/sim/src/wheel.rs",
+    "crates/sim/src/supervise.rs",
 ];
 
 /// Classify a workspace-relative path (forward slashes). Returns `None`
@@ -364,6 +367,8 @@ mod tests {
         let c = classify("crates/net/src/fault.rs").unwrap();
         assert!(c.sim_facing && c.hot_path && !c.test_file);
         let c = classify("crates/sim/src/wheel.rs").unwrap();
+        assert!(c.sim_facing && c.hot_path && !c.test_file && c.boundary);
+        let c = classify("crates/sim/src/supervise.rs").unwrap();
         assert!(c.sim_facing && c.hot_path && !c.test_file && c.boundary);
         let c = classify("crates/telemetry/src/hist.rs").unwrap();
         assert!(c.sim_facing && c.hot_path && !c.test_file && !c.boundary);

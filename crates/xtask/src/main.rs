@@ -12,8 +12,10 @@
 //!   → race harness (release) → sharded-determinism gate (the
 //!   serial-vs-sharded byte-equivalence suite under `strict-invariants`;
 //!   see CONCURRENCY.md) → quick-scale chaos smoke run under
-//!   `strict-invariants` → rustdoc gate (`cargo doc --no-deps` with
-//!   `-Dwarnings`, then `cargo test --doc`).
+//!   `strict-invariants` → chaos fault drills (injected worker panic and
+//!   injected barrier stall must each fail loudly with a structured
+//!   JSONL error line and partial CSVs) → rustdoc gate
+//!   (`cargo doc --no-deps` with `-Dwarnings`, then `cargo test --doc`).
 //! - `bench` — run the standing `ecnsharp-bench` targets and collate
 //!   `BENCH_sim.json` at the workspace root (see PERFORMANCE.md).
 //! - `bench-diff <old> <new>` — compare two `BENCH_sim.json` files.
@@ -79,7 +81,7 @@ fn print_help() {
          readable violation + waiver inventory\n  \
          selftest    verify each lint rule fires on its seeded fixture\n  \
          ci          fmt-check -> clippy -> lint -> selftest -> build -> tests ->\n              \
-         race harness -> sharded determinism -> chaos smoke -> rustdoc gate\n  \
+         race harness -> sharded determinism -> chaos smoke -> chaos drills -> rustdoc gate\n  \
          bench       run engine/aqm_cost/figures benches, write BENCH_sim.json\n  \
          bench-diff  compare two BENCH_sim.json files (old new), or --check to\n              \
          rerun the engine benches and fail on >25% regression"
@@ -190,6 +192,60 @@ fn run_step(name: &str, mut cmd: Command, required: bool) -> Result<(), ()> {
 
 fn cargo() -> Command {
     Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string()))
+}
+
+/// Run the quick chaos sweep with a fault-injection drill armed and
+/// assert the supervised failure contract: nonzero exit, a structured
+/// JSONL error line on stderr containing `expect_err`, and partial CSVs
+/// on disk (the surviving points still produce output).
+fn chaos_drill(name: &str, envs: &[(&str, &str)], expect_err: &str) -> Result<(), ()> {
+    print!("ci: {name} ... ");
+    let tmp = std::env::temp_dir().join("ecnsharp-ci-chaos-drill");
+    let _ = std::fs::remove_dir_all(&tmp);
+    let mut c = cargo();
+    c.args([
+        "run",
+        "--release",
+        "-p",
+        "ecnsharp-experiments",
+        "--bin",
+        "chaos",
+    ]);
+    c.env("ECNSHARP_SCALE", "quick");
+    c.env("ECNSHARP_RESULTS", &tmp);
+    for (k, v) in envs {
+        c.env(k, v);
+    }
+    let (out, secs) = timing::timed(|| c.output());
+    let out = match out {
+        Ok(o) => o,
+        Err(e) => {
+            println!("FAILED to launch: {e}");
+            return Err(());
+        }
+    };
+    if out.status.success() {
+        println!("FAILED (drill run exited 0; the injected fault never surfaced)");
+        return Err(());
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    if !stderr.contains(expect_err) {
+        println!("FAILED (stderr carries no {expect_err} JSONL line)");
+        eprint!("{stderr}");
+        return Err(());
+    }
+    for csv in ["chaos_fct.csv", "chaos_marks.csv", "chaos_aborts.csv"] {
+        let path = tmp.join(csv);
+        match std::fs::metadata(&path) {
+            Ok(m) if m.len() > 0 => {}
+            _ => {
+                println!("FAILED (partial CSV {} missing or empty)", path.display());
+                return Err(());
+            }
+        }
+    }
+    println!("ok ({secs:.1}s)");
+    Ok(())
 }
 
 /// One named CI step, deferred so earlier failures short-circuit later work.
@@ -378,6 +434,39 @@ fn ci() -> ExitCode {
                 c.env("ECNSHARP_SCALE", "quick");
                 c.env("ECNSHARP_RESULTS", &tmp);
                 run_step("chaos smoke (quick, strict-invariants)", c, true)
+            }),
+        ),
+        (
+            "chaos panic drill",
+            Box::new(|| {
+                // Crash-proof-runner drill: injecting a worker panic into
+                // the first sweep point must fail the run loudly (nonzero
+                // exit + a structured WorkerPanic JSONL line) while every
+                // other point completes and partial CSVs land on disk.
+                chaos_drill(
+                    "chaos panic drill (ECNSHARP_INJECT_PANIC=worker)",
+                    &[("ECNSHARP_INJECT_PANIC", "worker")],
+                    "\"type\":\"WorkerPanic\"",
+                )
+            }),
+        ),
+        (
+            "chaos stall drill",
+            Box::new(|| {
+                // Barrier-stall drill: freezing every shard's window
+                // processing on the first point must trip the stall
+                // detector into a structured BarrierStall diagnostic
+                // instead of hanging the barrier — again with partial
+                // CSVs and a nonzero exit.
+                chaos_drill(
+                    "chaos stall drill (ECNSHARP_INJECT_STALL=window, 2 shards)",
+                    &[
+                        ("ECNSHARP_INJECT_STALL", "window"),
+                        ("ECNSHARP_SHARDS", "2"),
+                        ("ECNSHARP_STALL_BUDGET", "4"),
+                    ],
+                    "\"type\":\"BarrierStall\"",
+                )
             }),
         ),
         (
